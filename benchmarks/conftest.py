@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to a reduced scale so the whole harness completes in
+a couple of minutes; set ``REPRO_FULL=1`` to run at the paper's scale
+(50 runs x 80 s for Table II / Fig. 4, 60 s for the overhead study).
+Every benchmark prints the regenerated table/series next to the paper's
+reported values.
+"""
+
+import os
+
+import pytest
+
+from repro.sim import SEC
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+
+
+def table2_scale():
+    """(runs, duration_ns) for the Table II / Fig. 4 experiments."""
+    if FULL:
+        return 50, 80 * SEC
+    return 50, 10 * SEC
+
+
+def overhead_scale():
+    """Duration of the overhead experiment."""
+    return 60 * SEC if FULL else 15 * SEC
+
+
+def fig3_scale():
+    """Durations for the DAG-synthesis experiments."""
+    if FULL:
+        return 12 * SEC, 80 * SEC
+    return 12 * SEC, 20 * SEC
+
+
+@pytest.fixture(scope="session")
+def bench_header():
+    def print_header(title: str) -> None:
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+
+    return print_header

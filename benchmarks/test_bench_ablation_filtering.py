@@ -1,0 +1,37 @@
+"""Ablation: in-kernel PID filtering of sched_switch events.
+
+Sec. III-B: recording every sched_switch event costs hundreds of MB per
+second on a busy machine; filtering by the ROS2 PIDs (shared via a BPF
+map from the ROS2-INIT tracer) reduces the footprint "by an order of
+three or more".  This bench runs the same workload with filtering on
+and off and compares kernel-trace volume.
+"""
+
+from conftest import overhead_scale
+
+from repro.experiments import run_overhead
+from repro.tracing import SCHED_EVENT_BYTES
+
+
+def test_bench_ablation_filtering(benchmark, bench_header):
+    duration = overhead_scale()
+
+    def both_runs():
+        filtered = run_overhead(duration_ns=duration, kernel_filter=True)
+        unfiltered = run_overhead(duration_ns=duration, kernel_filter=False)
+        return filtered, unfiltered
+
+    filtered, unfiltered = benchmark.pedantic(both_runs, rounds=1, iterations=1)
+    bench_header("Ablation -- kernel-event PID filtering (paper Sec. III-B)")
+
+    filtered_mb = filtered.sched_recorded * SCHED_EVENT_BYTES / 1e6
+    unfiltered_mb = unfiltered.sched_recorded * SCHED_EVENT_BYTES / 1e6
+    reduction = unfiltered.sched_recorded / max(1, filtered.sched_recorded)
+    print(f"filtered:   {filtered.sched_recorded:>8} sched events "
+          f"({filtered_mb:.2f} MB)")
+    print(f"unfiltered: {unfiltered.sched_recorded:>8} sched events "
+          f"({unfiltered_mb:.2f} MB)")
+    print(f"footprint reduction: {reduction:.1f}x (paper: 3x or more)")
+
+    assert unfiltered.sched_recorded > filtered.sched_recorded
+    assert reduction >= 3.0

@@ -1,0 +1,60 @@
+"""Ablation: per-caller service replication vs a naive shared vertex.
+
+The paper argues (Sec. I / Sec. VI) that modeling a service invoked by
+n clients as ONE vertex creates spurious chains -- e.g. SC3 -> SV3 ->
+CL4, mixing two callers.  This bench synthesizes the SYN model both
+ways and counts chains: the naive model must contain caller-crossing
+chains that the replicated model provably excludes.
+"""
+
+from conftest import fig3_scale
+
+from repro.analysis import enumerate_chains
+from repro.apps import build_syn
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+
+
+def test_bench_ablation_service(benchmark, bench_header):
+    syn_duration, _ = fig3_scale()
+    config = RunConfig(duration_ns=syn_duration, base_seed=42, num_cpus=4)
+    result = run_once(lambda w, i: build_syn(w), config)
+    pids = result.apps.pids
+
+    def both_models():
+        replicated = synthesize_from_trace(result.trace, pids=pids)
+        naive = synthesize_from_trace(result.trace, pids=pids, split_services=False)
+        return replicated, naive
+
+    replicated, naive = benchmark.pedantic(both_models, rounds=1, iterations=1)
+
+    replicated_chains = enumerate_chains(replicated)
+    naive_chains = enumerate_chains(naive)
+    bench_header("Ablation -- service modeling (paper Sec. IV)")
+    print(f"replicated model: {len(replicated.find_vertices(cb_id='SV3'))} SV3 "
+          f"vertices, {len(replicated_chains)} chains")
+    print(f"naive model:      {len(naive.find_vertices(cb_id='SV3'))} SV3 "
+          f"vertices, {len(naive_chains)} chains")
+
+    def crossing(chains, dag):
+        bad = []
+        for chain in chains:
+            ids = [dag.vertex(k).cb_id for k in chain.keys]
+            if "SC3" in ids and "CL4" in ids:
+                bad.append(" -> ".join(ids))
+            if "CL2" in ids and "CL3" in ids:
+                bad.append(" -> ".join(ids))
+        return bad
+
+    naive_bad = crossing(naive_chains, naive)
+    replicated_bad = crossing(replicated_chains, replicated)
+    print(f"caller-crossing chains (naive):      {len(naive_bad)}")
+    for chain in naive_bad:
+        print(f"    {chain}")
+    print(f"caller-crossing chains (replicated): {len(replicated_bad)}")
+
+    assert len(replicated.find_vertices(cb_id="SV3")) == 2
+    assert len(naive.find_vertices(cb_id="SV3")) == 1
+    assert naive_bad, "naive model must create spurious chains"
+    assert not replicated_bad, "replicated model must not cross callers"
+    assert len(naive_chains) > len(replicated_chains)

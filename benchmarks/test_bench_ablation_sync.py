@@ -1,0 +1,58 @@
+"""Ablation: AND-junction sync modeling vs plain edges.
+
+Sec. IV models an m-input data synchronization as m reader tasks plus a
+zero-WCET 'AND' junction task.  Without the junction, the fused-output
+subscribers appear directly connected to *each* sync member, which a
+downstream analysis reads as OR triggering: every member publication
+would start the chain, doubling the apparent activation rate of the
+downstream pipeline.
+"""
+
+from conftest import fig3_scale
+
+from repro.analysis import enumerate_chains
+from repro.apps import build_avp
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+
+
+def test_bench_ablation_sync(benchmark, bench_header):
+    _, avp_duration = fig3_scale()
+    config = RunConfig(duration_ns=avp_duration, base_seed=7, num_cpus=4)
+    result = run_once(lambda w, i: build_avp(w), config)
+    pids = result.apps.pids
+
+    def both_models():
+        with_junction = synthesize_from_trace(result.trace, pids=pids)
+        without = synthesize_from_trace(result.trace, pids=pids, model_sync=False)
+        return with_junction, without
+
+    with_junction, without = benchmark.pedantic(both_models, rounds=1, iterations=1)
+    bench_header("Ablation -- data-synchronization modeling (paper Sec. IV)")
+
+    junctions = [v for v in with_junction.vertices() if v.is_and_junction]
+    print(f"with junction:    {with_junction.num_vertices} vertices "
+          f"({len(junctions)} AND junction), {with_junction.num_edges} edges")
+    print(f"without junction: {without.num_vertices} vertices, "
+          f"{without.num_edges} edges")
+
+    cb5 = "voxel_grid_cloud_node/cb5"
+    preds_with = {v.key for v in with_junction.predecessors(cb5)}
+    preds_without = {v.key for v in without.predecessors(cb5)}
+    print(f"cb5 predecessors with junction:    {sorted(preds_with)}")
+    print(f"cb5 predecessors without junction: {sorted(preds_without)}")
+
+    # With the junction: cb5 is fed by exactly one AND task.
+    assert preds_with == {"point_cloud_fusion/&"}
+    assert not with_junction.vertex(cb5).is_or_junction
+    # Without: whichever members published the fused topic connect
+    # directly, and (once both have been "last" at least once) cb5 is
+    # wrongly marked as OR-triggered by multiple publishers.
+    assert preds_without <= {"point_cloud_fusion/cb3", "point_cloud_fusion/cb4"}
+    assert preds_without, "fused topic must have a publisher"
+    if len(preds_without) > 1:
+        assert without.vertex(cb5).is_or_junction
+    # The junction model never inflates chain counts.
+    assert len(enumerate_chains(with_junction)) <= max(
+        1, len(enumerate_chains(without))
+    )

@@ -1,0 +1,29 @@
+"""E-F3a: regenerate Fig. 3a -- the SYN timing model.
+
+Prints the synthesized vertex/edge list of the synthetic application and
+checks each structural scenario (i)-(v) from Sec. VI.
+"""
+
+from conftest import fig3_scale
+
+from repro.core import format_edges
+from repro.experiments import run_fig3a
+
+
+def test_bench_fig3a(benchmark, bench_header):
+    syn_duration, _ = fig3_scale()
+    result = benchmark.pedantic(
+        lambda: run_fig3a(duration_ns=syn_duration), rounds=1, iterations=1
+    )
+    bench_header("Fig. 3a -- SYN callbacks and precedence relations")
+    print(f"vertices: {result.dag.num_vertices} (paper figure: 18 incl. "
+          f"duplicated SV3 and the '&' junction)")
+    print(f"edges:    {result.dag.num_edges}")
+    print()
+    print(format_edges(result.dag))
+    print()
+    for name, ok in result.checks:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    assert result.all_passed
+    assert result.dag.num_vertices == 18
+    assert result.dag.num_edges == 16

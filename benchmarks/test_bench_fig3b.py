@@ -1,0 +1,27 @@
+"""E-F3b: regenerate Fig. 3b -- the AVP localization timing model.
+
+Prints the synthesized DAG of the LIDAR-localization pipeline: 6
+subscriber callbacks in 5 nodes joined by one AND junction.
+"""
+
+from conftest import fig3_scale
+
+from repro.core import format_edges, format_exec_table
+from repro.experiments import run_fig3b
+
+
+def test_bench_fig3b(benchmark, bench_header):
+    _, avp_duration = fig3_scale()
+    result = benchmark.pedantic(
+        lambda: run_fig3b(duration_ns=avp_duration), rounds=1, iterations=1
+    )
+    bench_header("Fig. 3b -- AVP localization DAG")
+    print(format_edges(result.dag))
+    print()
+    print(format_exec_table(result.dag))
+    print()
+    for name, ok in result.checks:
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    assert result.all_passed
+    assert result.dag.num_vertices == 7
+    assert result.dag.num_edges == 6

@@ -1,0 +1,47 @@
+"""E-F4: regenerate Fig. 4 -- estimates vs number of runs.
+
+Prefix-merges the per-run DAGs of the Table II experiment and prints the
+mBCET / mACET / mWCET evolution for cb1, cb2, cb5 and cb6.  Asserts the
+paper's qualitative findings: prefix WCET estimates are non-decreasing
+and keep growing for many runs before plateauing, while the averages
+stabilise almost immediately.
+"""
+
+import pytest
+from conftest import table2_scale
+
+from repro.experiments import Table2Config, fig4_from_table2, run_table2
+
+
+def test_bench_fig4(benchmark, bench_header):
+    runs, duration = table2_scale()
+    table2 = run_table2(Table2Config(runs=runs, duration_ns=duration))
+    result = benchmark.pedantic(
+        lambda: fig4_from_table2(table2), rounds=1, iterations=1
+    )
+    bench_header(f"Fig. 4 -- estimation of timing attributes over {runs} runs")
+    print(result.table())
+    print()
+    for cb in sorted(result.series):
+        series = result.series[cb]
+        print(
+            f"{cb}: mWCET growth {100 * series.mwcet_growth():.1f}% "
+            f"(paper: ~10% for cb2), stable from run "
+            f"{series.runs_to_converge()} (paper: ~23 for cb2)"
+        )
+
+    for cb, series in result.series.items():
+        mwcets = [s.mwcet for s in series.stats]
+        assert all(b >= a for a, b in zip(mwcets, mwcets[1:])), cb
+        macets = [s.macet for s in series.stats]
+        # mACET changes negligibly over the 2nd half of the runs.
+        half = len(macets) // 2
+        assert max(macets[half:]) <= min(macets[half:]) * 1.08, cb
+
+    cb2 = result.series["cb2"]
+    assert cb2.mwcet_growth() > 0.01, "cb2 mWCET must grow with more runs"
+    # The estimates improve with more traces: at least one callback's
+    # WCET estimate keeps moving well past the first few runs (which
+    # callback converges last varies with scale and seed).
+    slowest = max(s.runs_to_converge() for s in result.series.values())
+    assert slowest > 5, "some mWCET estimate must converge late"

@@ -1,0 +1,31 @@
+"""E-OVH: regenerate the tracing-overhead numbers (Sec. VI).
+
+Paper, for 60 s of SYN + AVP: ~9 MB of trace data; probes use 0.008 CPU
+cores = ~0.3 % of the application load.  Also reproduces the kernel-
+trace footprint reduction of PID filtering (paper: 3x or more).
+"""
+
+from conftest import overhead_scale
+
+from repro.experiments import run_overhead
+
+
+def test_bench_overhead(benchmark, bench_header):
+    duration = overhead_scale()
+    result = benchmark.pedantic(
+        lambda: run_overhead(duration_ns=duration), rounds=1, iterations=1
+    )
+    bench_header(f"Tracing overheads over {duration/1e9:.0f} s of SYN + AVP")
+    print(result.summary())
+    print()
+    print(f"paper reference: 9 MB / 60 s, probes at 0.008 cores (~0.3% of app load)")
+
+    report = result.report
+    # Same order of magnitude as the paper's 9 MB / 60 s.
+    mb_per_minute = report.trace_mb * (60e9 / report.elapsed_ns)
+    assert 1.0 < mb_per_minute < 30.0
+    # Probe CPU usage is far below the application load.
+    assert report.probe_cores < 0.05
+    assert report.probe_share_of_app < 0.01
+    # PID filtering shrinks the kernel trace by "an order of three".
+    assert result.filter_reduction >= 3.0

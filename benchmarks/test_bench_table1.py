@@ -1,0 +1,17 @@
+"""E-T1: regenerate Table I -- the inserted probes.
+
+Rebuilds the probe inventory from the live tracing session and verifies
+all sixteen probe points attach to the expected middleware symbols.
+"""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, bench_header):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    bench_header("Table I -- inserted probes in ROS2 Foxy")
+    print(result.table())
+    if result.unexpected:
+        print(f"unexpected probe rows: {result.unexpected}")
+    assert result.complete, f"missing probes: {result.missing}"
+    assert len(result.rows) == 16

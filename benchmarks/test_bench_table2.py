@@ -1,0 +1,52 @@
+"""E-T2: regenerate Table II -- execution times of the AVP callbacks.
+
+Runs AVP + SYN concurrently (SYN load sweeping across runs), one DAG per
+run, merged; prints the measured mBCET / mACET / mWCET next to the
+paper's values and asserts the qualitative shape: cb2 > cb1 everywhere,
+cb6 has the widest spread, and the fusion pair splits into one loaded
+(cb3) and one mostly-idle (cb4) member.
+"""
+
+import pytest
+from conftest import table2_scale
+
+from repro.experiments import Table2Config, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    runs, duration = table2_scale()
+    return run_table2(Table2Config(runs=runs, duration_ns=duration))
+
+
+def test_bench_table2(benchmark, bench_header):
+    runs, duration = table2_scale()
+    result = benchmark.pedantic(
+        lambda: run_table2(Table2Config(runs=runs, duration_ns=duration)),
+        rounds=1,
+        iterations=1,
+    )
+    bench_header(
+        f"Table II -- execution times (ms) over {runs} runs x {duration/1e9:.0f} s"
+    )
+    print(result.table())
+    print()
+    print("paper-vs-measured:")
+    print(result.comparison())
+
+    # Shape assertions (who is bigger, by roughly what factor).
+    cb1 = result.measured_ms("cb1")
+    cb2 = result.measured_ms("cb2")
+    cb3 = result.measured_ms("cb3")
+    cb4 = result.measured_ms("cb4")
+    cb5 = result.measured_ms("cb5")
+    cb6 = result.measured_ms("cb6")
+    assert all(b > a for a, b in zip(cb1, cb2)), "front filter dominates rear"
+    assert cb6[2] / cb6[0] > 10, "NDT spread is an order of magnitude"
+    assert cb6[2] > cb2[2] > cb1[2] > cb5[2], "WCET ordering"
+    assert cb4[1] < cb3[1] / 2, "rear fusion member mostly idle"
+    # Absolute closeness for the well-conditioned callbacks.
+    for cb, ours in (("cb1", cb1), ("cb2", cb2), ("cb5", cb5)):
+        ref = result.reference_ms[cb]
+        for r, o in zip(ref, ours):
+            assert o == pytest.approx(r, rel=0.15), (cb, ref, ours)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Deployment tuning from a synthesized model (Sec. VI's motivation).
+
+The paper argues the measured models are useful "even for simple
+debugging and optimization, e.g., balancing load across processor cores
+or keeping the load below a certain threshold while determining core
+bindings of ROS2 nodes".  This example closes that loop:
+
+1. trace a randomly generated application on an unconstrained machine,
+2. synthesize the model and compute per-node loads,
+3. ask the analysis layer for a core binding under a 60 % per-CPU cap,
+4. re-deploy with that binding and verify the per-CPU load prediction
+   against the scheduler's actual utilization accounting.
+
+Run:  python examples/deployment_tuning.py
+"""
+
+from repro.analysis import check_binding, format_loads, node_loads, suggest_binding
+from repro.apps import GeneratorConfig, generate_app
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.sim import SEC
+
+GEN_CONFIG = GeneratorConfig(
+    num_nodes=5, num_chains=4, chain_length=3, service_probability=0.25
+)
+
+
+def main() -> None:
+    print("step 1: trace the application (8 s, unconstrained machine)...")
+    config = RunConfig(duration_ns=8 * SEC, base_seed=33, num_cpus=4)
+    result = run_once(lambda w, i: generate_app(w, GEN_CONFIG, seed=17), config)
+    dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+
+    print("\nstep 2: measured load profile")
+    print(format_loads(dag))
+    loads = node_loads(dag)
+    print(f"\ntotal demand: {sum(loads.values()):.2f} cores")
+
+    print("\nstep 3: derive a core binding (cap: 60% per CPU)")
+    binding = suggest_binding(dag, num_cpus=2, threshold=0.6)
+    predicted = check_binding(dag, binding, num_cpus=2, threshold=0.6)
+    for node, cpu in sorted(binding.items()):
+        print(f"  {node:<12} -> cpu {cpu}")
+    for cpu, load in sorted(predicted.items()):
+        print(f"  predicted cpu{cpu} load: {load:.1%}")
+
+    print("\nstep 4: re-deploy with the binding and verify")
+    config2 = RunConfig(duration_ns=8 * SEC, base_seed=34, num_cpus=2)
+
+    def rebound_builder(world, run_index):
+        app = generate_app(world, GEN_CONFIG, seed=17)
+        for node in app.nodes:
+            node.affinity = [binding[node.name]]
+        return app
+
+    result2 = run_once(rebound_builder, config2)
+    actual = result2.world.scheduler.utilization()
+    for cpu, load in enumerate(actual):
+        print(
+            f"  actual cpu{cpu} load: {load:.1%} "
+            f"(predicted {predicted.get(cpu, 0.0):.1%})"
+        )
+    worst = max(
+        abs(actual[cpu] - predicted.get(cpu, 0.0)) for cpu in range(len(actual))
+    )
+    print(f"\nworst prediction error: {worst:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Multi-mode timing models (Sec. V, processing possibility iv).
+
+The paper notes that traces can be merged *per operating mode* -- e.g.
+city vs highway driving -- yielding one timing DAG per mode.  This
+example runs the AVP pipeline in two modes with different NDT solver
+behaviour (parking-lot maneuvering converges slowly; steady cruising
+converges fast), builds a :class:`MultiModeDag`, and compares the
+per-mode cb6 statistics with the mode-agnostic union model.
+
+Run:  python examples/multi_mode_driving.py
+"""
+
+from repro.apps import build_avp, default_workloads
+from repro.core import MultiModeDag, dag_per_trace
+from repro.experiments import RunConfig, run_many
+from repro.sim import SEC, ShiftedLognormal, Uniform, Mixture, ms
+
+
+def mode_workloads(mode: str):
+    """AVP workloads with a mode-dependent NDT profile."""
+    w = default_workloads()
+    if mode == "maneuvering":
+        # Tight turns, poor initial guesses: slow convergence.
+        w["cb6"] = ShiftedLognormal(base=ms(8), scale=ms(24), sigma=0.5, high=ms(75))
+    else:  # cruising
+        w["cb6"] = Mixture(
+            [
+                (0.9, Uniform(ms(3), ms(12))),
+                (0.1, ShiftedLognormal(base=ms(5), scale=ms(8), sigma=0.4, high=ms(30))),
+            ]
+        )
+    return w
+
+
+def main() -> None:
+    runs_per_mode = 4
+    multi = MultiModeDag()
+    traces_by_mode = {}
+    pids = None
+    for mode in ("maneuvering", "cruising"):
+        print(f"tracing {runs_per_mode} runs in mode {mode!r}...")
+        config = RunConfig(
+            duration_ns=8 * SEC,
+            base_seed=500 if mode == "maneuvering" else 900,
+            num_cpus=4,
+        )
+        results = run_many(
+            lambda world, i: build_avp(world, workloads=mode_workloads(mode)),
+            runs=runs_per_mode,
+            config=config,
+        )
+        traces_by_mode[mode] = [r.trace for r in results]
+        pids = results[0].apps.pids
+        cb_keys = results[0].apps.cb_keys
+
+    multi = MultiModeDag.from_mode_traces(traces_by_mode, pids=pids)
+
+    print("\n== NDT localizer (cb6) per mode ==")
+    key = cb_keys["cb6"]
+    for mode in multi.modes():
+        stats = multi.dag(mode).vertex(key).exec_stats
+        print(f"  {mode:<12} {stats}")
+    union = multi.union()
+    print(f"  {'union':<12} {union.vertex(key).exec_stats}")
+
+    print("\nA mode-agnostic WCET over-constrains the cruising mode:")
+    cruising = multi.dag("cruising").vertex(key).exec_stats.mwcet
+    agnostic = union.vertex(key).exec_stats.mwcet
+    print(
+        f"  cruising-only mWCET {cruising / 1e6:.1f} ms vs "
+        f"mode-agnostic {agnostic / 1e6:.1f} ms "
+        f"({agnostic / cruising:.1f}x pessimism)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro: trace-enabled timing model synthesis for ROS2-based autonomous
+applications.
+
+A full-stack reproduction of the DATE 2024 paper by Abaza et al.
+(arXiv:2311.13333): a simulated Linux + ROS2 Foxy + CycloneDDS machine,
+an eBPF-style tracing substrate implementing the paper's P1..P16 probes
+and three tracers, and the timing-model synthesis pipeline (Alg. 1,
+Alg. 2, DAG synthesis with service replication and AND/OR junctions).
+
+Quickstart::
+
+    from repro import World, Node, TracingSession, synthesize_from_trace
+
+    world = World(num_cpus=2, seed=1)
+    node = Node(world, "ticker")
+    node.create_timer(100_000_000, lambda api, msg: (yield api.compute(2_000_000)))
+
+    session = TracingSession(world)
+    session.start_init()
+    world.launch()
+    world.run(for_ns=1_000_000)
+    session.stop_init()
+    session.start_runtime()
+    world.run(for_ns=10_000_000_000)
+    session.stop_runtime()
+
+    dag = synthesize_from_trace(session.trace())
+"""
+
+from .core import (
+    ExecStats,
+    TimingDag,
+    dag_from_runs,
+    format_exec_table,
+    merge_dags,
+    synthesize_from_database,
+    synthesize_from_trace,
+    to_dot,
+)
+from .ros2 import ExternalPublisher, Msg, Node
+from .sim import SchedPolicy, ms, us
+from .tracing import Trace, TraceDatabase, TracingSession, measure_overhead
+from .world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecStats",
+    "TimingDag",
+    "dag_from_runs",
+    "format_exec_table",
+    "merge_dags",
+    "synthesize_from_database",
+    "synthesize_from_trace",
+    "to_dot",
+    "ExternalPublisher",
+    "Msg",
+    "Node",
+    "SchedPolicy",
+    "ms",
+    "us",
+    "Trace",
+    "TraceDatabase",
+    "TracingSession",
+    "measure_overhead",
+    "World",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Downstream consumers of the synthesized timing model: chain
+enumeration, end-to-end latency / waiting-time measurement, processor
+load + core-binding exploration, and response-time bounds."""
+
+from .chains import (
+    Chain,
+    chain_acet,
+    chain_wcet,
+    chains_through,
+    enumerate_chains,
+    format_chains,
+)
+from .jitter import (
+    ActivationModel,
+    ResponseJitter,
+    activation_model,
+    activation_models,
+    format_activations,
+    response_jitter,
+)
+from .latency import (
+    ChainLatency,
+    WaitingTime,
+    communication_latencies,
+    measure_chain_latencies,
+    measure_waiting_times,
+)
+from .load import (
+    CallbackLoad,
+    callback_loads,
+    check_binding,
+    format_loads,
+    node_loads,
+    suggest_binding,
+)
+from .response_time import (
+    AnalysisError,
+    CallbackBound,
+    assert_feasible,
+    callback_response_bound,
+    chain_response_bound,
+    format_bounds,
+)
+
+__all__ = [
+    "Chain",
+    "chain_acet",
+    "chain_wcet",
+    "chains_through",
+    "enumerate_chains",
+    "format_chains",
+    "ActivationModel",
+    "ResponseJitter",
+    "activation_model",
+    "activation_models",
+    "format_activations",
+    "response_jitter",
+    "ChainLatency",
+    "WaitingTime",
+    "communication_latencies",
+    "measure_chain_latencies",
+    "measure_waiting_times",
+    "CallbackLoad",
+    "callback_loads",
+    "check_binding",
+    "format_loads",
+    "node_loads",
+    "suggest_binding",
+    "AnalysisError",
+    "CallbackBound",
+    "assert_feasible",
+    "callback_response_bound",
+    "chain_response_bound",
+    "format_bounds",
+]

@@ -1,0 +1,94 @@
+"""Chain enumeration over the synthesized timing model.
+
+A *computation chain* is a source-to-sink path in the DAG (e.g. LIDAR
+driver to pose output).  Chains are the unit of analysis for the
+response-time and latency techniques the paper's models feed ([1]-[5]);
+the per-caller service replication of Sec. IV exists precisely so that
+chain enumeration does not produce spurious caller-crossing paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.dag import TimingDag
+
+
+@dataclass(frozen=True)
+class Chain:
+    """One source-to-sink path."""
+
+    keys: tuple
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def source(self) -> str:
+        return self.keys[0]
+
+    @property
+    def sink(self) -> str:
+        return self.keys[-1]
+
+    def contains(self, key: str) -> bool:
+        return key in self.keys
+
+    def describe(self, dag: TimingDag) -> str:
+        return " -> ".join(dag.vertex(k).label() for k in self.keys)
+
+
+def enumerate_chains(
+    dag: TimingDag,
+    sources: Optional[Sequence[str]] = None,
+    sinks: Optional[Sequence[str]] = None,
+    max_chains: int = 10_000,
+) -> List[Chain]:
+    """All simple source->sink paths (DFS over the validated DAG)."""
+    dag.validate()
+    source_keys = list(sources) if sources else [v.key for v in dag.sources()]
+    sink_keys = set(sinks) if sinks else {v.key for v in dag.sinks()}
+    chains: List[Chain] = []
+
+    def walk(path: List[str]) -> None:
+        if len(chains) >= max_chains:
+            raise ValueError(f"more than {max_chains} chains; raise max_chains")
+        key = path[-1]
+        succs = dag.successors(key)
+        if key in sink_keys and not succs:
+            chains.append(Chain(keys=tuple(path)))
+            return
+        if not succs:
+            if key in sink_keys:
+                chains.append(Chain(keys=tuple(path)))
+            return
+        for nxt in sorted(succs, key=lambda v: v.key):
+            walk(path + [nxt.key])
+
+    for source in sorted(source_keys):
+        walk([source])
+    return chains
+
+
+def chain_wcet(dag: TimingDag, chain: Chain) -> int:
+    """Sum of measured WCETs along the chain (AND junctions are free)."""
+    return sum(dag.vertex(k).exec_stats.mwcet for k in chain.keys)
+
+
+def chain_acet(dag: TimingDag, chain: Chain) -> float:
+    return sum(dag.vertex(k).exec_stats.macet for k in chain.keys)
+
+
+def chains_through(dag: TimingDag, key: str) -> List[Chain]:
+    """Chains passing through a given vertex -- the count the paper uses
+    to show why a shared-service vertex is wrong (n x n chains)."""
+    return [c for c in enumerate_chains(dag) if c.contains(key)]
+
+
+def format_chains(dag: TimingDag, chains: Sequence[Chain]) -> str:
+    lines = []
+    for chain in chains:
+        wcet_ms = chain_wcet(dag, chain) / 1e6
+        lines.append(f"{chain.describe(dag)}   (sum WCET {wcet_ms:.2f} ms)")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Activation and response-time jitter analysis.
+
+Beyond the mBCET/mACET/mWCET triple, timing analyses ([2], [4]) need
+activation models: how periodic is a timer really, how bursty is a
+subscriber's activation.  This module derives those from the start
+times the synthesized model already carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.dag import DagVertex, TimingDag
+from ..core.stats import estimate_period
+
+
+@dataclass(frozen=True)
+class ActivationModel:
+    """Periodic-with-jitter activation description of one callback."""
+
+    key: str
+    count: int
+    period_ns: Optional[int]
+    #: max |actual gap - period| over consecutive activations
+    jitter_ns: Optional[int]
+    #: min observed inter-arrival gap (sporadic minimum distance)
+    min_gap_ns: Optional[int]
+    max_gap_ns: Optional[int]
+
+    @property
+    def relative_jitter(self) -> Optional[float]:
+        if self.period_ns in (None, 0) or self.jitter_ns is None:
+            return None
+        return self.jitter_ns / self.period_ns
+
+
+def activation_model(vertex: DagVertex) -> ActivationModel:
+    """Derive the activation model of one callback from its start times."""
+    starts = np.sort(np.asarray(vertex.start_times, dtype=np.int64))
+    if starts.size < 2:
+        return ActivationModel(
+            key=vertex.key,
+            count=int(starts.size),
+            period_ns=None,
+            jitter_ns=None,
+            min_gap_ns=None,
+            max_gap_ns=None,
+        )
+    gaps = np.diff(starts)
+    period = estimate_period(vertex.start_times)
+    jitter = int(np.max(np.abs(gaps - period))) if period else None
+    return ActivationModel(
+        key=vertex.key,
+        count=int(starts.size),
+        period_ns=period,
+        jitter_ns=jitter,
+        min_gap_ns=int(gaps.min()),
+        max_gap_ns=int(gaps.max()),
+    )
+
+
+def activation_models(dag: TimingDag) -> List[ActivationModel]:
+    """Activation models for every measured callback in the DAG."""
+    return [
+        activation_model(vertex)
+        for vertex in sorted(dag.vertices(), key=lambda v: v.key)
+        if not vertex.is_and_junction and vertex.start_times
+    ]
+
+
+@dataclass(frozen=True)
+class ResponseJitter:
+    """Response-time spread of one callback (start-to-end wall clock)."""
+
+    key: str
+    count: int
+    best_ns: int
+    mean_ns: float
+    worst_ns: int
+
+    @property
+    def spread_ns(self) -> int:
+        return self.worst_ns - self.best_ns
+
+
+def response_jitter(vertex: DagVertex) -> Optional[ResponseJitter]:
+    if not vertex.response_times:
+        return None
+    arr = np.asarray(vertex.response_times, dtype=np.int64)
+    return ResponseJitter(
+        key=vertex.key,
+        count=int(arr.size),
+        best_ns=int(arr.min()),
+        mean_ns=float(arr.mean()),
+        worst_ns=int(arr.max()),
+    )
+
+
+def format_activations(dag: TimingDag) -> str:
+    """Report: period / jitter / gap range per callback."""
+    header = (
+        f"{'callback':<42} {'n':>5} {'period':>9} {'jitter':>9} "
+        f"{'min gap':>9} {'max gap':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for model in activation_models(dag):
+        def fmt(value):
+            return "-" if value is None else f"{value / 1e6:.2f}ms"
+
+        lines.append(
+            f"{model.key:<42} {model.count:>5} {fmt(model.period_ns):>9} "
+            f"{fmt(model.jitter_ns):>9} {fmt(model.min_gap_ns):>9} "
+            f"{fmt(model.max_gap_ns):>9}"
+        )
+    return "\n".join(lines)

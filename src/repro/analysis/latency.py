@@ -1,0 +1,181 @@
+"""End-to-end latency and waiting-time measurement from traces.
+
+Implements the extensions sketched in the paper's Sec. VII:
+
+* **Data-flow latency** -- the framework logs source timestamps on both
+  the publisher (P16) and subscriber (P6) side, so a datum can be
+  followed through a computation chain: each hop matches a ``dds_write``
+  to the ``take`` with the same (topic, srcTS), then follows the
+  consuming callback instance to its next write.  The end-to-end latency
+  of a chain instance is the time from the initial write to the end of
+  the final callback.
+* **Waiting time** -- with ``sched_wakeup`` recording enabled
+  (``TracingSession(record_wakeups=True)``), the time between a node
+  thread's wakeup and the start of the dispatched callback.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tracing.events import (
+    P6_TAKE,
+    P16_DDS_WRITE,
+    TraceEvent,
+)
+from ..tracing.session import Trace
+
+
+@dataclass(frozen=True)
+class ChainLatency:
+    """One traced journey of a datum through a topic chain."""
+
+    start_ts: int  # initial dds_write
+    end_ts: int  # end of the final consuming callback
+    hops: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.end_ts - self.start_ts
+
+
+class _InstanceIndex:
+    """Per-PID callback-instance windows, for locating the instance that
+    contains a given event and the writes it performed."""
+
+    def __init__(self, trace: Trace):
+        self._windows: Dict[int, List[Tuple[int, int]]] = {}
+        self._writes: Dict[int, List[TraceEvent]] = {}
+        open_start: Dict[int, int] = {}
+        for event in trace.ros_events:
+            pid = event.pid
+            if event.is_cb_start():
+                open_start[pid] = event.ts
+            elif event.is_cb_end() and pid in open_start:
+                self._windows.setdefault(pid, []).append((open_start.pop(pid), event.ts))
+            elif event.probe == P16_DDS_WRITE:
+                self._writes.setdefault(pid, []).append(event)
+
+    def window_containing(self, pid: int, ts: int) -> Optional[Tuple[int, int]]:
+        windows = self._windows.get(pid, [])
+        starts = [w[0] for w in windows]
+        i = bisect.bisect_right(starts, ts) - 1
+        if i >= 0 and windows[i][0] <= ts <= windows[i][1]:
+            return windows[i]
+        return None
+
+    def writes_in(self, pid: int, window: Tuple[int, int], topic: str) -> List[TraceEvent]:
+        return [
+            w
+            for w in self._writes.get(pid, [])
+            if window[0] <= w.ts <= window[1] and w.get("topic") == topic
+        ]
+
+
+def measure_chain_latencies(
+    trace: Trace, topics: Sequence[str], max_instances: Optional[int] = None
+) -> List[ChainLatency]:
+    """Follow data through ``topics`` (in order) and measure latencies.
+
+    ``topics[0]`` is the chain's entry topic; each subsequent topic must
+    be published from within the callback consuming the previous one.
+    Incomplete journeys (data dropped by QoS, run boundary) are skipped.
+    """
+    if not topics:
+        raise ValueError("need at least one topic")
+    takes_by_key: Dict[Tuple[str, int], List[TraceEvent]] = {}
+    for event in trace.ros_events:
+        if event.probe == P6_TAKE:
+            key = (event.get("topic"), event.get("src_ts"))
+            takes_by_key.setdefault(key, []).append(event)
+    index = _InstanceIndex(trace)
+    latencies: List[ChainLatency] = []
+    first_writes = [
+        e
+        for e in trace.ros_events
+        if e.probe == P16_DDS_WRITE and e.get("topic") == topics[0]
+    ]
+    for write in first_writes:
+        if max_instances is not None and len(latencies) >= max_instances:
+            break
+        journey_end = _follow(write, topics, 0, takes_by_key, index)
+        if journey_end is not None:
+            latencies.append(
+                ChainLatency(start_ts=write.ts, end_ts=journey_end, hops=len(topics))
+            )
+    return latencies
+
+
+def _follow(
+    write: TraceEvent,
+    topics: Sequence[str],
+    hop: int,
+    takes_by_key: Dict[Tuple[str, int], List[TraceEvent]],
+    index: _InstanceIndex,
+) -> Optional[int]:
+    """Recursive hop: find the take for this write, then the next write
+    inside the consuming instance.  Returns the final instance end ts."""
+    takes = takes_by_key.get((topics[hop], write.get("src_ts")), [])
+    for take in takes:
+        window = index.window_containing(take.pid, take.ts)
+        if window is None:
+            continue
+        if hop == len(topics) - 1:
+            return window[1]
+        next_writes = index.writes_in(take.pid, window, topics[hop + 1])
+        for next_write in next_writes:
+            result = _follow(next_write, topics, hop + 1, takes_by_key, index)
+            if result is not None:
+                return result
+    return None
+
+
+@dataclass(frozen=True)
+class WaitingTime:
+    """Wakeup-to-dispatch interval for one callback instance."""
+
+    pid: int
+    wakeup_ts: int
+    start_ts: int
+
+    @property
+    def waiting_ns(self) -> int:
+        return self.start_ts - self.wakeup_ts
+
+
+def measure_waiting_times(trace: Trace, pid: int) -> List[WaitingTime]:
+    """Waiting time of each callback instance of a node (Sec. VII).
+
+    Pairs each CB-start event with the most recent preceding
+    ``sched_wakeup`` of the node's thread.  Requires the trace to have
+    been collected with ``record_wakeups=True``.
+    """
+    wakeups = [w.ts for w in trace.wakeup_events if w.pid == pid]
+    if not wakeups:
+        return []
+    result: List[WaitingTime] = []
+    for event in trace.ros_events:
+        if event.pid != pid or not event.is_cb_start():
+            continue
+        i = bisect.bisect_right(wakeups, event.ts) - 1
+        if i >= 0:
+            result.append(
+                WaitingTime(pid=pid, wakeup_ts=wakeups[i], start_ts=event.ts)
+            )
+    return result
+
+
+def communication_latencies(trace: Trace, topic: str) -> List[int]:
+    """Per-sample DDS latency on one topic: take.ts - write src_ts."""
+    writes = {
+        e.get("src_ts")
+        for e in trace.ros_events
+        if e.probe == P16_DDS_WRITE and e.get("topic") == topic
+    }
+    return [
+        e.ts - e.get("src_ts")
+        for e in trace.ros_events
+        if e.probe == P6_TAKE and e.get("topic") == topic and e.get("src_ts") in writes
+    ]

@@ -1,0 +1,115 @@
+"""Processor-load analysis and core-binding exploration.
+
+Sec. VI motivates the measurements with deployment questions: the most
+expensive AVP callback (cb2) averages 27 % of a core at 10 Hz, and such
+numbers drive "balancing load across processor cores or keeping the
+load below a certain threshold while determining core bindings of ROS2
+nodes".  This module computes per-callback and per-node loads from the
+synthesized model and provides a first-fit-decreasing binding heuristic
+plus a feasibility check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..core.dag import TimingDag
+from ..core.stats import utilization
+
+
+@dataclass(frozen=True)
+class CallbackLoad:
+    """Average processor share of one callback."""
+
+    key: str
+    node: str
+    load: float  # mACET / period
+
+    def percent(self) -> float:
+        return 100.0 * self.load
+
+
+def callback_loads(dag: TimingDag) -> List[CallbackLoad]:
+    """Per-callback average load, for callbacks with an estimable rate.
+
+    The invocation rate of any callback -- not only timers -- is
+    estimated from its observed start times.
+    """
+    loads: List[CallbackLoad] = []
+    for vertex in dag.vertices():
+        if vertex.is_and_junction:
+            continue
+        period = vertex.period_ns
+        share = utilization(vertex.exec_stats, period)
+        if share is not None:
+            loads.append(CallbackLoad(key=vertex.key, node=vertex.node, load=share))
+    return sorted(loads, key=lambda c: c.load, reverse=True)
+
+
+def node_loads(dag: TimingDag) -> Dict[str, float]:
+    """Total average load per ROS2 node (its executor thread's demand)."""
+    totals: Dict[str, float] = {}
+    for load in callback_loads(dag):
+        totals[load.node] = totals.get(load.node, 0.0) + load.load
+    return totals
+
+
+def check_binding(
+    dag: TimingDag,
+    binding: Mapping[str, int],
+    num_cpus: int,
+    threshold: float = 1.0,
+) -> Dict[int, float]:
+    """Per-CPU load for a node->CPU binding; raises if any CPU exceeds
+    ``threshold`` or a node is unbound."""
+    loads = node_loads(dag)
+    per_cpu: Dict[int, float] = {cpu: 0.0 for cpu in range(num_cpus)}
+    for node, load in loads.items():
+        if node not in binding:
+            raise ValueError(f"node {node!r} has no CPU binding")
+        cpu = binding[node]
+        if not 0 <= cpu < num_cpus:
+            raise ValueError(f"binding of {node!r} to CPU {cpu} out of range")
+        per_cpu[cpu] += load
+    overloaded = {cpu: l for cpu, l in per_cpu.items() if l > threshold}
+    if overloaded:
+        raise ValueError(f"CPUs over {threshold:.0%} load: {overloaded}")
+    return per_cpu
+
+
+def suggest_binding(
+    dag: TimingDag, num_cpus: int, threshold: float = 0.8
+) -> Dict[str, int]:
+    """First-fit-decreasing node-to-core assignment under a load cap.
+
+    A simple version of the deployment optimization the paper motivates;
+    raises when no assignment keeps every CPU below ``threshold``.
+    """
+    if num_cpus < 1:
+        raise ValueError("need at least one CPU")
+    loads = sorted(node_loads(dag).items(), key=lambda kv: kv[1], reverse=True)
+    per_cpu = [0.0] * num_cpus
+    binding: Dict[str, int] = {}
+    for node, load in loads:
+        best: Optional[int] = None
+        for cpu in range(num_cpus):
+            if per_cpu[cpu] + load <= threshold:
+                best = cpu
+                break
+        if best is None:
+            raise ValueError(
+                f"cannot place {node!r} ({load:.0%}) under a "
+                f"{threshold:.0%} per-CPU cap with {num_cpus} CPUs"
+            )
+        binding[node] = best
+        per_cpu[best] += load
+    return binding
+
+
+def format_loads(dag: TimingDag) -> str:
+    """Report text: callback loads (the paper's '27 % for cb2' figure)."""
+    lines = [f"{'callback':<42} {'node':<30} {'load':>7}"]
+    for load in callback_loads(dag):
+        lines.append(f"{load.key:<42} {load.node:<30} {load.percent():>6.1f}%")
+    return "\n".join(lines)

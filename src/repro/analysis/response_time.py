@@ -1,0 +1,108 @@
+"""Chain response-time bounds on the synthesized model.
+
+The synthesized DAG is designed to "serve as an input for analysis and
+optimization by, e.g., [1]-[5]" (Sec. I).  This module implements a
+compositional bound in the style of Casini et al. [1], adapted to the
+model this library produces and documented accordingly:
+
+* each node runs a single-threaded, non-preemptive-between-callbacks
+  executor, so a callback instance can be delayed by (a) one
+  in-flight callback of the same node (blocking) and (b) one pending
+  instance of every other callback of its node (a polling-point round);
+* per-callback response bound: ``R = C + max_other + sum_others`` using
+  measured WCETs;
+* chain bound: sum of per-callback bounds plus per-hop communication
+  latency.
+
+This is intentionally the *simple* member of the analysis family: it is
+safe for the executor model above when every interfering callback has
+at most one pending instance per round (utilization below 1 per node),
+which the feasibility check enforces.  It demonstrates that the
+synthesized models are directly consumable by model-based analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..core.dag import TimingDag
+from .chains import Chain
+from .load import node_loads
+
+
+class AnalysisError(ValueError):
+    """The model violates an assumption of the bound."""
+
+
+@dataclass(frozen=True)
+class CallbackBound:
+    key: str
+    wcet: int
+    blocking: int
+    interference: int
+
+    @property
+    def response_bound(self) -> int:
+        return self.wcet + self.blocking + self.interference
+
+
+def callback_response_bound(dag: TimingDag, key: str) -> CallbackBound:
+    """Bound one callback's response time inside its node's executor."""
+    vertex = dag.vertex(key)
+    if vertex.is_and_junction:
+        return CallbackBound(key=key, wcet=0, blocking=0, interference=0)
+    siblings = [
+        v
+        for v in dag.find_vertices(node=vertex.node)
+        if v.key != key and not v.is_and_junction
+    ]
+    wcets = [s.exec_stats.mwcet for s in siblings]
+    blocking = max(wcets, default=0)  # one in-flight callback
+    interference = sum(wcets)  # one pending instance each per round
+    return CallbackBound(
+        key=key,
+        wcet=vertex.exec_stats.mwcet,
+        blocking=blocking,
+        interference=interference,
+    )
+
+
+def chain_response_bound(
+    dag: TimingDag,
+    chain: Chain,
+    comm_latency_ns: int = 0,
+    check_feasibility: bool = True,
+) -> int:
+    """End-to-end response-time bound for one chain.
+
+    ``comm_latency_ns`` is the per-hop DDS latency bound (measured, e.g.
+    with :func:`repro.analysis.latency.communication_latencies`).
+    """
+    if check_feasibility:
+        assert_feasible(dag)
+    total = 0
+    for key in chain.keys:
+        total += callback_response_bound(dag, key).response_bound
+    total += comm_latency_ns * max(0, len(chain.keys) - 1)
+    return total
+
+
+def assert_feasible(dag: TimingDag) -> Dict[str, float]:
+    """Check each node's executor demand stays below one core."""
+    loads = node_loads(dag)
+    overloaded = {node: load for node, load in loads.items() if load >= 1.0}
+    if overloaded:
+        raise AnalysisError(
+            f"executor demand >= 100% for nodes: "
+            f"{ {k: round(v, 2) for k, v in overloaded.items()} }"
+        )
+    return loads
+
+
+def format_bounds(dag: TimingDag, chains: Sequence[Chain], comm_latency_ns: int = 0) -> str:
+    lines = [f"{'chain':<72} {'bound (ms)':>10}"]
+    for chain in chains:
+        bound = chain_response_bound(dag, chain, comm_latency_ns)
+        lines.append(f"{chain.describe(dag):<72} {bound / 1e6:>10.2f}")
+    return "\n".join(lines)

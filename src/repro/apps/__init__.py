@@ -1,0 +1,28 @@
+"""Evaluation workloads: SYN, AVP localization, and a random generator."""
+
+from .avp import (
+    AvpApp,
+    LIDAR_PERIOD,
+    NODE_NAMES,
+    TABLE2_REFERENCE_MS,
+    build_avp,
+    default_workloads,
+)
+from .generator import GeneratedApp, GeneratorConfig, generate_app
+from .syn import ALL_CALLBACKS, BASE_LOADS_MS, SynApp, build_syn
+
+__all__ = [
+    "AvpApp",
+    "LIDAR_PERIOD",
+    "NODE_NAMES",
+    "TABLE2_REFERENCE_MS",
+    "build_avp",
+    "default_workloads",
+    "GeneratedApp",
+    "GeneratorConfig",
+    "generate_app",
+    "ALL_CALLBACKS",
+    "BASE_LOADS_MS",
+    "SynApp",
+    "build_syn",
+]

@@ -1,0 +1,267 @@
+"""AVP localization: Autoware's Autonomous Valet Parking pipeline
+(Sec. VI, Fig. 3b, Table II).
+
+The traced part of the demo is the LIDAR-based localization chain::
+
+    lidar_rear/points_raw  -> cb1 (filter_transform_vlp16_rear)  \\
+                                                                   fusion
+    lidar_front/points_raw -> cb2 (filter_transform_vlp16_front) /
+    cb3+cb4 (point_cloud_fusion, synchronized) -> & -> cb5 (voxel_grid)
+    -> cb6 (p2d_ndt_localizer) -> localization/ndt_pose
+
+The two raw LIDAR topics are fed by *external* publishers (the demo's
+replay machinery, not traced), both at 10 Hz.
+
+Workload calibration (see DESIGN.md): per-callback execution-time models
+are fitted to Table II.  cb3 subscribes the *front* filtered cloud --
+the input that normally arrives last (front filtering is ~10 ms slower)
+-- so cb3 usually carries the fusion work, while cb4 (rear) picks it up
+only when scheduler interference delays the rear chain past the front
+one.  cb6 (NDT matching) has a heavy-tailed iterative solver profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ros2 import ExternalPublisher, Msg, Node
+from ..sim.threads import SchedPolicy
+from ..sim.workload import (
+    Mixture,
+    ShiftedLognormal,
+    TruncatedNormal,
+    Uniform,
+    WorkloadModel,
+    ms,
+)
+
+#: Sensor rate of both VLP-16 LIDARs in the demo (10 Hz).
+LIDAR_PERIOD = ms(100)
+
+#: Table II reference values in milliseconds: (mBCET, mACET, mWCET).
+TABLE2_REFERENCE_MS: Dict[str, tuple] = {
+    "cb1": (13.82, 17.10, 19.82),
+    "cb2": (23.31, 27.07, 30.50),
+    "cb3": (0.41, 3.10, 3.97),
+    "cb4": (0.38, 0.62, 3.36),
+    "cb5": (6.58, 8.47, 13.36),
+    "cb6": (2.78, 25.64, 60.93),
+}
+
+#: Node names as reported in Table II.
+NODE_NAMES: Dict[str, str] = {
+    "cb1": "filter_transform_vlp16_rear",
+    "cb2": "filter_transform_vlp16_front",
+    "cb3": "point_cloud_fusion",
+    "cb4": "point_cloud_fusion",
+    "cb5": "voxel_grid_cloud_node",
+    "cb6": "p2d_ndt_localizer_node",
+}
+
+
+def default_workloads(samples_per_run: int = 100) -> Dict[str, WorkloadModel]:
+    """Execution-time models calibrated against Table II.
+
+    The filter/voxel callbacks are truncated normals with a rare
+    near-bound component, so the empirical maximum keeps growing over
+    the first ~20 runs before plateauing at the truncation bound -- the
+    Fig. 4 mWCET behaviour.  cb6 is a shifted lognormal (iterative NDT
+    solver) capped at its worst observed case.
+
+    ``samples_per_run`` scales the rare-component probabilities so the
+    expected number of near-worst-case events stays *per run*, not per
+    sample: the Fig. 4 growth shape then holds at any run length (10 s
+    smoke runs and the paper's 80 s runs alike).
+    """
+    if samples_per_run < 1:
+        raise ValueError("samples_per_run must be >= 1")
+    # ~0.3 near-bound filter events and ~1 voxel / ~2 localizer events
+    # expected per run.
+    p_filter = min(0.01, 0.3 / samples_per_run)
+    p_voxel = min(0.03, 1.0 / samples_per_run)
+    p_ndt_burst = min(0.02, 2.0 / samples_per_run)
+    return {
+        "cb1": Mixture(
+            [
+                (1 - p_filter, TruncatedNormal(ms(17.1), ms(1.1), ms(13.82), ms(18.6))),
+                (p_filter, Uniform(ms(18.6), ms(19.82))),
+            ]
+        ),
+        "cb2": Mixture(
+            [
+                (1 - p_filter, TruncatedNormal(ms(27.07), ms(1.2), ms(23.31), ms(28.2))),
+                (p_filter, Uniform(ms(28.2), ms(30.50))),
+            ]
+        ),
+        # cb3/cb4 base cost (deserialize + filter bookkeeping).
+        "fusion_input_front": TruncatedNormal(ms(0.45), ms(0.03), ms(0.41), ms(0.57)),
+        "fusion_input_rear": TruncatedNormal(ms(0.42), ms(0.03), ms(0.38), ms(0.55)),
+        # Fusion work, carried by whichever member completes the set.
+        "fusion": TruncatedNormal(ms(2.80), ms(0.30), ms(1.90), ms(3.40)),
+        "cb5": Mixture(
+            [
+                (1 - p_voxel, TruncatedNormal(ms(8.4), ms(0.9), ms(6.58), ms(11.5))),
+                (p_voxel, Uniform(ms(11.5), ms(13.36))),
+            ]
+        ),
+        # NDT matching: a small already-converged fast path, the common
+        # iterative-solver body, and rare hard-relocalization bursts.
+        "cb6": Mixture(
+            [
+                (0.03, Uniform(ms(2.78), ms(6.0))),
+                (0.97 - p_ndt_burst, ShiftedLognormal(base=ms(2.78), scale=ms(19.0), sigma=0.55, high=ms(50.0))),
+                (p_ndt_burst, Uniform(ms(48.0), ms(60.93))),
+            ]
+        ),
+    }
+
+
+@dataclass
+class AvpApp:
+    """Handles to the built AVP localization application."""
+
+    nodes: List[Node]
+    sensors: List[ExternalPublisher]
+    workloads: Dict[str, WorkloadModel]
+    #: vertex keys of cb1..cb6 in the synthesized DAG.
+    cb_keys: Dict[str, str]
+
+    @property
+    def pids(self) -> List[int]:
+        return [node.pid for node in self.nodes]
+
+    def node_names(self) -> List[str]:
+        return [node.name for node in self.nodes]
+
+
+def build_avp(
+    world,
+    workloads: Optional[Dict[str, WorkloadModel]] = None,
+    affinity: Optional[Dict[str, Sequence[int]]] = None,
+    priority: int = 0,
+    policy: SchedPolicy = SchedPolicy.OTHER,
+    front_phase_ns: int = ms(2),
+    rear_phase_ns: int = 0,
+    sensor_jitter_ns: int = int(ms(0.5)),
+) -> AvpApp:
+    """Instantiate the AVP localization pipeline on ``world``.
+
+    Parameters
+    ----------
+    workloads:
+        Execution-time models; default: :func:`default_workloads`.
+    affinity:
+        Optional per-node CPU sets, keyed by Table II node name.
+    front_phase_ns / rear_phase_ns:
+        Phase offsets of the two LIDARs.
+    sensor_jitter_ns:
+        Uniform jitter on the sensor periods.
+    """
+    w = workloads if workloads is not None else default_workloads()
+
+    def aff(name):
+        return None if affinity is None else affinity.get(name)
+
+    rear_filter = Node(
+        world, "filter_transform_vlp16_rear",
+        priority=priority, policy=policy, affinity=aff("filter_transform_vlp16_rear"),
+    )
+    front_filter = Node(
+        world, "filter_transform_vlp16_front",
+        priority=priority, policy=policy, affinity=aff("filter_transform_vlp16_front"),
+    )
+    fusion = Node(
+        world, "point_cloud_fusion",
+        priority=priority, policy=policy, affinity=aff("point_cloud_fusion"),
+    )
+    voxel = Node(
+        world, "voxel_grid_cloud_node",
+        priority=priority, policy=policy, affinity=aff("voxel_grid_cloud_node"),
+    )
+    localizer = Node(
+        world, "p2d_ndt_localizer_node",
+        priority=priority, policy=policy, affinity=aff("p2d_ndt_localizer_node"),
+    )
+
+    # -- filter/transform nodes (cb1: rear, cb2: front) --------------------
+    rear_out = rear_filter.create_publisher("lidar_rear/points_filtered")
+
+    def cb1(api, msg):
+        yield api.work(w["cb1"])
+        api.publish(rear_out, Msg(stamp=msg.stamp))  # keep the sensor stamp
+
+    rear_filter.create_subscription("lidar_rear/points_raw", cb1, label="cb1")
+
+    front_out = front_filter.create_publisher("lidar_front/points_filtered")
+
+    def cb2(api, msg):
+        yield api.work(w["cb2"])
+        api.publish(front_out, Msg(stamp=msg.stamp))
+
+    front_filter.create_subscription("lidar_front/points_raw", cb2, label="cb2")
+
+    # -- fusion node: cb3 (front) + cb4 (rear), synchronized ---------------
+    fused_pub = fusion.create_publisher("lidars/points_fused")
+    sub_front = fusion.create_subscription("lidar_front/points_filtered", label="cb3")
+    sub_rear = fusion.create_subscription("lidar_rear/points_filtered", label="cb4")
+
+    def fuse_cb(api, msgs):
+        yield api.work(w["fusion"])
+        api.publish(fused_pub, Msg(stamp=min(m.stamp for m in msgs)))
+
+    fusion.create_synchronizer(
+        [sub_front, sub_rear],
+        fuse_cb,
+        slop_ns=ms(50),
+        queue_size=5,
+        per_input_work={
+            "cb3": w["fusion_input_front"],
+            "cb4": w["fusion_input_rear"],
+        },
+    )
+
+    # -- voxel grid downsampling (cb5) --------------------------------------
+    downsampled_pub = voxel.create_publisher("lidars/points_fused_downsampled")
+
+    def cb5(api, msg):
+        yield api.work(w["cb5"])
+        api.publish(downsampled_pub, Msg(stamp=msg.stamp))
+
+    voxel.create_subscription("lidars/points_fused", cb5, label="cb5")
+
+    # -- NDT localization (cb6) ---------------------------------------------
+    pose_pub = localizer.create_publisher("localization/ndt_pose")
+
+    def cb6(api, msg):
+        yield api.work(w["cb6"])
+        api.publish(pose_pub, Msg(stamp=msg.stamp))
+
+    localizer.create_subscription("lidars/points_fused_downsampled", cb6, label="cb6")
+
+    # -- the (untraced) LIDAR feed -------------------------------------------
+    rear_sensor = ExternalPublisher(
+        world, "lidar_rear/points_raw", LIDAR_PERIOD,
+        phase_ns=rear_phase_ns, jitter_ns=sensor_jitter_ns,
+    )
+    front_sensor = ExternalPublisher(
+        world, "lidar_front/points_raw", LIDAR_PERIOD,
+        phase_ns=front_phase_ns, jitter_ns=sensor_jitter_ns,
+    )
+    rear_sensor.start()
+    front_sensor.start()
+
+    cb_keys = {
+        "cb1": "filter_transform_vlp16_rear/cb1",
+        "cb2": "filter_transform_vlp16_front/cb2",
+        "cb3": "point_cloud_fusion/cb3",
+        "cb4": "point_cloud_fusion/cb4",
+        "cb5": "voxel_grid_cloud_node/cb5",
+        "cb6": "p2d_ndt_localizer_node/cb6",
+    }
+    return AvpApp(
+        nodes=[rear_filter, front_filter, fusion, voxel, localizer],
+        sensors=[rear_sensor, front_sensor],
+        workloads=w,
+        cb_keys=cb_keys,
+    )

@@ -1,0 +1,174 @@
+"""Random ROS2 application generator.
+
+Produces synthetic-but-valid applications (random chains of timers,
+subscribers, services and synchronizers) for stress-testing the
+synthesis pipeline: every generated application's ground-truth topology
+is known, so tests can verify the synthesized DAG against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..ros2 import Msg, Node
+from ..sim.workload import Constant, WorkloadModel, ms
+
+
+@dataclass
+class GeneratedApp:
+    """A generated application plus its ground truth."""
+
+    nodes: List[Node]
+    #: expected precedence edges as (src_label, dst_label) pairs
+    expected_edges: Set[Tuple[str, str]]
+    #: all callback labels
+    labels: List[str]
+    #: labels of service callbacks
+    service_labels: List[str]
+
+    @property
+    def pids(self) -> List[int]:
+        return [n.pid for n in self.nodes]
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape of the generated application."""
+
+    num_nodes: int = 4
+    num_chains: int = 3
+    chain_length: int = 3  # callbacks per chain (>= 1)
+    service_probability: float = 0.3
+    timer_period_range_ms: Tuple[int, int] = (50, 200)
+    work_range_ms: Tuple[float, float] = (0.5, 3.0)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.num_chains < 1 or self.chain_length < 1:
+            raise ValueError("num_nodes, num_chains, chain_length must be >= 1")
+        if not 0.0 <= self.service_probability <= 1.0:
+            raise ValueError("service_probability must be in [0, 1]")
+
+
+def generate_app(
+    world,
+    config: GeneratorConfig = GeneratorConfig(),
+    seed: int = 0,
+    affinity: Optional[Sequence[int]] = None,
+) -> GeneratedApp:
+    """Build a random application with known ground-truth topology.
+
+    Each chain starts with a timer and continues through subscribers or
+    service/client hops; every hop may land on any node (services place
+    the server on a different node than the caller).
+    """
+    rng = np.random.default_rng(seed)
+    nodes = [
+        Node(world, f"gen_n{i}", affinity=list(affinity) if affinity else None)
+        for i in range(config.num_nodes)
+    ]
+    expected_edges: Set[Tuple[str, str]] = set()
+    labels: List[str] = []
+    service_labels: List[str] = []
+    counter = {"t": 0, "s": 0, "sv": 0, "cl": 0}
+
+    def work_model() -> WorkloadModel:
+        lo, hi = config.work_range_ms
+        return Constant(int(ms(float(rng.uniform(lo, hi)))))
+
+    def pick_node(exclude: Optional[Node] = None) -> Node:
+        candidates = [n for n in nodes if n is not exclude] or nodes
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+    for chain_index in range(config.num_chains):
+        counter["t"] += 1
+        timer_label = f"GT{counter['t']}"
+        labels.append(timer_label)
+        node = pick_node()
+        topic = f"/gen/c{chain_index}/0"
+        pub = node.create_publisher(topic)
+        model = work_model()
+
+        def timer_cb(api, msg, _pub=pub, _model=model):
+            yield api.work(_model)
+            api.publish(_pub, Msg(stamp=api.now))
+
+        lo, hi = config.timer_period_range_ms
+        period = ms(int(rng.integers(lo, hi + 1)))
+        node.create_timer(period, timer_cb, label=timer_label, phase_ns=ms(5))
+
+        prev_label = timer_label
+        prev_topic = topic
+        for hop in range(1, config.chain_length):
+            is_last = hop == config.chain_length - 1
+            use_service = (not is_last) and rng.uniform() < config.service_probability
+            next_node = pick_node(exclude=node)
+            if use_service:
+                counter["sv"] += 1
+                counter["cl"] += 1
+                sv_label = f"GSV{counter['sv']}"
+                cl_label = f"GCL{counter['cl']}"
+                service_name = f"/gen/svc{counter['sv']}"
+                out_topic = f"/gen/c{chain_index}/{hop}"
+                server = pick_node(exclude=next_node)
+
+                def handler(api, request, _model=work_model()):
+                    yield api.work(_model)
+                    return request
+
+                server.create_service(service_name, handler, label=sv_label)
+                out_pub = next_node.create_publisher(out_topic)
+
+                def client_cb(api, data, _pub=out_pub, _model=work_model()):
+                    yield api.work(_model)
+                    api.publish(_pub, Msg(stamp=api.now))
+
+                client = next_node.create_client(service_name, client_cb, label=cl_label)
+
+                counter["s"] += 1
+                sub_label = f"GS{counter['s']}"
+
+                def sub_cb(api, msg, _client=client, _model=work_model()):
+                    yield api.work(_model)
+                    api.call(_client, "x")
+
+                next_node.create_subscription(prev_topic, sub_cb, label=sub_label)
+                expected_edges.add((prev_label, sub_label))
+                expected_edges.add((sub_label, sv_label))
+                expected_edges.add((sv_label, cl_label))
+                labels.extend([sub_label, sv_label, cl_label])
+                service_labels.append(sv_label)
+                prev_label = cl_label
+                prev_topic = out_topic
+                node = next_node
+            else:
+                counter["s"] += 1
+                sub_label = f"GS{counter['s']}"
+                out_topic = f"/gen/c{chain_index}/{hop}"
+                if is_last:
+                    def sub_cb(api, msg, _model=work_model()):
+                        yield api.work(_model)
+
+                    next_node.create_subscription(prev_topic, sub_cb, label=sub_label)
+                else:
+                    out_pub = next_node.create_publisher(out_topic)
+
+                    def sub_cb(api, msg, _pub=out_pub, _model=work_model()):
+                        yield api.work(_model)
+                        api.publish(_pub, Msg(stamp=api.now))
+
+                    next_node.create_subscription(prev_topic, sub_cb, label=sub_label)
+                expected_edges.add((prev_label, sub_label))
+                labels.append(sub_label)
+                prev_label = sub_label
+                prev_topic = out_topic
+                node = next_node
+
+    return GeneratedApp(
+        nodes=nodes,
+        expected_edges=expected_edges,
+        labels=labels,
+        service_labels=service_labels,
+    )

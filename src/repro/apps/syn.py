@@ -1,0 +1,254 @@
+"""SYN: the synthetic evaluation application (Sec. VI, Fig. 3a).
+
+Six ROS2 nodes combining every callback kind, reconstructed from the
+paper's description.  The topology reproduces each structural scenario
+the framework must identify:
+
+(i)   same-type callbacks inside one node: T2/T3 are timers and CL2/CL4
+      are client CBs in ``syn_n2``; SC1/SC4 are subscribers in
+      ``syn_n3``; SV1/SV2 are services in ``syn_n4``;
+(ii)  different callback types in one node: T1, SC5, SV3 in ``syn_n1``;
+(iii) a topic with several subscribers: ``/clp3`` -> SC4 and SC5;
+(iv)  one service invoked from two different CBs: SV3 is called by SC3
+      and CL2 -- the synthesized DAG must show two SV3 vertices with
+      disjoint chains ending at CL3 and CL4 respectively;
+(v)   data synchronization: SC2.1 + SC2.2 join ``/f1``/``/f2`` into
+      ``/f3`` through an AND junction in ``syn_n6``.
+
+Chains::
+
+    T1 -/t1-> SC1 -> SV1 -> CL1 -/f1-> SC2.1 \\
+                                              &  (-> /f3)
+    T3 -/t3-> SC3 -> SV3 -> CL3 -/f2-> SC2.2 /
+    T2 -> SV2 -> CL2 -> SV3 -> CL4
+    T1 -/clp3-> SC4, SC5
+
+Node inventory:
+
+========  =====================================================
+syn_n1    T1 (timer), SC5 (subscriber), SV3 (service)
+syn_n2    T2, T3 (timers), CL2, CL4 (client CBs)
+syn_n3    SC1, SC4 (subscribers), CL1 (client CB)
+syn_n4    SV1, SV2 (services)
+syn_n5    SC3 (subscriber), CL3 (client CB)
+syn_n6    SC2.1, SC2.2 (synchronized subscribers)
+========  =====================================================
+
+Per-callback loads are constant within a run (the paper validates
+measurement accuracy against designed execution times) and scale with
+``load_factor`` across runs (the paper varies SYN's load per run to
+study interference sensitivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ros2 import Msg, Node
+from ..sim.threads import SchedPolicy
+from ..sim.workload import Constant, ms
+
+#: Baseline constant execution times (ms) per SYN callback.
+BASE_LOADS_MS: Dict[str, float] = {
+    "T1": 1.5,
+    "T2": 1.2,
+    "T3": 1.0,
+    "SC1": 2.0,
+    "SC2.1": 1.0,
+    "SC2.2": 1.0,
+    "SC3": 1.6,
+    "SC4": 1.8,
+    "SC5": 1.4,
+    "SV1": 2.5,
+    "SV2": 2.2,
+    "SV3": 3.0,
+    "CL1": 1.1,
+    "CL2": 1.3,
+    "CL3": 0.9,
+    "CL4": 1.0,
+}
+
+#: Timer periods (ns).
+T1_PERIOD = ms(100)
+T2_PERIOD = ms(120)
+T3_PERIOD = ms(150)
+
+#: Labels of every SYN callback, for assertions and reports.
+ALL_CALLBACKS = tuple(sorted(BASE_LOADS_MS))
+
+
+@dataclass
+class SynApp:
+    """Handles to the built SYN application."""
+
+    nodes: List[Node]
+    loads: Dict[str, Constant]
+    load_factor: float
+
+    @property
+    def pids(self) -> List[int]:
+        return [node.pid for node in self.nodes]
+
+    def node_names(self) -> List[str]:
+        return [node.name for node in self.nodes]
+
+    def designed_exec_time(self, label: str) -> int:
+        """The constant load configured for one callback (ns)."""
+        return self.loads[label].duration
+
+
+def build_syn(
+    world,
+    load_factor: float = 1.0,
+    affinity: Optional[Sequence[int]] = None,
+    priority: int = 0,
+    policy: SchedPolicy = SchedPolicy.OTHER,
+    start_phase_ns: int = ms(5),
+) -> SynApp:
+    """Instantiate SYN on ``world``.
+
+    Parameters
+    ----------
+    load_factor:
+        Scales every callback's constant load (varied across runs in the
+        interference study).
+    affinity:
+        CPU set shared by all six executor threads (overlap it with the
+        AVP nodes to create interference).
+    start_phase_ns:
+        Phase of the first timer ticks, so initial callbacks land after
+        the runtime tracers attach.
+    """
+    if load_factor <= 0:
+        raise ValueError("load_factor must be positive")
+    loads = {
+        label: Constant(int(ms(base) * load_factor))
+        for label, base in BASE_LOADS_MS.items()
+    }
+
+    def node_kwargs():
+        return dict(priority=priority, policy=policy, affinity=affinity)
+
+    n1 = Node(world, "syn_n1", **node_kwargs())
+    n2 = Node(world, "syn_n2", **node_kwargs())
+    n3 = Node(world, "syn_n3", **node_kwargs())
+    n4 = Node(world, "syn_n4", **node_kwargs())
+    n5 = Node(world, "syn_n5", **node_kwargs())
+    n6 = Node(world, "syn_n6", **node_kwargs())
+
+    # ---- syn_n4: SV1 + SV2 (two services in one node) -------------------
+    def sv1_handler(api, request):
+        yield api.work(loads["SV1"])
+        return ("sv1", request)
+
+    def sv2_handler(api, request):
+        yield api.work(loads["SV2"])
+        return ("sv2", request)
+
+    n4.create_service("/sv1", sv1_handler, label="SV1")
+    n4.create_service("/sv2", sv2_handler, label="SV2")
+
+    # ---- syn_n1: T1 (timer), SC5 (subscriber), SV3 (service) ------------
+    t1_pub = n1.create_publisher("/t1")
+    clp3_pub = n1.create_publisher("/clp3")
+
+    def t1_cb(api, msg):
+        yield api.work(loads["T1"])
+        api.publish(t1_pub, Msg(stamp=api.now))
+        api.publish(clp3_pub, Msg(stamp=api.now))
+
+    n1.create_timer(T1_PERIOD, t1_cb, label="T1", phase_ns=start_phase_ns)
+
+    def sc5_cb(api, msg):
+        yield api.work(loads["SC5"])
+
+    n1.create_subscription("/clp3", sc5_cb, label="SC5")
+
+    def sv3_handler(api, request):
+        yield api.work(loads["SV3"])
+        return ("sv3", request)
+
+    n1.create_service("/sv3", sv3_handler, label="SV3")
+
+    # ---- syn_n2: T2, T3 (timers) + CL2, CL4 (client CBs) ----------------
+    t3_pub = n2.create_publisher("/t3")
+
+    def cl4_cb(api, data):
+        yield api.work(loads["CL4"])
+
+    sv3_client_b = n2.create_client("/sv3", cl4_cb, label="CL4")
+
+    def cl2_cb(api, data):
+        yield api.work(loads["CL2"])
+        api.call(sv3_client_b, "from_cl2")
+
+    sv2_client = n2.create_client("/sv2", cl2_cb, label="CL2")
+
+    def t2_cb(api, msg):
+        yield api.work(loads["T2"])
+        api.call(sv2_client, "from_t2")
+
+    def t3_cb(api, msg):
+        yield api.work(loads["T3"])
+        api.publish(t3_pub, Msg(stamp=api.now))
+
+    n2.create_timer(T2_PERIOD, t2_cb, label="T2", phase_ns=start_phase_ns)
+    n2.create_timer(T3_PERIOD, t3_cb, label="T3", phase_ns=start_phase_ns)
+
+    # ---- syn_n3: SC1, SC4 (subscribers) + CL1 (client CB) ----------------
+    f1_pub = n3.create_publisher("/f1")
+
+    def cl1_cb(api, data):
+        yield api.work(loads["CL1"])
+        api.publish(f1_pub, Msg(stamp=api.now))
+
+    sv1_client = n3.create_client("/sv1", cl1_cb, label="CL1")
+
+    def sc1_cb(api, msg):
+        yield api.work(loads["SC1"])
+        api.call(sv1_client, "from_sc1")
+
+    def sc4_cb(api, msg):
+        yield api.work(loads["SC4"])
+
+    n3.create_subscription("/t1", sc1_cb, label="SC1")
+    n3.create_subscription("/clp3", sc4_cb, label="SC4")
+
+    # ---- syn_n5: SC3 (subscriber) + CL3 (client CB) ----------------------
+    f2_pub = n5.create_publisher("/f2")
+
+    def cl3_cb(api, data):
+        yield api.work(loads["CL3"])
+        api.publish(f2_pub, Msg(stamp=api.now))
+
+    sv3_client_a = n5.create_client("/sv3", cl3_cb, label="CL3")
+
+    def sc3_cb(api, msg):
+        yield api.work(loads["SC3"])
+        api.call(sv3_client_a, "from_sc3")
+
+    n5.create_subscription("/t3", sc3_cb, label="SC3")
+
+    # ---- syn_n6: SC2.1 + SC2.2 with data synchronization -----------------
+    f3_pub = n6.create_publisher("/f3")
+    s21 = n6.create_subscription("/f1", label="SC2.1")
+    s22 = n6.create_subscription("/f2", label="SC2.2")
+
+    def fuse_cb(api, msgs):
+        api.publish(f3_pub, Msg(stamp=api.now))
+        return None
+
+    n6.create_synchronizer(
+        [s21, s22],
+        fuse_cb,
+        slop_ns=ms(500),
+        queue_size=20,
+        per_input_work=loads["SC2.1"],
+    )
+
+    return SynApp(
+        nodes=[n1, n2, n3, n4, n5, n6],
+        loads=loads,
+        load_factor=load_factor,
+    )

@@ -1,0 +1,132 @@
+"""Timing-model diffing.
+
+Synthesized models are most useful when tracked over time: a new
+software version, a different deployment, or a new operating mode can
+add/remove callbacks, rewire topics, or shift execution-time profiles.
+``diff_dags`` compares two models structurally and statistically --
+the regression-checking workflow the paper's "debugging and
+optimization" outlook (Sec. VII) implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .dag import TimingDag
+
+
+@dataclass(frozen=True)
+class StatDrift:
+    """Execution-time drift of one callback between two models."""
+
+    key: str
+    old_mwcet: int
+    new_mwcet: int
+    old_macet: float
+    new_macet: float
+
+    @property
+    def mwcet_ratio(self) -> float:
+        if self.old_mwcet == 0:
+            return float("inf") if self.new_mwcet else 1.0
+        return self.new_mwcet / self.old_mwcet
+
+    @property
+    def macet_ratio(self) -> float:
+        if self.old_macet == 0:
+            return float("inf") if self.new_macet else 1.0
+        return self.new_macet / self.old_macet
+
+
+@dataclass
+class DagDiff:
+    """Structural + statistical difference between two timing models."""
+
+    added_vertices: List[str] = field(default_factory=list)
+    removed_vertices: List[str] = field(default_factory=list)
+    added_edges: List[Tuple[str, str, str]] = field(default_factory=list)
+    removed_edges: List[Tuple[str, str, str]] = field(default_factory=list)
+    drifted: List[StatDrift] = field(default_factory=list)
+
+    @property
+    def structurally_equal(self) -> bool:
+        return not (
+            self.added_vertices
+            or self.removed_vertices
+            or self.added_edges
+            or self.removed_edges
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.structurally_equal and not self.drifted
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return "models are identical (structure and statistics)"
+        lines: List[str] = []
+        for key in self.added_vertices:
+            lines.append(f"+ vertex {key}")
+        for key in self.removed_vertices:
+            lines.append(f"- vertex {key}")
+        for src, dst, topic in self.added_edges:
+            lines.append(f"+ edge {src} --[{topic}]--> {dst}")
+        for src, dst, topic in self.removed_edges:
+            lines.append(f"- edge {src} --[{topic}]--> {dst}")
+        for drift in self.drifted:
+            lines.append(
+                f"~ {drift.key}: mWCET {drift.old_mwcet / 1e6:.2f} -> "
+                f"{drift.new_mwcet / 1e6:.2f} ms ({drift.mwcet_ratio:.2f}x), "
+                f"mACET {drift.old_macet / 1e6:.2f} -> "
+                f"{drift.new_macet / 1e6:.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def diff_dags(
+    old: TimingDag, new: TimingDag, drift_threshold: float = 0.10
+) -> DagDiff:
+    """Compare two timing models.
+
+    A shared callback is reported as *drifted* when its mWCET or mACET
+    moved by more than ``drift_threshold`` (relative).
+    """
+    if drift_threshold < 0:
+        raise ValueError("drift_threshold must be >= 0")
+    old_keys = {v.key for v in old.vertices()}
+    new_keys = {v.key for v in new.vertices()}
+    old_edges = {(e.src, e.dst, e.topic) for e in old.edges()}
+    new_edges = {(e.src, e.dst, e.topic) for e in new.edges()}
+
+    diff = DagDiff(
+        added_vertices=sorted(new_keys - old_keys),
+        removed_vertices=sorted(old_keys - new_keys),
+        added_edges=sorted(new_edges - old_edges),
+        removed_edges=sorted(old_edges - new_edges),
+    )
+
+    def moved(a: float, b: float) -> bool:
+        if a == 0 and b == 0:
+            return False
+        base = max(abs(a), 1e-12)
+        return abs(b - a) / base > drift_threshold
+
+    for key in sorted(old_keys & new_keys):
+        old_stats = old.vertex(key).exec_stats
+        new_stats = new.vertex(key).exec_stats
+        if old_stats.count == 0 or new_stats.count == 0:
+            continue
+        if moved(old_stats.mwcet, new_stats.mwcet) or moved(
+            old_stats.macet, new_stats.macet
+        ):
+            diff.drifted.append(
+                StatDrift(
+                    key=key,
+                    old_mwcet=old_stats.mwcet,
+                    new_mwcet=new_stats.mwcet,
+                    old_macet=old_stats.macet,
+                    new_macet=new_stats.macet,
+                )
+            )
+    return diff

@@ -1,0 +1,132 @@
+"""Model export: DOT, JSON, and paper-style text tables.
+
+The DOT output mirrors Fig. 3's visual conventions: one color per node,
+``&`` boxes for AND junctions, topic names on edges.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Optional
+
+from .dag import DagVertex, TimingDag
+
+_PALETTE = [
+    "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3",
+    "#fdb462", "#b3de69", "#fccde5", "#d9d9d9", "#bc80bd",
+]
+
+
+def to_dot(dag: TimingDag, title: str = "timing_model") -> str:
+    """Graphviz DOT rendering of the timing model."""
+    nodes = sorted({v.node for v in dag.vertices()})
+    color = {node: _PALETTE[i % len(_PALETTE)] for i, node in enumerate(nodes)}
+    lines = [f"digraph \"{title}\" {{", "  rankdir=LR;", "  node [style=filled];"]
+    for vertex in sorted(dag.vertices(), key=lambda v: v.key):
+        shape = "diamond" if vertex.is_and_junction else "box"
+        label = vertex.label()
+        stats = vertex.exec_stats
+        if stats.count:
+            m = stats.ms()
+            label += f"\\n[{m.mbcet:.2f}/{m.macet:.2f}/{m.mwcet:.2f}] ms"
+        if vertex.is_or_junction:
+            label += "\\n(OR)"
+        lines.append(
+            f'  "{vertex.key}" [label="{label}", shape={shape}, '
+            f'fillcolor="{color[vertex.node]}"];'
+        )
+    for edge in sorted(dag.edges(), key=lambda e: (e.src, e.dst, e.topic)):
+        lines.append(f'  "{edge.src}" -> "{edge.dst}" [label="{edge.topic}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dag_to_dict(dag: TimingDag) -> Dict[str, Any]:
+    """JSON-serializable form of the model (lossless round trip)."""
+    return {
+        "vertices": [
+            {
+                "key": v.key,
+                "node": v.node,
+                "cb_id": v.cb_id,
+                "cb_type": v.cb_type,
+                "intopic": v.intopic,
+                "outtopics": list(v.outtopics),
+                "is_sync_member": v.is_sync_member,
+                "is_or_junction": v.is_or_junction,
+                "exec_times": list(v.exec_times),
+                "start_times": list(v.start_times),
+                "response_times": list(v.response_times),
+            }
+            for v in sorted(dag.vertices(), key=lambda v: v.key)
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "topic": e.topic}
+            for e in sorted(dag.edges(), key=lambda e: (e.src, e.dst, e.topic))
+        ],
+    }
+
+
+def dag_from_dict(raw: Dict[str, Any]) -> TimingDag:
+    dag = TimingDag()
+    for v in raw["vertices"]:
+        dag.add_vertex(
+            DagVertex(
+                key=v["key"],
+                node=v["node"],
+                cb_id=v["cb_id"],
+                cb_type=v["cb_type"],
+                intopic=v.get("intopic"),
+                outtopics=list(v.get("outtopics", [])),
+                is_sync_member=bool(v.get("is_sync_member")),
+                is_or_junction=bool(v.get("is_or_junction")),
+                exec_times=list(v.get("exec_times", [])),
+                start_times=list(v.get("start_times", [])),
+                response_times=list(v.get("response_times", [])),
+            )
+        )
+    for e in raw["edges"]:
+        dag.add_edge(e["src"], e["dst"], e["topic"])
+    return dag
+
+
+def dag_to_json(dag: TimingDag, indent: Optional[int] = None) -> str:
+    return json.dumps(dag_to_dict(dag), indent=indent)
+
+
+def dag_from_json(text: str) -> TimingDag:
+    return dag_from_dict(json.loads(text))
+
+
+def format_exec_table(
+    dag: TimingDag,
+    order: Optional[Iterable[str]] = None,
+    names: Optional[Dict[str, str]] = None,
+) -> str:
+    """Table II-style text table: CB | node | mBCET | mACET | mWCET (ms).
+
+    ``order`` lists vertex keys to include (default: all, sorted);
+    ``names`` optionally maps vertex keys to display names (cb1..cb6).
+    """
+    keys = list(order) if order is not None else sorted(
+        v.key for v in dag.vertices() if not v.is_and_junction
+    )
+    names = names or {}
+    header = f"{'CB':<12} {'Node':<28} {'mBCET':>8} {'mACET':>8} {'mWCET':>8}"
+    rows = [header, "-" * len(header)]
+    for key in keys:
+        vertex = dag.vertex(key)
+        stats = vertex.exec_stats.ms()
+        rows.append(
+            f"{names.get(key, vertex.cb_id):<12} {vertex.node:<28} "
+            f"{stats.mbcet:>8.2f} {stats.macet:>8.2f} {stats.mwcet:>8.2f}"
+        )
+    return "\n".join(rows)
+
+
+def format_edges(dag: TimingDag) -> str:
+    """Human-readable edge list (Fig. 3 in text form)."""
+    lines = []
+    for edge in sorted(dag.edges(), key=lambda e: (e.src, e.dst)):
+        lines.append(f"{edge.src} --[{edge.topic}]--> {edge.dst}")
+    return "\n".join(lines)

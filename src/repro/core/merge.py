@@ -1,0 +1,124 @@
+"""Merging: traces, DAGs, and multi-mode models (Sec. V, Fig. 2).
+
+Three processing strategies are supported, as described by the paper:
+
+1. merge all traces, then synthesize one DAG (:func:`dag_from_merged_traces`);
+2. synthesize one DAG per trace, then merge the DAGs
+   (:func:`merge_dags`) -- vertices/edges are unioned and a callback's
+   execution-time statistics are computed over all runs.  This is the
+   strategy the paper's experiments use;
+3. per-mode merges producing a :class:`MultiModeDag` (e.g. city vs
+   highway driving).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from ..tracing.session import Trace
+from .dag import DagVertex, TimingDag
+
+
+def _clone_vertex(vertex: DagVertex) -> DagVertex:
+    return DagVertex(
+        key=vertex.key,
+        node=vertex.node,
+        cb_id=vertex.cb_id,
+        cb_type=vertex.cb_type,
+        intopic=vertex.intopic,
+        outtopics=list(vertex.outtopics),
+        is_sync_member=vertex.is_sync_member,
+        is_or_junction=vertex.is_or_junction,
+        exec_times=list(vertex.exec_times),
+        start_times=list(vertex.start_times),
+        response_times=list(vertex.response_times),
+    )
+
+
+def _absorb_vertex(target: DagVertex, other: DagVertex) -> None:
+    if target.key != other.key:
+        raise ValueError(f"cannot merge vertices {target.key!r} and {other.key!r}")
+    if target.cb_type != other.cb_type:
+        raise ValueError(
+            f"vertex {target.key!r} changes type across runs: "
+            f"{target.cb_type} vs {other.cb_type}"
+        )
+    target.exec_times.extend(other.exec_times)
+    target.start_times.extend(other.start_times)
+    target.response_times.extend(other.response_times)
+    target.is_sync_member = target.is_sync_member or other.is_sync_member
+    target.is_or_junction = target.is_or_junction or other.is_or_junction
+    for topic in other.outtopics:
+        if topic not in target.outtopics:
+            target.outtopics.append(topic)
+
+
+def merge_dags(dags: Iterable[TimingDag]) -> TimingDag:
+    """Union of vertices and edges; measurement samples concatenate, so
+    mBCET/mACET/mWCET reflect all input runs."""
+    dags = list(dags)
+    if not dags:
+        raise ValueError("nothing to merge")
+    merged = TimingDag()
+    for dag in dags:
+        for vertex in dag.vertices():
+            if merged.has_vertex(vertex.key):
+                _absorb_vertex(merged.vertex(vertex.key), vertex)
+            else:
+                merged.add_vertex(_clone_vertex(vertex))
+        for edge in dag.edges():
+            merged.add_edge(edge.src, edge.dst, edge.topic)
+    return merged
+
+
+def dag_from_merged_traces(traces: Iterable[Trace], pids=None) -> TimingDag:
+    """Strategy 1: merge traces first, then synthesize once."""
+    from .pipeline import synthesize_from_trace
+
+    return synthesize_from_trace(Trace.merge(traces), pids=pids)
+
+
+def dag_per_trace(traces: Iterable[Trace], pids=None) -> List[TimingDag]:
+    """One DAG per run (the inputs to strategy 2)."""
+    from .pipeline import synthesize_from_trace
+
+    return [synthesize_from_trace(trace, pids=pids) for trace in traces]
+
+
+def dag_from_runs(traces: Iterable[Trace], pids=None) -> TimingDag:
+    """Strategy 2 (the paper's choice): DAG per trace, then merge."""
+    return merge_dags(dag_per_trace(traces, pids=pids))
+
+
+class MultiModeDag:
+    """A timing model per operating mode (strategy 4 in Sec. V)."""
+
+    def __init__(self) -> None:
+        self._modes: Dict[str, TimingDag] = {}
+
+    def add_mode(self, mode: str, dag: TimingDag) -> None:
+        if mode in self._modes:
+            raise ValueError(f"mode {mode!r} already present")
+        self._modes[mode] = dag
+
+    @staticmethod
+    def from_mode_traces(
+        traces_by_mode: Mapping[str, Iterable[Trace]], pids=None
+    ) -> "MultiModeDag":
+        multi = MultiModeDag()
+        for mode, traces in traces_by_mode.items():
+            multi.add_mode(mode, dag_from_runs(traces, pids=pids))
+        return multi
+
+    def modes(self) -> List[str]:
+        return sorted(self._modes)
+
+    def dag(self, mode: str) -> TimingDag:
+        return self._modes[mode]
+
+    def union(self) -> TimingDag:
+        """Mode-agnostic model: merge of all per-mode DAGs."""
+        return merge_dags(self._modes.values())
+
+    def __len__(self) -> int:
+        return len(self._modes)

@@ -1,0 +1,143 @@
+"""Callback records: the ``CBlist`` data model of Alg. 1.
+
+One :class:`CallbackInstance` describes a single execution of a callback
+(between a CB-start and the matching CB-end event).  Instances aggregate
+into :class:`CallbackRecord` entries inside a :class:`CBList` -- one
+entry per distinct callback, except services, which get one entry *per
+caller* (matched on ID **and** subscribed topic), the paper's device for
+splitting a shared service into per-caller vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CallbackInstance:
+    """One observed execution of a callback."""
+
+    cb_type: str  # "timer" | "subscriber" | "service" | "client"
+    start: int
+    end: Optional[int] = None
+    cb_id: Optional[str] = None
+    intopic: Optional[str] = None
+    outtopics: List[str] = field(default_factory=list)
+    is_sync_subscriber: bool = False
+    exec_time: Optional[int] = None
+
+    @property
+    def response_time(self) -> Optional[int]:
+        """Wall-clock start-to-end duration (includes preemption)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass
+class CallbackRecord:
+    """Aggregated attributes of one callback across its instances."""
+
+    pid: int
+    node: str
+    cb_type: str
+    cb_id: str
+    intopic: Optional[str] = None
+    outtopics: List[str] = field(default_factory=list)
+    is_sync_subscriber: bool = False
+    exec_times: List[int] = field(default_factory=list)
+    start_times: List[int] = field(default_factory=list)
+    response_times: List[int] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, str, Optional[str]]:
+        """Identity of the record inside the whole-application model.
+
+        Services are keyed by (node, id, intopic) so each caller yields a
+        distinct record; all other callbacks by (node, id).
+        """
+        if self.cb_type == "service":
+            return (self.node, self.cb_id, self.intopic)
+        return (self.node, self.cb_id, None)
+
+    @property
+    def invocations(self) -> int:
+        return len(self.start_times)
+
+    def absorb_instance(self, instance: CallbackInstance) -> None:
+        """Fold one more observed execution into this record."""
+        self.start_times.append(instance.start)
+        if instance.exec_time is not None:
+            self.exec_times.append(instance.exec_time)
+        if instance.response_time is not None:
+            self.response_times.append(instance.response_time)
+        if instance.is_sync_subscriber:
+            self.is_sync_subscriber = True
+        for topic in instance.outtopics:
+            if topic not in self.outtopics:
+                self.outtopics.append(topic)
+
+    def absorb_record(self, other: "CallbackRecord") -> None:
+        """Fold another record for the same callback (DAG/trace merging)."""
+        if other.key != self.key:
+            raise ValueError(f"cannot merge records {self.key} and {other.key}")
+        self.exec_times.extend(other.exec_times)
+        self.start_times.extend(other.start_times)
+        self.response_times.extend(other.response_times)
+        self.is_sync_subscriber = self.is_sync_subscriber or other.is_sync_subscriber
+        for topic in other.outtopics:
+            if topic not in self.outtopics:
+                self.outtopics.append(topic)
+
+
+class CBList:
+    """Callback list for one ROS2 node, as returned by Alg. 1."""
+
+    def __init__(self, pid: int, node: str = ""):
+        self.pid = pid
+        self.node = node or f"pid{pid}"
+        self._records: Dict[Tuple[str, str, Optional[str]], CallbackRecord] = {}
+
+    def add(self, instance: CallbackInstance) -> CallbackRecord:
+        """Alg. 1's ``AddToCallback``: match an existing entry (ID, plus
+        subscribed topic for services) or create a new one."""
+        if instance.cb_id is None:
+            raise ValueError("instance has no callback ID")
+        probe = CallbackRecord(
+            pid=self.pid,
+            node=self.node,
+            cb_type=instance.cb_type,
+            cb_id=instance.cb_id,
+            intopic=instance.intopic,
+        )
+        record = self._records.get(probe.key)
+        if record is None:
+            record = probe
+            self._records[record.key] = record
+        record.absorb_instance(instance)
+        return record
+
+    def records(self) -> List[CallbackRecord]:
+        return list(self._records.values())
+
+    def get(self, cb_id: str, intopic: Optional[str] = None) -> CallbackRecord:
+        """Fetch a record by callback id (and intopic for services)."""
+        matches = [
+            r
+            for r in self._records.values()
+            if r.cb_id == cb_id and (intopic is None or r.intopic == intopic)
+        ]
+        if not matches:
+            raise KeyError(f"no record for cb_id={cb_id!r}, intopic={intopic!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous cb_id={cb_id!r}: {len(matches)} records; pass intopic"
+            )
+        return matches[0]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())

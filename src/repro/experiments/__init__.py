@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per paper artefact (see DESIGN.md)."""
+
+from .fig3 import (
+    AVP_CHAIN,
+    EXPECTED_SYN_EDGES,
+    Fig3Result,
+    check_avp_dag,
+    check_syn_dag,
+    run_fig3a,
+    run_fig3b,
+)
+from .fig4 import FIG4_CALLBACKS, Fig4Result, Fig4Series, fig4_from_table2, run_fig4
+from .overhead import OverheadResult, run_overhead
+from .runner import Builder, RunConfig, RunResult, collect_database, run_many, run_once
+from .table1 import TABLE1_REFERENCE, Table1Result, run_table1
+from .table2 import (
+    AVP_AFFINITY,
+    SYN_AFFINITY,
+    Table2Config,
+    Table2Result,
+    build_concurrent_apps,
+    run_table2,
+)
+
+__all__ = [
+    "AVP_CHAIN",
+    "EXPECTED_SYN_EDGES",
+    "Fig3Result",
+    "check_avp_dag",
+    "check_syn_dag",
+    "run_fig3a",
+    "run_fig3b",
+    "FIG4_CALLBACKS",
+    "Fig4Result",
+    "Fig4Series",
+    "fig4_from_table2",
+    "run_fig4",
+    "OverheadResult",
+    "run_overhead",
+    "Builder",
+    "RunConfig",
+    "RunResult",
+    "collect_database",
+    "run_many",
+    "run_once",
+    "TABLE1_REFERENCE",
+    "Table1Result",
+    "run_table1",
+    "AVP_AFFINITY",
+    "SYN_AFFINITY",
+    "Table2Config",
+    "Table2Result",
+    "build_concurrent_apps",
+    "run_table2",
+]

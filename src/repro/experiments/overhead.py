@@ -1,0 +1,111 @@
+"""Experiment E-OVH: tracing overheads (Sec. VI, "Tracing overheads").
+
+The paper runs SYN and AVP localization together for 60 s and reports:
+(i) ~9 MB of generated trace data and (ii) eBPF probe usage of 0.008 CPU
+cores on average (~0.3 % of the applications' computational load).
+
+This experiment reproduces both figures from the simulated run: trace
+volume from the perf-buffer byte accounting and probe CPU share from the
+bpftool-style ``run_time_ns`` counters.  It additionally reports the
+kernel-trace footprint reduction achieved by in-kernel PID filtering
+(the paper claims an order of three or more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.avp import build_avp
+from ..apps.syn import build_syn
+from ..sim.kernel import MSEC, SEC
+from ..sim.threads import Block, Compute
+from ..tracing.overhead import OverheadReport, measure_overhead
+from .runner import RunConfig, run_once
+from .table2 import AVP_AFFINITY, SYN_AFFINITY
+
+
+def spawn_background_load(
+    world, count: int = 12, period_ns: int = 5 * MSEC, work_ns: int = 500_000
+) -> None:
+    """Plain OS processes (not ROS2 nodes): they context-switch but are
+    *not* in the ``ros2_pids`` map, so the kernel tracer's in-kernel
+    filter drops their sched events -- the mechanism behind the paper's
+    "order of three or more" footprint reduction."""
+
+    def activity():
+        while True:
+            yield Compute(work_ns)
+            yield Block()
+
+    for index in range(count):
+        thread = world.scheduler.spawn(activity(), name=f"daemon{index}")
+
+        def tick(t=thread):
+            world.scheduler.wakeup(t)
+            world.kernel.schedule_after(period_ns, tick)
+
+        world.kernel.schedule_after(period_ns + index * MSEC, tick)
+
+
+@dataclass
+class OverheadResult:
+    """Measured overheads plus the filtering ablation."""
+
+    report: OverheadReport
+    #: sched_switch tracepoint firings vs records kept by the filter
+    sched_seen: int
+    sched_recorded: int
+
+    @property
+    def filter_reduction(self) -> float:
+        """Footprint reduction factor of PID filtering (events kept^-1)."""
+        if self.sched_recorded == 0:
+            return float("inf")
+        return self.sched_seen / self.sched_recorded
+
+    def summary(self) -> str:
+        return (
+            f"{self.report.summary()}\n"
+            f"kernel events: {self.sched_seen} seen, "
+            f"{self.sched_recorded} recorded "
+            f"(PID filtering keeps 1/{self.filter_reduction:.1f})"
+        )
+
+
+def run_overhead(
+    duration_ns: int = 60 * SEC,
+    seed: int = 77,
+    num_cpus: int = 4,
+    syn_load_factor: float = 1.0,
+    kernel_filter: bool = True,
+) -> OverheadResult:
+    """Run SYN + AVP concurrently for ``duration_ns`` and account."""
+
+    def builder(world, run_index):
+        avp = build_avp(world, affinity=AVP_AFFINITY)
+        syn = build_syn(world, load_factor=syn_load_factor, affinity=SYN_AFFINITY)
+        spawn_background_load(world)
+        return (avp, syn)
+
+    config = RunConfig(
+        duration_ns=duration_ns,
+        base_seed=seed,
+        num_cpus=num_cpus,
+        kernel_filter=kernel_filter,
+    )
+    result = run_once(builder, config)
+    avp, syn = result.apps
+    app_pids = avp.pids + syn.pids
+    report = measure_overhead(
+        [result.session.bpf],
+        result.world,
+        elapsed_ns=duration_ns,
+        app_pids=app_pids,
+    )
+    kernel_tracer = result.session.kernel_tracer
+    recorded = sum(len(s.sched_events) for s in result.session.segments)
+    return OverheadResult(
+        report=report,
+        sched_seen=kernel_tracer.seen,
+        sched_recorded=recorded,
+    )

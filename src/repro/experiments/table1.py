@@ -1,0 +1,96 @@
+"""Experiment E-T1: the probe inventory (Table I).
+
+Regenerates Table I from the live probe suite: a tracing session is
+created, its probes attached, and the table is rebuilt from the actually
+attached BPF programs -- verifying that the implementation exposes
+exactly the sixteen probe points the paper lists, on the same middleware
+symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..tracing.session import TracingSession
+from ..world import World
+from ..ros2.node import register_ros2_symbols
+
+#: Table I ground truth: row -> (library, function, purpose).
+TABLE1_REFERENCE: Dict[str, Tuple[str, str, str]] = {
+    "P1": ("rmw_cyclonedds_cpp", "rmw_create_node",
+           "node name and executor-thread PID"),
+    "P2": ("rclcpp", "execute_timer", "timer CB starts"),
+    "P3": ("rcl", "rcl_timer_call", "timer CB ID"),
+    "P4": ("rclcpp", "execute_timer", "timer CB ends"),
+    "P5": ("rclcpp", "execute_subscription", "subscriber CB starts"),
+    "P6": ("rmw_cyclonedds_cpp", "rmw_take_int",
+           "topic read: subscriber CB ID, topic, srcTS"),
+    "P7": ("message_filters", "operator()",
+           "subscriber CB used for data synchronization"),
+    "P8": ("rclcpp", "execute_subscription", "subscriber CB ends"),
+    "P9": ("rclcpp", "execute_service", "service CB starts"),
+    "P10": ("rmw_cyclonedds_cpp", "rmw_take_request",
+            "request read: service CB ID, service, srcTS"),
+    "P11": ("rclcpp", "execute_service", "service CB ends"),
+    "P12": ("rclcpp", "execute_client", "client CB starts"),
+    "P13": ("rmw_cyclonedds_cpp", "rmw_take_response",
+            "response read: client CB ID, service, srcTS"),
+    "P14": ("rclcpp", "take_type_erased_response",
+            "whether the client CB will be dispatched"),
+    "P15": ("rclcpp", "execute_client", "client CB ends"),
+    "P16": ("cyclonedds", "dds_write_impl",
+            "topic write: topic name and srcTS"),
+}
+
+
+@dataclass
+class Table1Result:
+    rows: List[Tuple[str, str, str, str]]  # (row id, kind, symbol, purpose)
+    missing: List[str]
+    unexpected: List[str]
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+    def table(self) -> str:
+        header = f"{'No.':<5} {'Kind':<11} {'Symbol':<44} Purpose"
+        lines = [header, "-" * 100]
+        for row_id, kind, symbol, purpose in self.rows:
+            lines.append(f"{row_id:<5} {kind:<11} {symbol:<44} {purpose}")
+        return "\n".join(lines)
+
+
+def run_table1() -> Table1Result:
+    """Attach the full probe suite and rebuild Table I from it."""
+    world = World(num_cpus=1, seed=0)
+    register_ros2_symbols(world)
+    session = TracingSession(world)
+    session.start_init()
+    session.start_runtime()
+    attached: Dict[str, Tuple[str, str]] = {}
+    for program in session.bpf.programs:
+        # Probe names carry the Table I row ("P6.entry" rows are the
+        # entry half of the srcTS stash; report the exit row).
+        row_id = program.name.split(".")[0]
+        if row_id.startswith("P"):
+            attached[row_id] = (program.kind, program.target)
+    session.stop_runtime()
+    session.stop_init()
+
+    rows: List[Tuple[str, str, str, str]] = []
+    missing: List[str] = []
+    for row_id in sorted(TABLE1_REFERENCE, key=lambda r: int(r[1:])):
+        lib, func, purpose = TABLE1_REFERENCE[row_id]
+        expected_symbol = f"{lib}:{func}"
+        if row_id not in attached:
+            missing.append(row_id)
+            continue
+        kind, target = attached[row_id]
+        if target != expected_symbol:
+            missing.append(row_id)
+            continue
+        rows.append((row_id, kind, target, purpose))
+    unexpected = sorted(set(attached) - set(TABLE1_REFERENCE))
+    return Table1Result(rows=rows, missing=missing, unexpected=unexpected)

@@ -1,0 +1,140 @@
+"""Experiment E-T2: execution times of the AVP callbacks (Table II).
+
+The paper runs AVP localization and SYN *concurrently* 50 times, applies
+the DAG synthesis per run, merges the DAGs, and reports mBCET / mACET /
+mWCET for cb1..cb6.  SYN's load changes across runs to vary the
+interference the AVP callbacks experience (which perturbs *when* they
+run, but -- thanks to Alg. 2 -- not their measured execution times,
+except where interference genuinely moves work between callbacks, i.e.
+which fusion member arrives last and carries the fusion cost).
+
+Machine layout (4 CPUs):
+
+=====  ==========================================================
+cpu 0  filter front (cb2)
+cpu 1  filter rear (cb1)  + SYN (interference)
+cpu 2  point_cloud_fusion (cb3/cb4) + voxel grid (cb5)
+cpu 3  NDT localizer (cb6)          + SYN (interference)
+=====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.avp import AvpApp, TABLE2_REFERENCE_MS, build_avp
+from ..apps.syn import build_syn
+from ..core.dag import TimingDag
+from ..core.export import format_exec_table
+from ..core.merge import merge_dags
+from ..core.pipeline import synthesize_from_trace
+from ..sim.kernel import SEC
+from .runner import RunConfig, run_many
+
+#: Per-node CPU affinities for the AVP nodes.
+AVP_AFFINITY: Dict[str, List[int]] = {
+    "filter_transform_vlp16_front": [0],
+    "filter_transform_vlp16_rear": [1],
+    "point_cloud_fusion": [2],
+    "voxel_grid_cloud_node": [2],
+    "p2d_ndt_localizer_node": [3],
+}
+
+#: CPUs shared with SYN.
+SYN_AFFINITY: List[int] = [1, 3]
+
+
+@dataclass
+class Table2Config:
+    """Run-count / duration knobs (paper: 50 runs x 80 s)."""
+
+    runs: int = 50
+    duration_ns: int = 10 * SEC
+    base_seed: int = 2000
+    num_cpus: int = 4
+    syn_load_range: Tuple[float, float] = (0.5, 2.5)
+
+    def load_factor(self, run_index: int) -> float:
+        """SYN load for a given run (swept linearly across runs)."""
+        lo, hi = self.syn_load_range
+        if self.runs <= 1:
+            return lo
+        return lo + (hi - lo) * run_index / (self.runs - 1)
+
+
+@dataclass
+class Table2Result:
+    """Merged model, per-run models, and the printed table."""
+
+    merged_dag: TimingDag
+    per_run_dags: List[TimingDag]
+    cb_keys: Dict[str, str]
+    reference_ms: Dict[str, tuple] = field(default_factory=lambda: dict(TABLE2_REFERENCE_MS))
+
+    def table(self) -> str:
+        names = {key: cb for cb, key in self.cb_keys.items()}
+        order = [self.cb_keys[cb] for cb in sorted(self.cb_keys)]
+        return format_exec_table(self.merged_dag, order=order, names=names)
+
+    def measured_ms(self, cb: str) -> Tuple[float, float, float]:
+        stats = self.merged_dag.vertex(self.cb_keys[cb]).exec_stats.ms()
+        return (stats.mbcet, stats.macet, stats.mwcet)
+
+    def comparison(self) -> str:
+        lines = [
+            f"{'CB':<5} {'paper mBCET':>12} {'ours':>8} "
+            f"{'paper mACET':>12} {'ours':>8} {'paper mWCET':>12} {'ours':>8}"
+        ]
+        for cb in sorted(self.cb_keys):
+            ref = self.reference_ms[cb]
+            ours = self.measured_ms(cb)
+            lines.append(
+                f"{cb:<5} {ref[0]:>12.2f} {ours[0]:>8.2f} "
+                f"{ref[1]:>12.2f} {ours[1]:>8.2f} {ref[2]:>12.2f} {ours[2]:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def build_concurrent_apps(world, run_index: int, config: Table2Config):
+    """AVP + SYN on one machine, SYN load varying per run."""
+    from ..apps.avp import LIDAR_PERIOD, default_workloads
+
+    samples_per_run = max(1, config.duration_ns // LIDAR_PERIOD)
+    avp = build_avp(
+        world,
+        workloads=default_workloads(samples_per_run=samples_per_run),
+        affinity=AVP_AFFINITY,
+    )
+    syn = build_syn(
+        world,
+        load_factor=config.load_factor(run_index),
+        affinity=SYN_AFFINITY,
+    )
+    return (avp, syn)
+
+
+def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
+    """The full experiment: N concurrent runs, DAG per run, merged DAG."""
+    run_config = RunConfig(
+        duration_ns=config.duration_ns,
+        base_seed=config.base_seed,
+        num_cpus=config.num_cpus,
+    )
+    results = run_many(
+        lambda world, i: build_concurrent_apps(world, i, config),
+        runs=config.runs,
+        config=run_config,
+    )
+    per_run_dags: List[TimingDag] = []
+    cb_keys: Optional[Dict[str, str]] = None
+    for result in results:
+        avp: AvpApp = result.apps[0]
+        cb_keys = avp.cb_keys
+        per_run_dags.append(synthesize_from_trace(result.trace, pids=avp.pids))
+    assert cb_keys is not None
+    return Table2Result(
+        merged_dag=merge_dags(per_run_dags),
+        per_run_dags=per_run_dags,
+        cb_keys=cb_keys,
+    )

@@ -1,0 +1,52 @@
+"""ROS2 middleware substrate.
+
+Nodes, single-threaded executors, topics over a simulated DDS bus,
+timers, subscriptions, services/clients and ``message_filters``-style
+data synchronization -- the full application substrate the paper's
+tracers observe (it uses ROS2 Foxy + Eclipse CycloneDDS).
+"""
+
+from .client import Client
+from .dds import DdsBus, DdsReader, DdsWriter, Msg, Sample
+from .executor import CallbackApi, SingleThreadedExecutor
+from .external import ExternalPublisher
+from .message_filters import ApproximateTimeSynchronizer, TimeSynchronizer
+from .node import Node, Publisher, register_ros2_symbols
+from .qos import DEFAULT_QOS, QoSProfile, SENSOR_QOS
+from .service import (
+    RequestEnvelope,
+    ResponseEnvelope,
+    Service,
+    reply_topic,
+    request_topic,
+)
+from .subscription import MessageInfo, Subscription
+from .timer import Timer
+
+__all__ = [
+    "Client",
+    "DdsBus",
+    "DdsReader",
+    "DdsWriter",
+    "Msg",
+    "Sample",
+    "CallbackApi",
+    "SingleThreadedExecutor",
+    "ExternalPublisher",
+    "ApproximateTimeSynchronizer",
+    "TimeSynchronizer",
+    "Node",
+    "Publisher",
+    "register_ros2_symbols",
+    "DEFAULT_QOS",
+    "QoSProfile",
+    "SENSOR_QOS",
+    "RequestEnvelope",
+    "ResponseEnvelope",
+    "Service",
+    "reply_topic",
+    "request_topic",
+    "MessageInfo",
+    "Subscription",
+    "Timer",
+]

@@ -1,0 +1,84 @@
+"""ROS2 service clients.
+
+Every client of a service subscribes to the shared ``<service>Reply``
+topic, so each response wakes *all* client nodes: probes P12 (client CB
+start), P13 (``rmw_take_response``) and P15 (client CB end) fire
+everywhere, but ``take_type_erased_response`` (probe P14, a uretprobe
+reading the return value) returns 1 only in the node whose pending
+request matches -- the mechanism Sec. III-A describes for telling the
+real dispatch apart from the broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Set
+
+from .qos import DEFAULT_QOS, QoSProfile
+from .service import RequestEnvelope, ResponseEnvelope, reply_topic, request_topic
+from .subscription import MessageInfo
+
+
+class Client:
+    """A service client: request writer + response reader + client CB."""
+
+    def __init__(
+        self,
+        node,
+        service_name: str,
+        callback: Optional[Callable],
+        cb_id: str,
+        qos: QoSProfile = DEFAULT_QOS,
+    ):
+        self.node = node
+        self.service_name = service_name
+        self.callback = callback
+        self.cb_id = cb_id
+        self.request_writer = node.world.dds.create_writer(
+            request_topic(service_name), kind="request"
+        )
+        self.reader = node.world.dds.create_reader(
+            reply_topic(service_name), listener=node._on_data, qos=qos, kind="response"
+        )
+        self._seq = 0
+        self._pending: Set[int] = set()
+        self.calls = 0
+        self.dispatched = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.reader.has_data
+
+    def call_async(self, data: Any = None) -> int:
+        """Send a request (non-blocking); returns the sequence number.
+
+        Must be called from callback context (the request's source
+        timestamp and writer PID identify the *calling CB* to FindCaller).
+        """
+        self._seq += 1
+        self._pending.add(self._seq)
+        self.calls += 1
+        envelope = RequestEnvelope(client_id=self.cb_id, seq=self._seq, data=data)
+        self.node.world.dds.write(self.request_writer, envelope)
+        return self._seq
+
+    def _rmw_take_response(
+        self, client: "Client", msg_info: MessageInfo
+    ) -> ResponseEnvelope:
+        """``rmw_take_response``: pop one response, fill ``msg_info.src_ts``."""
+        sample = self.reader.take()
+        msg_info.src_ts = sample.src_ts
+        envelope = sample.payload
+        if not isinstance(envelope, ResponseEnvelope):
+            raise TypeError(f"malformed response for {self.service_name!r}: {envelope!r}")
+        return envelope
+
+    def _take_type_erased(self, envelope: ResponseEnvelope) -> int:
+        """``take_type_erased_response``: 1 iff this client dispatches."""
+        if envelope.client_id == self.cb_id and envelope.seq in self._pending:
+            self._pending.discard(envelope.seq)
+            self.dispatched += 1
+            return 1
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Client({self.cb_id}, service={self.service_name!r})"

@@ -1,0 +1,173 @@
+"""Simulated DDS layer (Eclipse CycloneDDS stand-in).
+
+All ROS2 communication -- topics, service requests and service responses
+-- flows through this bus, mirroring the layered architecture described
+in Sec. II-A.  The single choke point is ``dds_write_impl``, the function
+the paper probes as **P16**: every write is dispatched through the
+middleware symbol table so an attached uprobe observes the writer's topic
+name, the payload kind (data / service request / service response) and
+the source timestamp.
+
+Delivery is asynchronous: samples arrive at reader queues after the
+configured one-way latency, then the reader's listener (the owning
+node's executor) is notified.  Reader queues honour ``KEEP_LAST`` QoS
+depth with oldest-drop semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from .qos import DEFAULT_QOS, QoSProfile
+
+#: Symbol name of the probed write function (Table I, P16).
+DDS_WRITE_SYMBOL = "cyclonedds:dds_write_impl"
+
+
+@dataclass
+class Msg:
+    """A ROS2 message.
+
+    ``stamp`` models the ``header.stamp`` field used by ``message_filters``
+    to synchronize sensor data; ``data`` is an opaque payload.
+    """
+
+    stamp: Optional[int] = None
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class Sample:
+    """A sample as it travels on the wire."""
+
+    payload: Any
+    src_ts: int
+    kind: str  # "data" | "request" | "response"
+    writer_pid: int
+
+
+class DdsReader:
+    """A DataReader bound to one topic, with a bounded KEEP_LAST queue."""
+
+    def __init__(
+        self,
+        topic: "DdsTopic",
+        qos: QoSProfile,
+        listener: Callable[["DdsReader"], None],
+        kind: str = "data",
+    ):
+        self.topic = topic
+        self.qos = qos
+        self.listener = listener
+        self.kind = kind
+        self.queue: Deque[Sample] = deque()
+        self.dropped = 0
+        self.received = 0
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.queue)
+
+    def deliver(self, sample: Sample) -> None:
+        self.received += 1
+        if len(self.queue) >= self.qos.depth:
+            self.queue.popleft()
+            self.dropped += 1
+        self.queue.append(sample)
+        self.listener(self)
+
+    def take(self) -> Sample:
+        if not self.queue:
+            raise RuntimeError(f"take() on empty reader for {self.topic.name!r}")
+        return self.queue.popleft()
+
+
+class DdsWriter:
+    """A DataWriter bound to one topic."""
+
+    def __init__(self, bus: "DdsBus", topic: "DdsTopic", kind: str = "data"):
+        self.bus = bus
+        self.topic = topic
+        self.kind = kind
+        self.written = 0
+
+
+class DdsTopic:
+    """A named topic connecting writers to readers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.readers: List[DdsReader] = []
+        self.writers: List[DdsWriter] = []
+
+
+class DdsBus:
+    """The machine-wide DDS domain."""
+
+    def __init__(self, world, latency_ns: int = 50_000):
+        if latency_ns < 0:
+            raise ValueError("latency must be >= 0")
+        self.world = world
+        self.latency_ns = latency_ns
+        self.topics: Dict[str, DdsTopic] = {}
+        self.total_writes = 0
+        # The probeable symbol of this "shared object".
+        world.symbols.register("cyclonedds", "dds_write_impl")
+
+    def topic(self, name: str) -> DdsTopic:
+        top = self.topics.get(name)
+        if top is None:
+            top = DdsTopic(name)
+            self.topics[name] = top
+        return top
+
+    def create_writer(self, topic_name: str, kind: str = "data") -> DdsWriter:
+        topic = self.topic(topic_name)
+        writer = DdsWriter(self, topic, kind=kind)
+        topic.writers.append(writer)
+        return writer
+
+    def create_reader(
+        self,
+        topic_name: str,
+        listener: Callable[[DdsReader], None],
+        qos: QoSProfile = DEFAULT_QOS,
+        kind: str = "data",
+    ) -> DdsReader:
+        topic = self.topic(topic_name)
+        reader = DdsReader(topic, qos, listener, kind=kind)
+        topic.readers.append(reader)
+        return reader
+
+    # ------------------------------------------------------------------
+
+    def write(self, writer: DdsWriter, payload: Any) -> int:
+        """Publish ``payload`` through the probed ``dds_write_impl``.
+
+        Returns the source timestamp stamped on the sample.  The call is
+        routed through the symbol table so an attached P16 uprobe can
+        read the writer's topic, kind and the source timestamp from the
+        function arguments -- the same struct traversal the paper's
+        eBPF program performs.
+        """
+        src_ts = self.world.now
+        self.world.symbols.call(
+            DDS_WRITE_SYMBOL, self._dds_write_impl, writer, payload, src_ts
+        )
+        return src_ts
+
+    def _dds_write_impl(self, writer: DdsWriter, payload: Any, src_ts: int) -> None:
+        writer.written += 1
+        self.total_writes += 1
+        pid = self._current_pid()
+        sample = Sample(payload=payload, src_ts=src_ts, kind=writer.kind, writer_pid=pid)
+        for reader in list(writer.topic.readers):
+            self.world.kernel.schedule_after(
+                self.latency_ns, lambda r=reader: r.deliver(sample)
+            )
+
+    def _current_pid(self) -> int:
+        thread = self.world.scheduler.current_thread
+        return thread.pid if thread is not None else 0

@@ -1,0 +1,75 @@
+"""External (untraced) publishers: sensors and replay tools.
+
+The AVP evaluation feeds the localization pipeline from LIDAR topics
+published by the demo's replay machinery -- processes that are not part
+of the traced application.  :class:`ExternalPublisher` reproduces that:
+it writes stamped messages straight onto the DDS bus from kernel/driver
+context (PID 0), at a fixed rate with optional phase and jitter, without
+an executor thread and therefore without ever appearing as a callback in
+the synthesized DAG.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .dds import Msg
+
+
+class ExternalPublisher:
+    """Publishes ``Msg(stamp=now)`` on ``topic`` every ``period_ns``.
+
+    Parameters
+    ----------
+    world:
+        The machine.
+    topic:
+        Destination topic.
+    period_ns:
+        Publication period (e.g. 100 ms for a 10 Hz LIDAR).
+    phase_ns:
+        Offset of the first sample.
+    jitter_ns:
+        Uniform +/- jitter applied to each period (sensor timing noise).
+    make_msg:
+        Optional factory ``make_msg(world) -> Msg`` for custom payloads.
+    """
+
+    def __init__(
+        self,
+        world,
+        topic: str,
+        period_ns: int,
+        phase_ns: int = 0,
+        jitter_ns: int = 0,
+        make_msg: Optional[Callable[[Any], Msg]] = None,
+    ):
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        if jitter_ns < 0 or jitter_ns >= period_ns:
+            raise ValueError("jitter must satisfy 0 <= jitter < period")
+        self.world = world
+        self.topic = topic
+        self.period_ns = period_ns
+        self.phase_ns = phase_ns
+        self.jitter_ns = jitter_ns
+        self.make_msg = make_msg
+        self.writer = world.dds.create_writer(topic, kind="data")
+        self.published = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Arm the first sample (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.world.kernel.schedule_after(self.phase_ns, self._emit)
+
+    def _emit(self) -> None:
+        msg = self.make_msg(self.world) if self.make_msg else Msg(stamp=self.world.now)
+        self.world.dds.write(self.writer, msg)
+        self.published += 1
+        delay = self.period_ns
+        if self.jitter_ns:
+            delay += int(self.world.rng.integers(-self.jitter_ns, self.jitter_ns + 1))
+        self.world.kernel.schedule_after(max(delay, 1), self._emit)

@@ -1,0 +1,165 @@
+"""``message_filters``-style data synchronization (sensor fusion).
+
+A synchronizer joins *m* subscriptions: each incoming message enters the
+filter through ``message_filters:operator()`` -- probe P7, identifying
+the subscriber CB as "used for data synchronization".  When all member
+queues hold messages whose stamps match (exactly, or within ``slop_ns``
+for approximate-time policy), the fusion callback runs *inline in the
+subscriber CB that completed the set* -- i.e. the input that arrives
+last carries the fusion work and publishes the output, matching the
+paper's observation that a sync member whose input never arrives last
+shows no published topic in its CBlist entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Sequence
+
+from ..sim.threads import Compute
+from ..sim.workload import WorkloadModel
+from .dds import Msg
+from .subscription import Subscription
+
+#: Symbol name of the probed filter entry point (Table I, P7).
+SYNC_OPERATOR_SYMBOL = "message_filters:operator()"
+
+
+class TimeSynchronizer:
+    """Joins messages across subscriptions by stamp.
+
+    Parameters
+    ----------
+    subscriptions:
+        The member subscriptions (their callbacks are replaced by the
+        filter, as with ``message_filters::Subscriber``).
+    callback:
+        ``callback(api, msgs)`` invoked with the matched message list, in
+        member order; may be a generator yielding compute requests.
+    queue_size:
+        Per-member stamp queue length.
+    slop_ns:
+        Maximum stamp spread for a match.  0 means exact-time policy.
+    per_input_work:
+        Optional workload model charged on every input (deserialization
+        and filter bookkeeping); part of the subscriber CB's measured
+        execution time.  Either a single model for all members or a dict
+        keyed by subscription ``cb_id`` for per-member costs.
+    """
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        callback: Callable,
+        queue_size: int = 10,
+        slop_ns: int = 0,
+        per_input_work: Optional[WorkloadModel] = None,
+    ):
+        if len(subscriptions) < 2:
+            raise ValueError("a synchronizer needs at least two inputs")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if slop_ns < 0:
+            raise ValueError("slop_ns must be >= 0")
+        owners = {sub.node for sub in subscriptions}
+        if len(owners) != 1:
+            raise ValueError("all synchronized subscriptions must share a node")
+        self.node = subscriptions[0].node
+        self.subscriptions = list(subscriptions)
+        self.callback = callback
+        self.queue_size = queue_size
+        self.slop_ns = slop_ns
+        self.per_input_work = per_input_work
+        self._queues: Dict[Subscription, Deque[Msg]] = {
+            sub: deque(maxlen=queue_size) for sub in self.subscriptions
+        }
+        self.matches = 0
+        for sub in self.subscriptions:
+            sub.sync_filter = self
+        self.node.world.symbols.register("message_filters", "operator()")
+
+    # ------------------------------------------------------------------
+
+    def add(self, sub: Subscription, msg: Any, api) -> Any:
+        """Filter entry point (``operator()``); runs inside the member
+        subscriber CB.  Generator: may compute and run the fusion CB."""
+        work = self.per_input_work
+        if isinstance(work, dict):
+            work = work.get(sub.cb_id)
+        if work is not None:
+            yield Compute(work.sample(self.node.world.rng))
+        incoming = self._as_msg(msg)
+        self._stamp(incoming)  # fail fast on unstamped input
+        self._queues[sub].append(incoming)
+        match = self._find_match()
+        if match is not None:
+            self.matches += 1
+            self._pop(match)
+            result = self.callback(api, [match[s] for s in self.subscriptions])
+            if result is not None and hasattr(result, "__iter__"):
+                yield from result
+        return None
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_msg(payload: Any) -> Msg:
+        if isinstance(payload, Msg):
+            return payload
+        return Msg(stamp=None, data=payload)
+
+    @staticmethod
+    def _stamp(msg: Msg) -> int:
+        if msg.stamp is None:
+            raise ValueError(
+                "synchronized messages must carry a stamp "
+                "(publish Msg(stamp=...) on synchronized topics)"
+            )
+        return msg.stamp
+
+    def _find_match(self) -> Optional[Dict[Subscription, Msg]]:
+        """Pick, per member, the message minimizing spread around the
+        newest queue heads; succeed when spread <= slop."""
+        if any(not q for q in self._queues.values()):
+            return None
+        # Pivot: the latest of the earliest stamps (every member must
+        # have a message not earlier than pivot - slop).
+        pivot = max(self._stamp(q[0]) for q in self._queues.values())
+        chosen: Dict[Subscription, Msg] = {}
+        for sub, queue in self._queues.items():
+            best = min(queue, key=lambda m: abs(self._stamp(m) - pivot))
+            chosen[sub] = best
+        stamps = [self._stamp(m) for m in chosen.values()]
+        if max(stamps) - min(stamps) <= self.slop_ns:
+            return chosen
+        return None
+
+    def _pop(self, match: Dict[Subscription, Msg]) -> None:
+        """Remove the matched messages and everything older."""
+        for sub, msg in match.items():
+            queue = self._queues[sub]
+            stamp = self._stamp(msg)
+            while queue and self._stamp(queue[0]) <= stamp:
+                queue.popleft()
+
+
+class ApproximateTimeSynchronizer(TimeSynchronizer):
+    """Approximate-time policy: convenience subclass with required slop."""
+
+    def __init__(
+        self,
+        subscriptions: Sequence[Subscription],
+        callback: Callable,
+        slop_ns: int,
+        queue_size: int = 10,
+        per_input_work: Optional[WorkloadModel] = None,
+    ):
+        if slop_ns <= 0:
+            raise ValueError("approximate policy needs slop_ns > 0")
+        super().__init__(
+            subscriptions,
+            callback,
+            queue_size=queue_size,
+            slop_ns=slop_ns,
+            per_input_work=per_input_work,
+        )

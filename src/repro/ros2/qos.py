@@ -1,0 +1,39 @@
+"""Quality-of-service profiles for subscriptions and publishers.
+
+Only the QoS dimensions that influence the timing model are simulated:
+history depth (queue length before samples are dropped) and reliability
+(whether drops are counted as violations).  These match the defaults the
+AVP demo uses (``KEEP_LAST`` with small depths on sensor topics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QoSProfile:
+    """Subscription queue behaviour.
+
+    Attributes
+    ----------
+    depth:
+        ``KEEP_LAST`` history depth; the oldest sample is dropped when a
+        new one arrives on a full queue.
+    reliable:
+        Purely informational flag carried into reader statistics.
+    """
+
+    depth: int = 10
+    reliable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("QoS depth must be >= 1")
+
+
+#: Default profile used when none is given (rclcpp's ``KeepLast(10)``).
+DEFAULT_QOS = QoSProfile()
+
+#: Typical sensor-data profile (shallow queue, best effort).
+SENSOR_QOS = QoSProfile(depth=5, reliable=False)

@@ -1,0 +1,92 @@
+"""ROS2 services (server side).
+
+Services are implemented over topics, as in real ROS2 (Sec. II-A): a
+request is published on ``<service>Request`` and the result on
+``<service>Reply``.  The server-side callback is dispatched through
+``rclcpp:execute_service`` (probes P9/P11) and reads the request with
+``rmw_take_request`` (probe P10, carrying the request's source
+timestamp -- the key FindCaller uses to identify which client CB sent
+the request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .qos import DEFAULT_QOS, QoSProfile
+from .subscription import MessageInfo
+
+
+def request_topic(service_name: str) -> str:
+    """Topic carrying requests for ``service_name`` (e.g. ``/sv3Request``)."""
+    return f"{service_name}Request"
+
+
+def reply_topic(service_name: str) -> str:
+    """Topic carrying responses for ``service_name`` (e.g. ``/sv3Reply``)."""
+    return f"{service_name}Reply"
+
+
+@dataclass(frozen=True)
+class RequestEnvelope:
+    """A service request on the wire: payload plus the DDS-level identity
+    (client GID + sequence number) used to route the response."""
+
+    client_id: str
+    seq: int
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class ResponseEnvelope:
+    """A service response on the wire, echoing the request identity."""
+
+    client_id: str
+    seq: int
+    data: Any = None
+
+
+class Service:
+    """A service server and its callback."""
+
+    def __init__(
+        self,
+        node,
+        name: str,
+        handler: Callable,
+        cb_id: str,
+        qos: QoSProfile = DEFAULT_QOS,
+    ):
+        self.node = node
+        self.name = name
+        self.handler = handler
+        self.cb_id = cb_id
+        self.request_topic = request_topic(name)
+        self.reply_topic = reply_topic(name)
+        self.reader = node.world.dds.create_reader(
+            self.request_topic, listener=node._on_data, qos=qos, kind="request"
+        )
+        self.response_writer = node.world.dds.create_writer(
+            self.reply_topic, kind="response"
+        )
+        self.served = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.reader.has_data
+
+    def _rmw_take_request(
+        self, service: "Service", msg_info: MessageInfo
+    ) -> RequestEnvelope:
+        """``rmw_take_request``: pop one request, fill ``msg_info.src_ts``."""
+        sample = self.reader.take()
+        msg_info.src_ts = sample.src_ts
+        self.served += 1
+        envelope = sample.payload
+        if not isinstance(envelope, RequestEnvelope):
+            raise TypeError(f"malformed request on {self.request_topic!r}: {envelope!r}")
+        return envelope
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Service({self.cb_id}, name={self.name!r})"

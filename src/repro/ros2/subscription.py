@@ -1,0 +1,67 @@
+"""ROS2 subscriptions.
+
+Dispatch goes through ``rclcpp:execute_subscription`` (probes P5/P8); the
+data and its source timestamp are read by ``rmw_take_int`` (probe P6).
+
+``rmw_take_int`` writes the source timestamp *by reference* into a
+:class:`MessageInfo`, reproducing the situation that forced the paper's
+entry+exit pointer-stash technique: the value is unknown at function
+entry and only available at exit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .dds import DdsReader, Sample
+from .qos import DEFAULT_QOS, QoSProfile
+
+
+class MessageInfo:
+    """Out-parameter of the ``rmw_take_*`` family (``rmw_message_info_t``).
+
+    ``src_ts`` is ``None`` until the take fills it -- an entry probe
+    cannot read the value, only stash the reference.
+    """
+
+    __slots__ = ("src_ts",)
+
+    def __init__(self) -> None:
+        self.src_ts: Optional[int] = None
+
+
+class Subscription:
+    """A topic subscription and its callback."""
+
+    def __init__(
+        self,
+        node,
+        topic: str,
+        callback: Optional[Callable],
+        cb_id: str,
+        qos: QoSProfile = DEFAULT_QOS,
+    ):
+        self.node = node
+        self.topic = topic
+        self.callback = callback
+        self.cb_id = cb_id
+        self.reader: DdsReader = node.world.dds.create_reader(
+            topic, listener=node._on_data, qos=qos, kind="data"
+        )
+        #: Set by a synchronizer when this subscription feeds sensor fusion.
+        self.sync_filter = None
+        self.taken = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.reader.has_data
+
+    def _rmw_take(self, sub: "Subscription", msg_info: MessageInfo) -> Any:
+        """``rmw_take_int``: pop one sample, fill ``msg_info.src_ts``."""
+        sample: Sample = self.reader.take()
+        msg_info.src_ts = sample.src_ts
+        self.taken += 1
+        return sample.payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Subscription({self.cb_id}, topic={self.topic!r})"

@@ -1,0 +1,173 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the clock of the simulated machine.  All other substrates
+(the CPU scheduler in :mod:`repro.sim.scheduler`, the DDS bus in
+:mod:`repro.ros2.dds`, ROS2 timers, ...) schedule work on a single shared
+:class:`SimKernel` instance.  Simulated time is an integer number of
+nanoseconds, mirroring ``CLOCK_MONOTONIC`` on the Linux box used in the
+paper.
+
+Events are plain callables ordered by ``(time, priority, sequence)``.  The
+sequence number makes ordering of same-timestamp events deterministic
+(FIFO), which in turn makes every experiment in this repository
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+#: One microsecond / millisecond / second expressed in kernel ticks (ns).
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimKernel.schedule`.
+
+    Holds enough state to cancel the event before it fires.  Cancelling a
+    handle twice, or after the event fired, is a harmless no-op; this is
+    the behaviour preemption logic in the scheduler relies on.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn: Optional[Callable[[], None]] = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.fn = None
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and self.fn is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
+
+
+class SimKernel:
+    """Deterministic discrete-event simulation kernel.
+
+    Example
+    -------
+    >>> k = SimKernel()
+    >>> fired = []
+    >>> _ = k.schedule_at(10, lambda: fired.append(k.now))
+    >>> _ = k.schedule_after(5, lambda: fired.append(k.now))
+    >>> k.run()
+    >>> fired
+    [5, 10]
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("start time must be >= 0")
+        self._now = start
+        self._queue: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def schedule_at(
+        self, time: int, fn: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``fn`` to run at absolute time ``time``.
+
+        ``priority`` breaks ties between events with equal timestamps;
+        lower values run first.  Scheduling in the past raises
+        ``ValueError`` -- a kernel never travels backwards.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at t={time} (now={self._now}): time is in the past"
+            )
+        self._seq += 1
+        handle = EventHandle(time, priority, self._seq, fn)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def schedule_after(
+        self, delay: int, fn: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, fn, priority)
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for h in self._queue if h.pending)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if not handle.pending:
+                continue
+            fn = handle.fn
+            handle.fn = None
+            self._now = handle.time
+            assert fn is not None
+            fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` events have fired.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fired earlier, so back-to-back ``run``
+        calls observe a monotonically advancing clock.  Returns the number
+        of events that fired.
+        """
+        if self._running:
+            raise RuntimeError("SimKernel.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                head = self._peek()
+                if head is None:
+                    break
+                if until is not None and head.time > until:
+                    break
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return fired
+
+    def _peek(self) -> Optional[EventHandle]:
+        while self._queue and not self._queue[0].pending:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimKernel(now={self._now}, pending={self.pending_count()})"

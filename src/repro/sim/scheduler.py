@@ -1,0 +1,483 @@
+"""Preemptive multi-CPU scheduler for simulated threads.
+
+The scheduler reproduces the slice of Linux scheduling behaviour the paper
+depends on:
+
+* per-CPU dispatch with CPU affinity masks,
+* strict priority preemption (a waking higher-priority thread immediately
+  preempts a lower-priority one on an allowed CPU),
+* round-robin timeslicing between equal-priority ``SCHED_OTHER`` /
+  ``SCHED_RR`` threads (``SCHED_FIFO`` threads run to the next blocking
+  point),
+* emission of ``sched_switch`` records -- (CPU, previous thread and its
+  state, next thread) -- on every context switch, and ``sched_wakeup``
+  records when a sleeping thread is woken.
+
+Execution-time measurement in the paper (Alg. 2) reconstructs a callback's
+CPU demand purely from the ``sched_switch`` stream; this module produces
+that stream with the same fields Linux exposes.
+
+Threads execute generator *activities* (see :mod:`repro.sim.threads`).
+Context-switch points exist only at ``yield`` boundaries, which mirrors a
+kernel with preemption points: Python code between two yields runs
+atomically at one simulated instant while the thread owns a CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
+
+from collections import deque
+
+from .kernel import EventHandle, MSEC, SimKernel
+from .threads import (
+    Activity,
+    Block,
+    Compute,
+    SchedPolicy,
+    SimThread,
+    ThreadState,
+    YieldCpu,
+)
+
+#: PID used for the idle task, as on Linux.
+IDLE_PID = 0
+
+#: Default round-robin quantum (Linux RR default is wider; 4 ms keeps
+#: plenty of preemption in the evaluation scenarios).
+DEFAULT_TIMESLICE = 4 * MSEC
+
+
+@dataclass(frozen=True)
+class SchedSwitch:
+    """A ``sched_switch`` record, field-for-field what the paper's kernel
+    tracer reads from the tracepoint (Sec. III-B)."""
+
+    ts: int
+    cpu: int
+    prev_pid: int
+    prev_comm: str
+    prev_prio: int
+    prev_state: str
+    next_pid: int
+    next_comm: str
+    next_prio: int
+
+
+@dataclass(frozen=True)
+class SchedWakeup:
+    """A ``sched_wakeup`` record (listed as future work in the paper;
+    used here by the waiting-time analysis extension)."""
+
+    ts: int
+    cpu: Optional[int]
+    pid: int
+    comm: str
+    prio: int
+
+
+class _Cpu:
+    __slots__ = ("id", "current", "dispatch_time", "completion", "slice_handle", "busy_time")
+
+    def __init__(self, cpu_id: int):
+        self.id = cpu_id
+        self.current: Optional[SimThread] = None
+        self.dispatch_time = 0
+        self.completion: Optional[EventHandle] = None
+        self.slice_handle: Optional[EventHandle] = None
+        self.busy_time = 0
+
+
+class Scheduler:
+    """Multi-CPU preemptive priority scheduler.
+
+    Parameters
+    ----------
+    kernel:
+        The simulation kernel providing the clock and event queue.
+    num_cpus:
+        Number of CPUs in the machine.
+    timeslice:
+        Round-robin quantum (ns) for ``SCHED_OTHER`` / ``SCHED_RR``.
+    """
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        num_cpus: int = 4,
+        timeslice: int = DEFAULT_TIMESLICE,
+        first_pid: int = 1,
+    ):
+        if num_cpus < 1:
+            raise ValueError("need at least one CPU")
+        if timeslice <= 0:
+            raise ValueError("timeslice must be positive")
+        if first_pid < 1:
+            raise ValueError("first_pid must be >= 1 (0 is the idle task)")
+        self.kernel = kernel
+        self.cpus = [_Cpu(i) for i in range(num_cpus)]
+        self.timeslice = timeslice
+        self._threads: Dict[int, SimThread] = {}
+        self._next_pid = first_pid
+        self._ready: Dict[int, Deque[SimThread]] = {}
+        self._switch_hooks: List[Callable[[SchedSwitch], None]] = []
+        self._wakeup_hooks: List[Callable[[SchedWakeup], None]] = []
+        self._resched_pending = False
+        self._advancing: Optional[SimThread] = None
+        self.context_switches = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def num_cpus(self) -> int:
+        return len(self.cpus)
+
+    @property
+    def current_thread(self) -> Optional[SimThread]:
+        """The thread whose activity code is executing right now.
+
+        Probes attached to middleware functions use this to resolve the
+        PID of the traced process, like ``bpf_get_current_pid_tgid``.
+        """
+        return self._advancing
+
+    def threads(self) -> List[SimThread]:
+        return list(self._threads.values())
+
+    def get_thread(self, pid: int) -> SimThread:
+        return self._threads[pid]
+
+    def allocate_pid(self) -> int:
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def spawn(
+        self,
+        activity: Activity,
+        priority: int = 0,
+        policy: SchedPolicy = SchedPolicy.OTHER,
+        affinity: Optional[List[int]] = None,
+        name: str = "",
+        start: int = 0,
+        pid: Optional[int] = None,
+    ) -> SimThread:
+        """Create a thread and make it runnable at time ``start``."""
+        if affinity is not None:
+            bad = [c for c in affinity if not 0 <= c < self.num_cpus]
+            if bad:
+                raise ValueError(f"affinity CPUs out of range: {bad}")
+        if pid is None:
+            pid = self.allocate_pid()
+        elif pid in self._threads:
+            raise ValueError(f"pid {pid} already in use")
+        else:
+            self._next_pid = max(self._next_pid, pid + 1)
+        thread = SimThread(
+            pid=pid,
+            activity=activity,
+            priority=priority,
+            policy=policy,
+            affinity=affinity,
+            name=name,
+        )
+        self._threads[pid] = thread
+
+        def _start() -> None:
+            if thread.state == ThreadState.NEW:
+                self._enqueue_ready(thread)
+                self._request_resched()
+
+        self.kernel.schedule_at(max(start, self.kernel.now), _start)
+        return thread
+
+    def wakeup(self, thread: Union[SimThread, int], payload: Any = None) -> None:
+        """Wake ``thread``; delivers ``payload`` to its pending ``Block``.
+
+        Waking a runnable thread queues the payload for its *next* block
+        (condition-variable semantics: wakeups never get lost but do
+        coalesce).  Waking a dead thread is ignored.
+        """
+        if isinstance(thread, int):
+            thread = self._threads[thread]
+        if thread.state == ThreadState.DEAD:
+            return
+        if thread.state == ThreadState.BLOCKED:
+            thread.resume_value = payload
+            self._emit_wakeup(thread)
+            self._enqueue_ready(thread)
+            self._request_resched()
+        else:
+            thread.queue_wakeup(payload)
+
+    def on_sched_switch(self, hook: Callable[[SchedSwitch], None]) -> Callable[[], None]:
+        """Register a ``sched_switch`` tracepoint consumer.
+
+        Returns a detach function, mirroring tracepoint attach/detach.
+        """
+        self._switch_hooks.append(hook)
+        return lambda: self._switch_hooks.remove(hook)
+
+    def on_sched_wakeup(self, hook: Callable[[SchedWakeup], None]) -> Callable[[], None]:
+        self._wakeup_hooks.append(hook)
+        return lambda: self._wakeup_hooks.remove(hook)
+
+    def utilization(self, over: Optional[int] = None) -> List[float]:
+        """Fraction of time each CPU spent busy (finished segments only)."""
+        horizon = over if over is not None else self.kernel.now
+        if horizon <= 0:
+            return [0.0 for _ in self.cpus]
+        return [min(1.0, cpu.busy_time / horizon) for cpu in self.cpus]
+
+    # ------------------------------------------------------------------
+    # Ready queue management
+    # ------------------------------------------------------------------
+
+    def _enqueue_ready(self, thread: SimThread, front: bool = False) -> None:
+        thread.state = ThreadState.READY
+        dq = self._ready.setdefault(thread.priority, deque())
+        if front:
+            dq.appendleft(thread)
+        else:
+            dq.append(thread)
+
+    def _pick_ready(self, cpu_id: int) -> Optional[SimThread]:
+        for prio in sorted(self._ready, reverse=True):
+            dq = self._ready[prio]
+            for thread in dq:
+                if thread.can_run_on(cpu_id):
+                    dq.remove(thread)
+                    if not dq:
+                        del self._ready[prio]
+                    return thread
+        return None
+
+    def _best_ready_priority(self, cpu_id: int) -> Optional[int]:
+        for prio in sorted(self._ready, reverse=True):
+            if any(t.can_run_on(cpu_id) for t in self._ready[prio]):
+                return prio
+        return None
+
+    # ------------------------------------------------------------------
+    # Rescheduling (the "IPI" path)
+    # ------------------------------------------------------------------
+
+    def _request_resched(self) -> None:
+        if not self._resched_pending:
+            self._resched_pending = True
+            self.kernel.schedule_after(0, self._resched)
+
+    def _resched(self) -> None:
+        self._resched_pending = False
+        placed = True
+        while placed:
+            placed = False
+            for prio in sorted(self._ready, reverse=True):
+                for thread in list(self._ready[prio]):
+                    cpu = self._find_cpu_for(thread)
+                    if cpu is None:
+                        continue
+                    self._remove_ready(thread)
+                    prev = cpu.current
+                    if prev is not None:
+                        self._deschedule_current(cpu, requeue_front=True)
+                    self._emit_switch(cpu, prev, "R", thread)
+                    self._install(cpu, thread)
+                    placed = True
+                    break
+                if placed:
+                    break
+
+    def _find_cpu_for(self, thread: SimThread) -> Optional[_Cpu]:
+        """Pick an idle allowed CPU, else the allowed CPU running the
+        lowest-priority thread strictly below ``thread``'s priority."""
+        victim: Optional[_Cpu] = None
+        for cpu in self.cpus:
+            if not thread.can_run_on(cpu.id):
+                continue
+            if cpu.current is None:
+                return cpu
+            if cpu.current.priority < thread.priority:
+                if victim is None or cpu.current.priority < victim.current.priority:
+                    victim = cpu
+        return victim
+
+    def _remove_ready(self, thread: SimThread) -> None:
+        dq = self._ready.get(thread.priority)
+        if dq is not None and thread in dq:
+            dq.remove(thread)
+            if not dq:
+                del self._ready[thread.priority]
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+
+    def _install(self, cpu: _Cpu, thread: SimThread) -> None:
+        cpu.current = thread
+        thread.state = ThreadState.RUNNING
+        thread.cpu = cpu.id
+        cpu.dispatch_time = self.kernel.now
+        if thread.policy != SchedPolicy.FIFO:
+            cpu.slice_handle = self.kernel.schedule_after(
+                self.timeslice, partial(self._slice_expired, cpu, thread)
+            )
+        if thread.remaining > 0:
+            cpu.completion = self.kernel.schedule_after(
+                thread.remaining, partial(self._compute_done, cpu, thread)
+            )
+        else:
+            value = thread.resume_value
+            thread.resume_value = None
+            self._continue(cpu, thread, value)
+
+    def _continue(self, cpu: _Cpu, thread: SimThread, value: Any) -> None:
+        """Advance the activity until it computes, blocks, yields or exits."""
+        while True:
+            self._advancing = thread
+            try:
+                request = thread.advance(value)
+            finally:
+                self._advancing = None
+            value = None
+            if request is None:
+                self._retire(cpu, thread, ThreadState.DEAD)
+                return
+            if isinstance(request, Compute):
+                if request.duration == 0:
+                    continue
+                thread.remaining = request.duration
+                cpu.dispatch_time = self.kernel.now
+                cpu.completion = self.kernel.schedule_after(
+                    request.duration, partial(self._compute_done, cpu, thread)
+                )
+                return
+            if isinstance(request, Block):
+                if thread.has_pending_wakeup:
+                    value = thread.consume_wakeup()
+                    continue
+                self._retire(cpu, thread, ThreadState.BLOCKED)
+                return
+            if isinstance(request, YieldCpu):
+                self._retire(cpu, thread, ThreadState.READY)
+                return
+            raise TypeError(f"activity of {thread} yielded {request!r}")
+
+    def _retire(self, cpu: _Cpu, thread: SimThread, new_state: ThreadState) -> None:
+        """Detach ``thread`` from ``cpu`` (blocked/dead/yielded) and
+        dispatch the next runnable thread, emitting one sched_switch."""
+        self._cancel_cpu_timers(cpu)
+        thread.cpu = None
+        thread.state = new_state
+        cpu.current = None
+        if new_state == ThreadState.READY:
+            self._enqueue_ready(thread)  # sched_yield: tail of own prio
+        nxt = self._pick_ready(cpu.id)
+        self._emit_switch(cpu, thread, new_state.sched_char(), nxt)
+        if nxt is not None:
+            self._install(cpu, nxt)
+
+    def _deschedule_current(self, cpu: _Cpu, requeue_front: bool) -> None:
+        """Preempt the running thread: account the partial segment and put
+        the thread back on the ready queue (front keeps FIFO semantics)."""
+        thread = cpu.current
+        assert thread is not None
+        elapsed = self.kernel.now - cpu.dispatch_time
+        if thread.remaining > 0:
+            thread.remaining -= elapsed
+            assert thread.remaining >= 0, "compute segment over-ran its deadline"
+        thread.cpu_time += elapsed
+        cpu.busy_time += elapsed
+        self._cancel_cpu_timers(cpu)
+        thread.cpu = None
+        cpu.current = None
+        self._enqueue_ready(thread, front=requeue_front)
+
+    def _cancel_cpu_timers(self, cpu: _Cpu) -> None:
+        if cpu.completion is not None:
+            cpu.completion.cancel()
+            cpu.completion = None
+        if cpu.slice_handle is not None:
+            cpu.slice_handle.cancel()
+            cpu.slice_handle = None
+
+    def _compute_done(self, cpu: _Cpu, thread: SimThread) -> None:
+        if cpu.current is not thread:  # stale event after a preemption race
+            return
+        elapsed = self.kernel.now - cpu.dispatch_time
+        thread.cpu_time += elapsed
+        cpu.busy_time += elapsed
+        thread.remaining = 0
+        cpu.completion = None
+        self._continue(cpu, thread, None)
+
+    def _slice_expired(self, cpu: _Cpu, thread: SimThread) -> None:
+        if cpu.current is not thread:
+            return
+        cpu.slice_handle = None
+        competitor = self._best_ready_priority(cpu.id)
+        if competitor is not None and competitor >= thread.priority:
+            self._deschedule_current(cpu, requeue_front=False)
+            nxt = self._pick_ready(cpu.id)
+            assert nxt is not None
+            if nxt is thread:
+                # Round-robin found nobody better after all; keep running.
+                self._install(cpu, thread)
+                return
+            self._emit_switch(cpu, thread, "R", nxt)
+            self._install(cpu, nxt)
+            self._request_resched()
+        else:
+            cpu.slice_handle = self.kernel.schedule_after(
+                self.timeslice, partial(self._slice_expired, cpu, thread)
+            )
+
+    def _remove_ready_if_present(self, thread: SimThread) -> None:
+        dq = self._ready.get(thread.priority)
+        if dq is not None and thread in dq:
+            dq.remove(thread)
+            if not dq:
+                del self._ready[thread.priority]
+
+    # ------------------------------------------------------------------
+    # Tracepoint emission
+    # ------------------------------------------------------------------
+
+    def _emit_switch(
+        self,
+        cpu: _Cpu,
+        prev: Optional[SimThread],
+        prev_state: str,
+        nxt: Optional[SimThread],
+    ) -> None:
+        if prev is nxt:
+            return
+        self.context_switches += 1
+        record = SchedSwitch(
+            ts=self.kernel.now,
+            cpu=cpu.id,
+            prev_pid=prev.pid if prev else IDLE_PID,
+            prev_comm=prev.name if prev else f"swapper/{cpu.id}",
+            prev_prio=prev.priority if prev else -1,
+            prev_state=prev_state if prev else "R",
+            next_pid=nxt.pid if nxt else IDLE_PID,
+            next_comm=nxt.name if nxt else f"swapper/{cpu.id}",
+            next_prio=nxt.priority if nxt else -1,
+        )
+        for hook in list(self._switch_hooks):
+            hook(record)
+
+    def _emit_wakeup(self, thread: SimThread) -> None:
+        record = SchedWakeup(
+            ts=self.kernel.now,
+            cpu=thread.cpu,
+            pid=thread.pid,
+            comm=thread.name,
+            prio=thread.priority,
+        )
+        for hook in list(self._wakeup_hooks):
+            hook(record)

@@ -1,0 +1,183 @@
+"""Simulated threads.
+
+A :class:`SimThread` wraps a Python generator -- its *activity* -- that
+yields scheduling requests to the CPU scheduler:
+
+* ``yield Compute(ns)`` -- occupy a CPU for ``ns`` nanoseconds of pure
+  execution time.  The scheduler may split the request across several
+  *execution segments* if the thread is preempted; the request completes
+  once the cumulative CPU time equals ``ns``.
+* ``payload = yield Block()`` -- leave the CPU and sleep until another
+  party calls :meth:`SimThread.wakeup`.  The payload passed to ``wakeup``
+  is delivered as the result of the ``yield``.
+
+Plain Python code executed between two ``yield`` points runs at a single
+instant of simulated time *while the thread owns a CPU* -- exactly like
+instructions between two preemption points on real hardware.  This is the
+property the tracing substrate relies on: a probe firing inside such code
+observes the timestamp at which the traced thread is actually running.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Iterable, Optional, Set
+
+
+class Compute:
+    """Request ``duration`` nanoseconds of CPU time (preemptible)."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError(f"negative compute duration: {duration}")
+        self.duration = int(duration)
+
+    def __repr__(self) -> str:
+        return f"Compute({self.duration})"
+
+
+class Block:
+    """Request to sleep until :meth:`SimThread.wakeup` is called."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Block()"
+
+
+class YieldCpu:
+    """Voluntarily relinquish the CPU but stay runnable (sched_yield)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "YieldCpu()"
+
+
+Request = Any
+Activity = Generator[Request, Any, None]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states, mirroring the Linux task states we care about."""
+
+    NEW = "new"
+    READY = "ready"  # runnable, waiting for a CPU
+    RUNNING = "running"  # currently owns a CPU
+    BLOCKED = "blocked"  # sleeping, waiting for a wakeup
+    DEAD = "dead"  # activity exhausted
+
+    def sched_char(self) -> str:
+        """Single-letter state code as shown by ``sched_switch``."""
+        return {
+            ThreadState.READY: "R",
+            ThreadState.RUNNING: "R",
+            ThreadState.BLOCKED: "S",
+            ThreadState.DEAD: "X",
+            ThreadState.NEW: "R",
+        }[self]
+
+
+class SchedPolicy(enum.Enum):
+    """Scheduling policies supported by the simulated scheduler."""
+
+    OTHER = "SCHED_OTHER"  # timesliced, priority 0..39 band
+    FIFO = "SCHED_FIFO"  # real-time, run-to-completion within priority
+    RR = "SCHED_RR"  # real-time, timesliced within priority
+
+
+class SimThread:
+    """A schedulable thread of execution.
+
+    Parameters
+    ----------
+    pid:
+        Unique identifier; also used as the thread's PID/TID in traces.
+    activity:
+        Generator yielding :class:`Compute` / :class:`Block` requests.
+    priority:
+        Higher values preempt lower ones.  By convention SCHED_OTHER
+        threads use 0..39 and real-time threads use 100 + rtprio, so any
+        real-time thread outranks any fair-share thread.
+    policy:
+        Timeslicing behaviour; see :class:`SchedPolicy`.
+    affinity:
+        Set of CPU ids the thread may run on.  ``None`` means all CPUs.
+    name:
+        Human-readable label (``comm`` in Linux parlance).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        activity: Activity,
+        priority: int = 0,
+        policy: SchedPolicy = SchedPolicy.OTHER,
+        affinity: Optional[Iterable[int]] = None,
+        name: str = "",
+    ):
+        if pid <= 0:
+            raise ValueError("pid must be positive (0 is the idle/swapper pid)")
+        self.pid = pid
+        self.name = name or f"thread-{pid}"
+        self.activity = activity
+        self.priority = priority
+        self.policy = policy
+        self.affinity: Optional[Set[int]] = set(affinity) if affinity is not None else None
+        self.state = ThreadState.NEW
+
+        #: Remaining nanoseconds of the in-flight Compute request.
+        self.remaining: int = 0
+        #: Payload queued by a wakeup that raced with a not-yet-blocked thread.
+        self._pending_wakeup = False
+        self._wakeup_payload: Any = None
+        #: CPU the thread currently runs on (None unless RUNNING).
+        self.cpu: Optional[int] = None
+        #: Cumulative CPU time consumed, for accounting/validation.
+        self.cpu_time: int = 0
+        #: Value delivered to the activity at the next resume (wakeup payload).
+        self.resume_value: Any = None
+        self._started = False
+
+    def can_run_on(self, cpu_id: int) -> bool:
+        """True when the affinity mask allows ``cpu_id``."""
+        return self.affinity is None or cpu_id in self.affinity
+
+    def advance(self, value: Any = None) -> Optional[Request]:
+        """Resume the activity generator, returning the next request.
+
+        Returns ``None`` when the activity is exhausted (thread exits).
+        """
+        try:
+            if not self._started:
+                self._started = True
+                request = next(self.activity)
+            else:
+                request = self.activity.send(value)
+        except StopIteration:
+            return None
+        return request
+
+    def queue_wakeup(self, payload: Any = None) -> None:
+        """Record a wakeup; consumed by the scheduler on next Block."""
+        self._pending_wakeup = True
+        self._wakeup_payload = payload
+
+    def consume_wakeup(self) -> Any:
+        """Pop the queued wakeup payload (scheduler internal)."""
+        payload = self._wakeup_payload
+        self._pending_wakeup = False
+        self._wakeup_payload = None
+        return payload
+
+    @property
+    def has_pending_wakeup(self) -> bool:
+        return self._pending_wakeup
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimThread(pid={self.pid}, name={self.name!r}, "
+            f"prio={self.priority}, state={self.state.value})"
+        )

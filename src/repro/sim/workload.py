@@ -1,0 +1,242 @@
+"""Execution-time (workload) models for simulated callbacks.
+
+The paper measures callback execution times of real binaries; in this
+reproduction each callback's CPU demand per invocation is drawn from a
+:class:`WorkloadModel`.  Models are sampled with an externally supplied
+``numpy`` generator so a single seed makes an entire experiment
+deterministic.
+
+All durations are integer nanoseconds.  Convenience converters
+:func:`ms` and :func:`us` build readable specifications::
+
+    model = TruncatedNormal(mean=ms(17.1), std=ms(1.3), low=ms(13.8), high=ms(19.9))
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> nanoseconds."""
+    return int(round(value * 1e6))
+
+
+def us(value: float) -> int:
+    """Microseconds -> nanoseconds."""
+    return int(round(value * 1e3))
+
+
+class WorkloadModel(abc.ABC):
+    """A distribution of per-invocation execution times."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one execution time in nanoseconds (non-negative)."""
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        """Known (low, high) support bounds, if any.  Used by tests to
+        validate measured-vs-designed execution times."""
+        return (None, None)
+
+
+class Constant(WorkloadModel):
+    """Fixed execution time; used for measurement-accuracy validation
+    (the paper runs SYN with constant loads to validate Alg. 2)."""
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        self.duration = int(duration)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.duration
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.duration, self.duration)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.duration})"
+
+
+class Uniform(WorkloadModel):
+    """Uniformly distributed execution time over [low, high]."""
+
+    def __init__(self, low: int, high: int):
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid uniform range [{low}, {high}]")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class TruncatedNormal(WorkloadModel):
+    """Normal distribution truncated (by resampling) to [low, high].
+
+    The truncation models a bounded best-/worst-case execution path: the
+    empirical maximum of many samples converges towards ``high``, which
+    is exactly the mWCET-plateau behaviour shown in the paper's Fig. 4.
+    """
+
+    def __init__(self, mean: int, std: int, low: int, high: int):
+        if std < 0:
+            raise ValueError("std must be >= 0")
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid range [{low}, {high}]")
+        self.mean = int(mean)
+        self.std = int(std)
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.std == 0:
+            return min(max(self.mean, self.low), self.high)
+        for _ in range(64):
+            value = int(rng.normal(self.mean, self.std))
+            if self.low <= value <= self.high:
+                return value
+        return min(max(self.mean, self.low), self.high)
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.low, self.high)
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedNormal(mean={self.mean}, std={self.std}, "
+            f"low={self.low}, high={self.high})"
+        )
+
+
+class ShiftedLognormal(WorkloadModel):
+    """``base + lognormal`` capped at ``high`` -- a heavy right tail.
+
+    Suitable for iterative solvers such as NDT localization (cb6 in
+    Table II) whose execution time occasionally spikes: rare samples near
+    the cap make the measured WCET keep growing for many runs before it
+    plateaus.
+    """
+
+    def __init__(self, base: int, scale: int, sigma: float, high: int):
+        if base < 0 or scale <= 0 or sigma <= 0:
+            raise ValueError("base >= 0, scale > 0, sigma > 0 required")
+        if high <= base:
+            raise ValueError("high must exceed base")
+        self.base = int(base)
+        self.scale = int(scale)
+        self.sigma = float(sigma)
+        self.high = int(high)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        value = self.base + int(self.scale * rng.lognormal(0.0, self.sigma))
+        return min(value, self.high)
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        return (self.base, self.high)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShiftedLognormal(base={self.base}, scale={self.scale}, "
+            f"sigma={self.sigma}, high={self.high})"
+        )
+
+
+class Mixture(WorkloadModel):
+    """Weighted mixture of models (e.g. a common fast path plus a rare
+    expensive mode)."""
+
+    def __init__(self, components: Sequence[Tuple[float, WorkloadModel]]):
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        weights = [w for w, _ in components]
+        if any(w < 0 for w in weights) or math.isclose(sum(weights), 0.0):
+            raise ValueError("weights must be non-negative and sum > 0")
+        total = sum(weights)
+        self._probs = np.array([w / total for w in weights])
+        self._models = [m for _, m in components]
+
+    def sample(self, rng: np.random.Generator) -> int:
+        index = int(rng.choice(len(self._models), p=self._probs))
+        return self._models[index].sample(rng)
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        lows, highs = zip(*(m.bounds() for m in self._models))
+        low = None if any(b is None for b in lows) else min(lows)
+        high = None if any(b is None for b in highs) else max(highs)
+        return (low, high)
+
+    def __repr__(self) -> str:
+        return f"Mixture({len(self._models)} components)"
+
+
+class Empirical(WorkloadModel):
+    """Resamples from a recorded set of execution times."""
+
+    def __init__(self, samples: Sequence[int]):
+        if not samples:
+            raise ValueError("need at least one sample")
+        if any(s < 0 for s in samples):
+            raise ValueError("samples must be non-negative")
+        self.samples = [int(s) for s in samples]
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.samples[int(rng.integers(0, len(self.samples)))]
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        return (min(self.samples), max(self.samples))
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self.samples)})"
+
+
+class Scaled(WorkloadModel):
+    """Multiply another model's samples by a factor.
+
+    Used to vary a callback's computational load across runs (the paper
+    changes SYN's load per run to study interference sensitivity).
+    """
+
+    def __init__(self, inner: WorkloadModel, factor: float):
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(round(self.inner.sample(rng) * self.factor))
+
+    def bounds(self) -> Tuple[Optional[int], Optional[int]]:
+        low, high = self.inner.bounds()
+        scale = lambda b: None if b is None else int(round(b * self.factor))
+        return (scale(low), scale(high))
+
+    def __repr__(self) -> str:
+        return f"Scaled({self.inner!r}, {self.factor})"
+
+
+class Hooked(WorkloadModel):
+    """Delegates to a callable ``() -> WorkloadModel`` on every sample.
+
+    Enables mode-dependent behaviour (e.g. city vs highway driving for
+    the multi-mode DAG experiments) without rebuilding the application.
+    """
+
+    def __init__(self, hook: Callable[[], WorkloadModel]):
+        self.hook = hook
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.hook().sample(rng)
+
+    def __repr__(self) -> str:
+        return "Hooked(...)"

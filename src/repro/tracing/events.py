@@ -1,0 +1,132 @@
+"""Trace event records and probe-name vocabulary.
+
+Every userspace probe firing produces a :class:`TraceEvent` with the three
+fields the paper requires (Sec. III-A): a timestamp for chronological
+ordering, a PID associating the event with a ROS2 node, and a probe name
+indicating what information the event carries.  Probe-specific payload
+(topic names, callback ids, source timestamps, ...) travels in ``data``.
+
+The module also defines the probe-name constants for Table I (P1..P16)
+and the predicate helpers Alg. 1 switches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+# --------------------------------------------------------------------------
+# Probe names -- one per row of Table I.  ":entry" / ":exit" suffixes mirror
+# uprobe vs uretprobe attachment.
+# --------------------------------------------------------------------------
+
+P1_CREATE_NODE = "rmw_create_node"
+P2_TIMER_START = "execute_timer:entry"
+P3_TIMER_CALL = "rcl_timer_call"
+P4_TIMER_END = "execute_timer:exit"
+P5_SUB_START = "execute_subscription:entry"
+P6_TAKE = "rmw_take_int"
+P7_SYNC_OP = "message_filters_operator"
+P8_SUB_END = "execute_subscription:exit"
+P9_SERVICE_START = "execute_service:entry"
+P10_TAKE_REQUEST = "rmw_take_request"
+P11_SERVICE_END = "execute_service:exit"
+P12_CLIENT_START = "execute_client:entry"
+P13_TAKE_RESPONSE = "rmw_take_response"
+P14_TAKE_TYPE_ERASED = "take_type_erased_response"
+P15_CLIENT_END = "execute_client:exit"
+P16_DDS_WRITE = "dds_write_impl"
+
+#: Probe name -> Table I row id, for reports and the Table I bench.
+PROBE_TABLE = {
+    P1_CREATE_NODE: "P1",
+    P2_TIMER_START: "P2",
+    P3_TIMER_CALL: "P3",
+    P4_TIMER_END: "P4",
+    P5_SUB_START: "P5",
+    P6_TAKE: "P6",
+    P7_SYNC_OP: "P7",
+    P8_SUB_END: "P8",
+    P9_SERVICE_START: "P9",
+    P10_TAKE_REQUEST: "P10",
+    P11_SERVICE_END: "P11",
+    P12_CLIENT_START: "P12",
+    P13_TAKE_RESPONSE: "P13",
+    P14_TAKE_TYPE_ERASED: "P14",
+    P15_CLIENT_END: "P15",
+    P16_DDS_WRITE: "P16",
+}
+
+CB_START_PROBES = frozenset(
+    {P2_TIMER_START, P5_SUB_START, P9_SERVICE_START, P12_CLIENT_START}
+)
+CB_END_PROBES = frozenset({P4_TIMER_END, P8_SUB_END, P11_SERVICE_END, P15_CLIENT_END})
+TAKE_PROBES = frozenset({P6_TAKE, P10_TAKE_REQUEST, P13_TAKE_RESPONSE})
+
+#: CB start probe -> callback type label used throughout the timing model.
+CB_TYPE_BY_START = {
+    P2_TIMER_START: "timer",
+    P5_SUB_START: "subscriber",
+    P9_SERVICE_START: "service",
+    P12_CLIENT_START: "client",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One userspace probe firing.
+
+    Attributes
+    ----------
+    ts:
+        Nanosecond timestamp (kernel clock at firing time).
+    pid:
+        PID of the traced thread (the ROS2 node's executor thread).
+    probe:
+        Probe name, one of the ``P*`` constants above.
+    data:
+        Probe-specific payload; keys used by the synthesis algorithms are
+        ``topic``, ``cb_id``, ``src_ts``, ``service``, ``node``,
+        ``will_dispatch``, ``timer_id``.
+    """
+
+    ts: int
+    pid: int
+    probe: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def pnum(self) -> Optional[str]:
+        """Table I row id (``"P6"``), or None for non-Table-I probes."""
+        return PROBE_TABLE.get(self.probe)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    # -- predicates used by Alg. 1 --------------------------------------
+
+    def is_cb_start(self) -> bool:
+        return self.probe in CB_START_PROBES
+
+    def is_cb_end(self) -> bool:
+        return self.probe in CB_END_PROBES
+
+    def is_take(self) -> bool:
+        return self.probe in TAKE_PROBES
+
+    def cb_type(self) -> str:
+        """Callback type for a CB-start event ('timer', 'subscriber', ...)."""
+        return CB_TYPE_BY_START[self.probe]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable form (used by the trace database)."""
+        return {"ts": self.ts, "pid": self.pid, "probe": self.probe, "data": dict(self.data)}
+
+    @staticmethod
+    def from_dict(raw: Mapping[str, Any]) -> "TraceEvent":
+        return TraceEvent(
+            ts=int(raw["ts"]),
+            pid=int(raw["pid"]),
+            probe=str(raw["probe"]),
+            data=dict(raw.get("data", {})),
+        )

@@ -1,0 +1,278 @@
+"""The paper's probe suite: Table I (P1..P16) as eBPF programs.
+
+Each probe is an entry/exit handler attached to a middleware symbol; it
+traverses the probed function's argument structures (node, timer,
+subscription, service, client, writer objects) to extract exactly the
+fields Table I lists, then submits a :class:`TraceEvent` into a perf
+buffer.
+
+The srcTS technique of Sec. III-A is reproduced literally for
+``rmw_take_int`` / ``rmw_take_request`` / ``rmw_take_response``: the
+source timestamp is written *by reference* into the ``rmw_message_info``
+out-parameter and is unknown at function entry, so the entry probe
+stashes the reference in a BPF map keyed by PID and the exit probe reads
+the value through the stashed reference before submitting the event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .bpf import Bpf, BpfMap, PerfBuffer
+from .events import (
+    P1_CREATE_NODE,
+    P2_TIMER_START,
+    P3_TIMER_CALL,
+    P4_TIMER_END,
+    P5_SUB_START,
+    P6_TAKE,
+    P7_SYNC_OP,
+    P8_SUB_END,
+    P9_SERVICE_START,
+    P10_TAKE_REQUEST,
+    P11_SERVICE_END,
+    P12_CLIENT_START,
+    P13_TAKE_RESPONSE,
+    P14_TAKE_TYPE_ERASED,
+    P15_CLIENT_END,
+    P16_DDS_WRITE,
+    TraceEvent,
+)
+from .overhead import event_size_bytes
+from .symbols import ProbeContext
+
+#: Name of the BPF map sharing discovered ROS2 PIDs between the
+#: ROS2-INIT tracer and the kernel tracer (Sec. III-B).
+ROS2_PIDS_MAP = "ros2_pids"
+
+#: Name of the BPF map used by the srcTS entry/exit pointer stash.
+SRCTS_STASH_MAP = "srcts_stash"
+
+
+def _submit(buffer: PerfBuffer, event: TraceEvent) -> None:
+    buffer.submit(event, size=event_size_bytes(event))
+
+
+class InitProbes:
+    """P1: node-creation probe used by the ROS2-INIT tracer."""
+
+    def __init__(self, bpf: Bpf, buffer: PerfBuffer):
+        self.bpf = bpf
+        self.buffer = buffer
+        self.pid_map: BpfMap = bpf.get_table(ROS2_PIDS_MAP)
+
+    def attach(self) -> None:
+        self.bpf.attach_uprobe(
+            "rmw_cyclonedds_cpp:rmw_create_node", self._on_create_node, name="P1"
+        )
+
+    def _on_create_node(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        node = args[0]
+        # Share the PID with the kernel tracer through the BPF map.
+        self.pid_map.update(ctx.pid, 1)
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P1_CREATE_NODE,
+                data={"node": node.name},
+            ),
+        )
+
+
+class RuntimeProbes:
+    """P2..P16: the runtime probes used by the ROS2-RT tracer."""
+
+    def __init__(self, bpf: Bpf, buffer: PerfBuffer):
+        self.bpf = bpf
+        self.buffer = buffer
+        self.srcts_stash: BpfMap = bpf.get_table(SRCTS_STASH_MAP)
+
+    def attach(self) -> None:
+        attach_u = self.bpf.attach_uprobe
+        attach_r = self.bpf.attach_uretprobe
+        # Timer callbacks: P2 (start), P3 (ID), P4 (end).
+        attach_u("rclcpp:execute_timer", self._timer_entry, name="P2")
+        attach_u("rcl:rcl_timer_call", self._timer_call, name="P3")
+        attach_r("rclcpp:execute_timer", self._timer_exit, name="P4")
+        # Subscriber callbacks: P5 (start), P6 (take), P7 (sync), P8 (end).
+        attach_u("rclcpp:execute_subscription", self._sub_entry, name="P5")
+        attach_u("rmw_cyclonedds_cpp:rmw_take_int", self._take_entry, name="P6.entry")
+        attach_r("rmw_cyclonedds_cpp:rmw_take_int", self._take_int_exit, name="P6")
+        attach_u("message_filters:operator()", self._sync_operator, name="P7")
+        attach_r("rclcpp:execute_subscription", self._sub_exit, name="P8")
+        # Service callbacks: P9 (start), P10 (take request), P11 (end).
+        attach_u("rclcpp:execute_service", self._service_entry, name="P9")
+        attach_u(
+            "rmw_cyclonedds_cpp:rmw_take_request", self._take_entry, name="P10.entry"
+        )
+        attach_r(
+            "rmw_cyclonedds_cpp:rmw_take_request", self._take_request_exit, name="P10"
+        )
+        attach_r("rclcpp:execute_service", self._service_exit, name="P11")
+        # Client callbacks: P12 (start), P13 (take response), P14
+        # (dispatch decision), P15 (end).
+        attach_u("rclcpp:execute_client", self._client_entry, name="P12")
+        attach_u(
+            "rmw_cyclonedds_cpp:rmw_take_response", self._take_entry, name="P13.entry"
+        )
+        attach_r(
+            "rmw_cyclonedds_cpp:rmw_take_response", self._take_response_exit, name="P13"
+        )
+        attach_r(
+            "rclcpp:take_type_erased_response", self._take_type_erased_exit, name="P14"
+        )
+        attach_r("rclcpp:execute_client", self._client_exit, name="P15")
+        # DDS writes: P16.
+        attach_u("cyclonedds:dds_write_impl", self._dds_write, name="P16")
+
+    # -- execute_* start/end ---------------------------------------------
+
+    def _timer_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P2_TIMER_START))
+
+    def _timer_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P4_TIMER_END))
+
+    def _sub_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P5_SUB_START))
+
+    def _sub_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P8_SUB_END))
+
+    def _service_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P9_SERVICE_START))
+
+    def _service_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P11_SERVICE_END))
+
+    def _client_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P12_CLIENT_START))
+
+    def _client_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P15_CLIENT_END))
+
+    # -- timer ID ----------------------------------------------------------
+
+    def _timer_call(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        timer = args[0]
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P3_TIMER_CALL,
+                data={"cb_id": timer.cb_id},
+            ),
+        )
+
+    # -- the srcTS entry/exit stash ----------------------------------------
+
+    def _take_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        """Entry of any rmw_take_*: the srcTS out-parameter is not filled
+        yet; stash its address (here: the object reference), keyed by PID."""
+        msg_info = args[-1]
+        self.srcts_stash.update(ctx.pid, msg_info)
+
+    def _pop_src_ts(self, ctx: ProbeContext) -> Optional[int]:
+        msg_info = self.srcts_stash.lookup(ctx.pid)
+        self.srcts_stash.delete(ctx.pid)
+        return None if msg_info is None else msg_info.src_ts
+
+    def _take_int_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
+        sub = args[0]
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P6_TAKE,
+                data={
+                    "cb_id": sub.cb_id,
+                    "topic": sub.topic,
+                    "src_ts": self._pop_src_ts(ctx),
+                },
+            ),
+        )
+
+    def _take_request_exit(
+        self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any
+    ) -> None:
+        service = args[0]
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P10_TAKE_REQUEST,
+                data={
+                    "cb_id": service.cb_id,
+                    "topic": service.request_topic,
+                    "service": service.name,
+                    "src_ts": self._pop_src_ts(ctx),
+                },
+            ),
+        )
+
+    def _take_response_exit(
+        self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any
+    ) -> None:
+        client = args[0]
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P13_TAKE_RESPONSE,
+                data={
+                    "cb_id": client.cb_id,
+                    "topic": client.reader.topic.name,
+                    "service": client.service_name,
+                    "src_ts": self._pop_src_ts(ctx),
+                },
+            ),
+        )
+
+    def _take_type_erased_exit(
+        self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any
+    ) -> None:
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P14_TAKE_TYPE_ERASED,
+                data={"will_dispatch": int(bool(ret))},
+            ),
+        )
+
+    # -- sync + writes ---------------------------------------------------
+
+    def _sync_operator(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        sub = args[0]
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P7_SYNC_OP,
+                data={"cb_id": sub.cb_id},
+            ),
+        )
+
+    def _dds_write(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
+        writer, _payload, src_ts = args
+        _submit(
+            self.buffer,
+            TraceEvent(
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P16_DDS_WRITE,
+                data={
+                    "topic": writer.topic.name,
+                    "src_ts": src_ts,
+                    "kind": writer.kind,
+                },
+            ),
+        )

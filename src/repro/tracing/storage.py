@@ -1,0 +1,61 @@
+"""On-disk trace storage (the Fig. 2 "database server").
+
+Traces are written as gzip-compressed JSON, one file per run, under a
+directory.  The format round-trips losslessly through
+``Trace.to_dict`` / ``Trace.from_dict``, so stored traces from one
+session can be re-analysed later (or by another machine) without
+re-running the applications -- the workflow the paper's segmented
+multi-session collection targets.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import List
+
+from .session import Trace, TraceDatabase
+
+#: File suffix of stored traces.
+TRACE_SUFFIX = ".trace.json.gz"
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write one trace to ``path`` (gzip JSON)."""
+    with gzip.open(path, "wt", encoding="utf-8") as handle:
+        json.dump(trace.to_dict(), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Read one trace back."""
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        return Trace.from_dict(json.load(handle))
+
+
+def save_database(database: TraceDatabase, directory: str) -> List[str]:
+    """Write every run of a database into ``directory``.
+
+    Returns the written file paths.  Existing files for the same run ids
+    are overwritten; unrelated files are left alone.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for run_id in database.run_ids():
+        path = os.path.join(directory, f"{run_id}{TRACE_SUFFIX}")
+        save_trace(database.get(run_id), path)
+        paths.append(path)
+    return paths
+
+
+def load_database(directory: str) -> TraceDatabase:
+    """Rebuild a database from every stored trace in ``directory``."""
+    database = TraceDatabase()
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"no such trace directory: {directory!r}")
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(TRACE_SUFFIX):
+            continue
+        run_id = name[: -len(TRACE_SUFFIX)]
+        database.add(run_id, load_trace(os.path.join(directory, name)))
+    return database

@@ -1,0 +1,152 @@
+"""Function-symbol table: the attachment surface for uprobes.
+
+On the real system, eBPF uprobes patch a breakpoint into the entry (and,
+for uretprobes, the return trampoline) of a function inside a shared
+object such as ``librclcpp.so``.  The traced libraries are *not modified
+or recompiled* -- the paper's central argument against LTTng-style
+instrumentation.
+
+The simulator reproduces that contract: every middleware function that
+would live in a ``.so`` is registered here under its ``lib:function``
+name, and executes through :meth:`SymbolTable.call` /
+:meth:`SymbolTable.call_gen` -- the analogue of the uprobe trampoline.
+Probes attach and detach at runtime by symbol name; the middleware code
+has no knowledge of which probes, if any, are attached.  Probe handlers
+receive the function's live arguments (entry) or return value (exit),
+exactly the information flow of real uprobes/uretprobes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: handler(ctx, args) for entry probes.
+EntryHandler = Callable[["ProbeContext", Tuple[Any, ...]], None]
+#: handler(ctx, args, retval) for exit probes.
+ExitHandler = Callable[["ProbeContext", Tuple[Any, ...], Any], None]
+
+
+class SymbolLookupError(KeyError):
+    """Raised when attaching to / invoking an unknown symbol, like a
+    failed ``bcc`` symbol resolution."""
+
+
+@dataclass(frozen=True)
+class ProbeContext:
+    """Per-firing context: what ``bpf_get_current_*`` helpers expose."""
+
+    ts: int
+    pid: int
+    cpu: Optional[int]
+    comm: str
+
+
+@dataclass
+class Symbol:
+    """A probeable function in a simulated shared object."""
+
+    lib: str
+    func: str
+    entry_probes: List[EntryHandler] = field(default_factory=list)
+    exit_probes: List[ExitHandler] = field(default_factory=list)
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.lib}:{self.func}"
+
+
+class SymbolTable:
+    """Registry of middleware symbols plus the trampoline dispatcher.
+
+    Parameters
+    ----------
+    context_provider:
+        Zero-argument callable returning the current :class:`ProbeContext`
+        (simulated clock + running thread).  Supplied by the ``World``.
+    """
+
+    def __init__(self, context_provider: Callable[[], ProbeContext]):
+        self._symbols: Dict[str, Symbol] = {}
+        self._context_provider = context_provider
+
+    # -- registration (done by the middleware "shared objects") ----------
+
+    def register(self, lib: str, func: str) -> Symbol:
+        """Register a probeable function.  Idempotent per name."""
+        qualified = f"{lib}:{func}"
+        symbol = self._symbols.get(qualified)
+        if symbol is None:
+            symbol = Symbol(lib=lib, func=func)
+            self._symbols[qualified] = symbol
+        return symbol
+
+    def lookup(self, qualified: str) -> Symbol:
+        try:
+            return self._symbols[qualified]
+        except KeyError:
+            raise SymbolLookupError(
+                f"symbol {qualified!r} not found in any loaded library "
+                f"(known: {sorted(self._symbols)})"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._symbols)
+
+    # -- probe attachment -------------------------------------------------
+
+    def attach_entry(self, qualified: str, handler: EntryHandler) -> Callable[[], None]:
+        symbol = self.lookup(qualified)
+        symbol.entry_probes.append(handler)
+
+        def detach() -> None:
+            if handler in symbol.entry_probes:
+                symbol.entry_probes.remove(handler)
+
+        return detach
+
+    def attach_exit(self, qualified: str, handler: ExitHandler) -> Callable[[], None]:
+        symbol = self.lookup(qualified)
+        symbol.exit_probes.append(handler)
+
+        def detach() -> None:
+            if handler in symbol.exit_probes:
+                symbol.exit_probes.remove(handler)
+
+        return detach
+
+    # -- trampolines -------------------------------------------------------
+
+    def call(self, qualified: str, fn: Callable[..., Any], *args: Any) -> Any:
+        """Invoke a plain middleware function through the probe trampoline."""
+        symbol = self.lookup(qualified)
+        if symbol.entry_probes:
+            ctx = self._context_provider()
+            for probe in list(symbol.entry_probes):
+                probe(ctx, args)
+        result = fn(*args)
+        if symbol.exit_probes:
+            ctx = self._context_provider()
+            for probe in list(symbol.exit_probes):
+                probe(ctx, args, result)
+        return result
+
+    def call_gen(self, qualified: str, fn: Callable[..., Any], *args: Any):
+        """Invoke a *generator* middleware function through the trampoline.
+
+        Entry probes fire when the traced thread enters the function; exit
+        probes fire at its return -- which, for functions that contain
+        scheduling points (``execute_*``), happens at a later simulated
+        time.  Use with ``yield from`` inside an activity.
+        """
+        symbol = self.lookup(qualified)
+        if symbol.entry_probes:
+            ctx = self._context_provider()
+            for probe in list(symbol.entry_probes):
+                probe(ctx, args)
+        result = yield from fn(*args)
+        if symbol.exit_probes:
+            ctx = self._context_provider()
+            for probe in list(symbol.exit_probes):
+                probe(ctx, args, result)
+        return result

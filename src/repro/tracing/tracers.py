@@ -1,0 +1,150 @@
+"""The three tracers of the proposed framework (Fig. 1).
+
+* :class:`Ros2InitTracer` (TR-IN) -- attaches P1 and records node
+  creation, discovering the node-name -> PID mapping.  It publishes the
+  discovered PIDs into the ``ros2_pids`` BPF map consumed by the kernel
+  tracer's in-kernel filter.
+* :class:`Ros2RtTracer` (TR-RT) -- attaches P2..P16 and records the
+  runtime ROS2 events.
+* :class:`KernelTracer` (TR-KN) -- attaches to ``sched:sched_switch``
+  and records only events involving ROS2 PIDs (unless filtering is
+  disabled, the configuration used by the filtering ablation; the paper
+  reports that PID filtering cuts the kernel-trace footprint by 3x or
+  more).
+
+Tracers attach on ``start`` and detach on ``stop``; their perf buffers
+can be drained (``poll``) any number of times in between, which is what
+the segmented collection of Fig. 2 builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .bpf import Bpf, BpfProgram, PerfBuffer
+from .events import TraceEvent
+from .overhead import SCHED_EVENT_BYTES
+from .probes import ROS2_PIDS_MAP, InitProbes, RuntimeProbes
+
+
+class _TracerBase:
+    """Attach/detach lifecycle shared by all tracers."""
+
+    def __init__(self) -> None:
+        self._programs: List[BpfProgram] = []
+        self.running = False
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError(f"{type(self).__name__} already running")
+        self.running = True
+        self._attach()
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        for program in self._programs:
+            if program._detach is not None:
+                program._detach()
+                program._detach = None
+        self._programs.clear()
+
+    def _attach(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Ros2InitTracer(_TracerBase):
+    """TR-IN: node-initialization tracer (probe P1)."""
+
+    def __init__(self, bpf: Bpf, buffer_capacity: int = 1 << 12):
+        super().__init__()
+        self.bpf = bpf
+        self.buffer: PerfBuffer = bpf.open_perf_buffer("ros2_init", buffer_capacity)
+        self._probes = InitProbes(bpf, self.buffer)
+
+    def _attach(self) -> None:
+        before = len(self.bpf.programs)
+        self._probes.attach()
+        self._programs = self.bpf.programs[before:]
+
+    def poll(self) -> List[TraceEvent]:
+        return self.buffer.poll()
+
+    def discovered_pids(self) -> List[int]:
+        """PIDs currently in the shared ``ros2_pids`` map."""
+        return [pid for pid, _ in self.bpf.get_table(ROS2_PIDS_MAP).items()]
+
+
+class Ros2RtTracer(_TracerBase):
+    """TR-RT: runtime ROS2 tracer (probes P2..P16)."""
+
+    def __init__(self, bpf: Bpf, buffer_capacity: int = 1 << 20):
+        super().__init__()
+        self.bpf = bpf
+        self.buffer: PerfBuffer = bpf.open_perf_buffer("ros2_rt", buffer_capacity)
+        self._probes = RuntimeProbes(bpf, self.buffer)
+
+    def _attach(self) -> None:
+        before = len(self.bpf.programs)
+        self._probes.attach()
+        self._programs = self.bpf.programs[before:]
+
+    def poll(self) -> List[TraceEvent]:
+        return self.buffer.poll()
+
+
+class KernelTracer(_TracerBase):
+    """TR-KN: sched_switch tracer with in-kernel PID filtering."""
+
+    def __init__(
+        self,
+        bpf: Bpf,
+        filtered: bool = True,
+        buffer_capacity: int = 1 << 21,
+        record_wakeups: bool = False,
+    ):
+        super().__init__()
+        self.bpf = bpf
+        self.filtered = filtered
+        self.record_wakeups = record_wakeups
+        self.buffer: PerfBuffer = bpf.open_perf_buffer("sched", buffer_capacity)
+        self.wakeup_buffer: PerfBuffer = bpf.open_perf_buffer(
+            "sched_wakeup", buffer_capacity
+        )
+        self.pid_map = bpf.get_table(ROS2_PIDS_MAP)
+        #: All tracepoint firings, including filtered-out ones -- the
+        #: denominator of the footprint-reduction ablation.
+        self.seen = 0
+
+    def _attach(self) -> None:
+        program = self.bpf.attach_tracepoint(
+            "sched:sched_switch", self._on_switch, name="TRKN.sched_switch"
+        )
+        self._programs = [program]
+        if self.record_wakeups:
+            # The paper's proposed extension (Sec. VII): trace
+            # sched_wakeup to measure callback waiting times.
+            self._programs.append(
+                self.bpf.attach_tracepoint(
+                    "sched:sched_wakeup", self._on_wakeup, name="TRKN.sched_wakeup"
+                )
+            )
+
+    def _on_switch(self, record: Any) -> None:
+        self.seen += 1
+        if self.filtered:
+            if record.prev_pid not in self.pid_map and record.next_pid not in self.pid_map:
+                return
+        self.buffer.submit(record, size=SCHED_EVENT_BYTES)
+
+    def _on_wakeup(self, record: Any) -> None:
+        if self.filtered and record.pid not in self.pid_map:
+            return
+        self.wakeup_buffer.submit(record, size=SCHED_EVENT_BYTES)
+
+    def poll(self) -> List[Any]:
+        return self.buffer.poll()
+
+    def poll_wakeups(self) -> List[Any]:
+        return self.wakeup_buffer.poll()

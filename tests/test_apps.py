@@ -1,0 +1,165 @@
+"""Tests for the evaluation workloads: SYN, AVP and the generator."""
+
+import pytest
+
+from repro.apps import (
+    ALL_CALLBACKS,
+    BASE_LOADS_MS,
+    GeneratorConfig,
+    build_avp,
+    build_syn,
+    default_workloads,
+    generate_app,
+)
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.sim import SEC, ms
+from repro.world import World
+
+
+def synthesize(builder, duration=8 * SEC, seed=11, num_cpus=4):
+    config = RunConfig(duration_ns=duration, base_seed=seed, num_cpus=num_cpus)
+    result = run_once(builder, config)
+    apps = result.apps
+    pids = apps.pids if hasattr(apps, "pids") else None
+    return synthesize_from_trace(result.trace, pids=pids), result
+
+
+class TestSynApp:
+    def test_all_sixteen_callbacks_appear(self):
+        dag, _ = synthesize(lambda w, i: build_syn(w))
+        cb_ids = {v.cb_id for v in dag.vertices() if not v.is_and_junction}
+        assert cb_ids == set(ALL_CALLBACKS)
+
+    def test_measured_equals_designed_for_every_callback(self):
+        """Constant loads: every measured sample equals the designed
+        execution time (the paper's measurement validation)."""
+        dag, result = synthesize(lambda w, i: build_syn(w))
+        app = result.apps
+        for vertex in dag.vertices():
+            if vertex.is_and_junction:
+                continue
+            designed = app.designed_exec_time(vertex.cb_id)
+            assert vertex.exec_times, vertex.key
+            assert set(vertex.exec_times) == {designed}, vertex.key
+
+    def test_load_factor_scales_execution_times(self):
+        dag, result = synthesize(lambda w, i: build_syn(w, load_factor=2.0))
+        t1 = dag.find_vertices(cb_id="T1")[0]
+        assert set(t1.exec_times) == {2 * ms(BASE_LOADS_MS["T1"])}
+
+    def test_invalid_load_factor_rejected(self):
+        world = World()
+        with pytest.raises(ValueError):
+            build_syn(world, load_factor=0.0)
+
+    def test_six_nodes(self):
+        world = World()
+        app = build_syn(world)
+        assert len(app.nodes) == 6
+        assert len(set(app.node_names())) == 6
+
+    def test_sv3_invoked_from_both_callers(self):
+        dag, _ = synthesize(lambda w, i: build_syn(w), duration=10 * SEC)
+        sv3 = dag.find_vertices(cb_id="SV3")
+        callers = {dag.predecessors(v.key)[0].cb_id for v in sv3}
+        assert callers == {"SC3", "CL2"}
+
+
+class TestAvpApp:
+    def test_five_nodes_six_callbacks(self):
+        dag, result = synthesize(lambda w, i: build_avp(w))
+        app = result.apps
+        assert len(app.nodes) == 5
+        cbs = [v for v in dag.vertices() if not v.is_and_junction]
+        assert {v.cb_id for v in cbs} == {"cb1", "cb2", "cb3", "cb4", "cb5", "cb6"}
+
+    def test_sensors_not_in_dag(self):
+        """External LIDAR publishers must not appear as vertices."""
+        dag, _ = synthesize(lambda w, i: build_avp(w))
+        assert all(v.cb_type != "timer" for v in dag.vertices())
+
+    def test_exec_times_within_model_bounds(self):
+        dag, result = synthesize(lambda w, i: build_avp(w))
+        app = result.apps
+        for cb, model_key in (("cb1", "cb1"), ("cb2", "cb2"), ("cb5", "cb5"), ("cb6", "cb6")):
+            low, high = app.workloads[model_key].bounds()
+            samples = dag.vertex(app.cb_keys[cb]).exec_times
+            assert samples
+            assert min(samples) >= low
+            assert max(samples) <= high
+
+    def test_pipeline_produces_pose_updates(self):
+        dag, result = synthesize(lambda w, i: build_avp(w), duration=10 * SEC)
+        app = result.apps
+        cb6 = dag.vertex(app.cb_keys["cb6"])
+        # 10 Hz feed for 10 s -> close to 100 localization callbacks.
+        assert cb6.invocations if hasattr(cb6, "invocations") else len(cb6.start_times) > 50
+
+    def test_fusion_runs_at_sensor_rate(self):
+        dag, result = synthesize(lambda w, i: build_avp(w), duration=10 * SEC)
+        app = result.apps
+        cb5 = dag.vertex(app.cb_keys["cb5"])
+        period = cb5.period_ns
+        assert period == pytest.approx(100 * ms(1), rel=0.1)
+
+    def test_workload_keys_complete(self):
+        w = default_workloads()
+        assert {"cb1", "cb2", "cb5", "cb6", "fusion",
+                "fusion_input_front", "fusion_input_rear"} <= set(w)
+
+
+class TestGenerator:
+    def test_generated_topology_recovered(self):
+        config = GeneratorConfig(num_nodes=4, num_chains=3, chain_length=3)
+
+        def builder(world, i):
+            return generate_app(world, config, seed=5)
+
+        dag, result = synthesize(builder, duration=8 * SEC)
+        app = result.apps
+        # Every expected (label, label) edge appears in the DAG.
+        actual = {
+            (dag.vertex(e.src).cb_id, dag.vertex(e.dst).cb_id) for e in dag.edges()
+        }
+        assert app.expected_edges <= actual
+
+    def test_all_generated_callbacks_traced(self):
+        config = GeneratorConfig(num_nodes=3, num_chains=2, chain_length=4)
+
+        def builder(world, i):
+            return generate_app(world, config, seed=9)
+
+        dag, result = synthesize(builder, duration=8 * SEC)
+        app = result.apps
+        observed = {v.cb_id for v in dag.vertices() if not v.is_and_junction}
+        assert set(app.labels) <= observed
+
+    def test_generated_dag_is_acyclic(self):
+        config = GeneratorConfig(num_nodes=5, num_chains=4, chain_length=4,
+                                 service_probability=0.5)
+
+        def builder(world, i):
+            return generate_app(world, config, seed=13)
+
+        dag, _ = synthesize(builder, duration=6 * SEC)
+        dag.validate()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_determinism(self, seed):
+        def build_and_dump(run_seed):
+            def builder(world, i):
+                return generate_app(world, GeneratorConfig(), seed=run_seed)
+
+            dag, _ = synthesize(builder, duration=4 * SEC, seed=99)
+            from repro.core import dag_to_json
+
+            return dag_to_json(dag)
+
+        assert build_and_dump(seed) == build_and_dump(seed)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(service_probability=1.5)

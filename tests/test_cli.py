@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3a"])
+        assert args.duration == 12.0
+        assert args.seed == 42
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "P16" in out and "uretprobe" in out
+
+    def test_fig3a_with_artifacts(self, capsys, tmp_path):
+        dot = tmp_path / "syn.dot"
+        js = tmp_path / "syn.json"
+        code = main(["fig3a", "--duration", "6", "--dot", str(dot), "--json", str(js)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+        assert dot.read_text().startswith("digraph")
+        model = json.loads(js.read_text())
+        assert len(model["vertices"]) == 18
+
+    def test_fig3b(self, capsys):
+        assert main(["fig3b", "--duration", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "p2d_ndt_localizer_node" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--runs", "3", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "paper mWCET" in out
+
+    def test_fig4_small(self, capsys):
+        assert main(["fig4", "--runs", "3", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mWCET growth" in out
+
+    def test_overhead_small(self, capsys):
+        assert main(["overhead", "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MB trace data" in out

@@ -1,0 +1,151 @@
+"""Unit tests for the TimingDag data model and its invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DagValidationError, DagVertex, TimingDag
+from repro.sim import MSEC
+
+
+def vertex(key, node="n", cb_type="subscriber", **kwargs):
+    return DagVertex(key=key, node=node, cb_id=key.split("/")[-1], cb_type=cb_type, **kwargs)
+
+
+def chain_dag(n=4):
+    dag = TimingDag()
+    for i in range(n):
+        dag.add_vertex(vertex(f"n/v{i}"))
+    for i in range(n - 1):
+        dag.add_edge(f"n/v{i}", f"n/v{i+1}", topic=f"/t{i}")
+    return dag
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        dag = TimingDag()
+        dag.add_vertex(vertex("n/a"))
+        with pytest.raises(DagValidationError):
+            dag.add_vertex(vertex("n/a"))
+
+    def test_edge_to_unknown_vertex_rejected(self):
+        dag = TimingDag()
+        dag.add_vertex(vertex("n/a"))
+        with pytest.raises(DagValidationError):
+            dag.add_edge("n/a", "n/missing", "/t")
+        with pytest.raises(DagValidationError):
+            dag.add_edge("n/missing", "n/a", "/t")
+
+    def test_duplicate_edge_is_idempotent(self):
+        dag = chain_dag(2)
+        dag.add_edge("n/v0", "n/v1", topic="/t0")
+        assert dag.num_edges == 1
+
+    def test_parallel_edges_different_topics(self):
+        dag = chain_dag(2)
+        dag.add_edge("n/v0", "n/v1", topic="/other")
+        assert dag.num_edges == 2
+
+
+class TestTraversal:
+    def test_successors_predecessors(self):
+        dag = chain_dag(3)
+        assert [v.key for v in dag.successors("n/v0")] == ["n/v1"]
+        assert [v.key for v in dag.predecessors("n/v2")] == ["n/v1"]
+
+    def test_sources_and_sinks(self):
+        dag = chain_dag(3)
+        assert [v.key for v in dag.sources()] == ["n/v0"]
+        assert [v.key for v in dag.sinks()] == ["n/v2"]
+
+    def test_topological_order_respects_edges(self):
+        dag = chain_dag(5)
+        order = [v.key for v in dag.topological_order()]
+        assert order == [f"n/v{i}" for i in range(5)]
+
+    def test_cycle_detected(self):
+        dag = chain_dag(3)
+        dag.add_edge("n/v2", "n/v0", topic="/back")
+        with pytest.raises(DagValidationError):
+            dag.topological_order()
+
+    def test_find_vertices_filters(self):
+        dag = TimingDag()
+        dag.add_vertex(vertex("a/x", node="a", cb_type="timer"))
+        dag.add_vertex(vertex("b/x", node="b", cb_type="subscriber"))
+        assert len(dag.find_vertices(cb_id="x")) == 2
+        assert len(dag.find_vertices(cb_id="x", node="a")) == 1
+        assert len(dag.find_vertices(cb_type="timer")) == 1
+
+
+class TestValidation:
+    def test_and_junction_needs_two_inputs(self):
+        dag = TimingDag()
+        dag.add_vertex(vertex("n/a"))
+        dag.add_vertex(vertex("n/&", cb_type="and_junction"))
+        dag.add_edge("n/a", "n/&", topic="&")
+        with pytest.raises(DagValidationError):
+            dag.validate()
+
+    def test_and_junction_nonzero_exec_rejected(self):
+        dag = TimingDag()
+        dag.add_vertex(vertex("n/a"))
+        dag.add_vertex(vertex("n/b"))
+        dag.add_vertex(vertex("n/&", cb_type="and_junction", exec_times=[5]))
+        dag.add_edge("n/a", "n/&", topic="&")
+        dag.add_edge("n/b", "n/&", topic="&")
+        with pytest.raises(DagValidationError):
+            dag.validate()
+
+    def test_valid_junction_passes(self):
+        dag = TimingDag()
+        dag.add_vertex(vertex("n/a"))
+        dag.add_vertex(vertex("n/b"))
+        dag.add_vertex(vertex("n/&", cb_type="and_junction"))
+        dag.add_edge("n/a", "n/&", topic="&")
+        dag.add_edge("n/b", "n/&", topic="&")
+        dag.validate()
+
+
+class TestVertexProperties:
+    def test_exec_stats_empty(self):
+        v = vertex("n/a")
+        assert v.exec_stats.count == 0
+        assert v.exec_stats.mwcet == 0
+
+    def test_exec_stats_from_samples(self):
+        v = vertex("n/a", exec_times=[MSEC, 2 * MSEC, 3 * MSEC])
+        stats = v.exec_stats
+        assert stats.mbcet == MSEC
+        assert stats.mwcet == 3 * MSEC
+        assert stats.macet == pytest.approx(2 * MSEC)
+
+    def test_period_estimation(self):
+        v = vertex("n/a", start_times=[0, 100, 200, 305, 400])
+        assert v.period_ns == pytest.approx(100, abs=5)
+
+    def test_period_none_for_single_start(self):
+        assert vertex("n/a", start_times=[5]).period_ns is None
+
+    def test_label(self):
+        assert vertex("n/a").label() == "a"
+        assert vertex("n/&", cb_type="and_junction").label() == "n/&"
+
+
+class TestTopologicalProperty:
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        edge_bits=st.lists(st.booleans(), min_size=0, max_size=66),
+    )
+    @settings(max_examples=100)
+    def test_random_forward_dags_always_validate(self, n, edge_bits):
+        """Edges only from lower to higher index -> never a cycle."""
+        dag = TimingDag()
+        for i in range(n):
+            dag.add_vertex(vertex(f"n/v{i}"))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for bit, (i, j) in zip(edge_bits, pairs):
+            if bit:
+                dag.add_edge(f"n/v{i}", f"n/v{j}", topic=f"/t{i}_{j}")
+        order = {v.key: pos for pos, v in enumerate(dag.topological_order())}
+        for edge in dag.edges():
+            assert order[edge.src] < order[edge.dst]

@@ -1,0 +1,150 @@
+"""Unit tests for model export (DOT/JSON) and merging (multi-run,
+multi-mode)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    DagVertex,
+    MultiModeDag,
+    TimingDag,
+    dag_from_dict,
+    dag_from_json,
+    dag_to_dict,
+    dag_to_json,
+    format_edges,
+    format_exec_table,
+    merge_dags,
+    to_dot,
+)
+from repro.sim import MSEC
+
+
+def small_dag(exec_base=MSEC):
+    dag = TimingDag()
+    dag.add_vertex(
+        DagVertex(
+            key="a/t", node="a", cb_id="t", cb_type="timer",
+            outtopics=["/x"], exec_times=[exec_base, 2 * exec_base],
+            start_times=[0, 100 * MSEC],
+        )
+    )
+    dag.add_vertex(
+        DagVertex(
+            key="b/s", node="b", cb_id="s", cb_type="subscriber",
+            intopic="/x", exec_times=[3 * exec_base],
+            start_times=[5 * MSEC],
+        )
+    )
+    dag.add_edge("a/t", "b/s", topic="/x")
+    return dag
+
+
+class TestDotExport:
+    def test_contains_vertices_and_edges(self):
+        dot = to_dot(small_dag(), title="test")
+        assert 'digraph "test"' in dot
+        assert '"a/t"' in dot and '"b/s"' in dot
+        assert '"a/t" -> "b/s"' in dot
+        assert "/x" in dot
+
+    def test_junction_rendered_as_diamond(self):
+        dag = small_dag()
+        dag.add_vertex(DagVertex(key="b/&", node="b", cb_id="b/&", cb_type="and_junction"))
+        dot = to_dot(dag)
+        assert "diamond" in dot
+
+    def test_or_junction_annotated(self):
+        dag = small_dag()
+        dag.vertex("b/s").is_or_junction = True
+        assert "(OR)" in to_dot(dag)
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        dag = small_dag()
+        clone = dag_from_json(dag_to_json(dag))
+        assert dag_to_dict(clone) == dag_to_dict(dag)
+
+    def test_json_is_valid(self):
+        parsed = json.loads(dag_to_json(small_dag(), indent=2))
+        assert {"vertices", "edges"} == set(parsed)
+
+    def test_round_trip_preserves_stats(self):
+        clone = dag_from_dict(dag_to_dict(small_dag()))
+        assert clone.vertex("a/t").exec_stats.mwcet == 2 * MSEC
+        assert clone.vertex("a/t").period_ns == 100 * MSEC
+
+
+class TestTables:
+    def test_exec_table(self):
+        text = format_exec_table(small_dag())
+        assert "mWCET" in text and "a" in text
+
+    def test_exec_table_with_names(self):
+        text = format_exec_table(small_dag(), order=["a/t"], names={"a/t": "cb9"})
+        assert "cb9" in text and "b/s" not in text
+
+    def test_format_edges(self):
+        assert "a/t --[/x]--> b/s" in format_edges(small_dag())
+
+
+class TestMergeDags:
+    def test_samples_concatenate(self):
+        merged = merge_dags([small_dag(MSEC), small_dag(5 * MSEC)])
+        stats = merged.vertex("a/t").exec_stats
+        assert stats.count == 4
+        assert stats.mbcet == MSEC
+        assert stats.mwcet == 10 * MSEC
+
+    def test_union_of_vertices(self):
+        a = small_dag()
+        b = small_dag()
+        b.add_vertex(DagVertex(key="c/x", node="c", cb_id="x", cb_type="subscriber",
+                               intopic="/x"))
+        b.add_edge("a/t", "c/x", topic="/x")
+        merged = merge_dags([a, b])
+        assert merged.num_vertices == 3
+        assert merged.num_edges == 2
+
+    def test_or_flag_sticky(self):
+        a = small_dag()
+        b = small_dag()
+        b.vertex("b/s").is_or_junction = True
+        assert merge_dags([a, b]).vertex("b/s").is_or_junction
+        assert merge_dags([b, a]).vertex("b/s").is_or_junction
+
+    def test_type_conflict_rejected(self):
+        a = small_dag()
+        b = TimingDag()
+        b.add_vertex(DagVertex(key="a/t", node="a", cb_id="t", cb_type="service"))
+        with pytest.raises(ValueError):
+            merge_dags([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_dags([])
+
+    def test_inputs_not_mutated(self):
+        a = small_dag()
+        before = len(a.vertex("a/t").exec_times)
+        merge_dags([a, small_dag()])
+        assert len(a.vertex("a/t").exec_times) == before
+
+
+class TestMultiMode:
+    def test_modes_and_union(self):
+        multi = MultiModeDag()
+        multi.add_mode("city", small_dag(MSEC))
+        multi.add_mode("highway", small_dag(4 * MSEC))
+        assert multi.modes() == ["city", "highway"]
+        assert multi.dag("city").vertex("a/t").exec_stats.mwcet == 2 * MSEC
+        union = multi.union()
+        assert union.vertex("a/t").exec_stats.mwcet == 8 * MSEC
+
+    def test_duplicate_mode_rejected(self):
+        multi = MultiModeDag()
+        multi.add_mode("city", small_dag())
+        with pytest.raises(ValueError):
+            multi.add_mode("city", small_dag())

@@ -1,0 +1,275 @@
+"""End-to-end tests: traced applications -> Alg. 1/2 -> timing DAG.
+
+These tests validate the paper's central claims on small controlled
+applications: chains are recovered from traces, services are split per
+caller, synchronization produces AND junctions, and measured execution
+times equal the designed (constant) loads even under preemption.
+"""
+
+import pytest
+
+from repro.sim import Compute, Constant, MSEC, SEC, SchedPolicy
+from repro.ros2 import Msg, Node
+from repro.tracing import TracingSession
+from repro.core import synthesize_from_trace
+from repro.world import World
+
+
+def run_traced(world, duration, warmup=MSEC):
+    session = TracingSession(world)
+    session.start_init()
+    world.launch()
+    world.run(for_ns=warmup)
+    session.stop_init()
+    session.start_runtime()
+    world.run(for_ns=duration)
+    session.stop_runtime()
+    return session.trace()
+
+
+def constant_cb(duration):
+    def cb(api, msg):
+        yield api.compute(duration)
+
+    return cb
+
+
+class TestChainSynthesis:
+    def build_chain_world(self, seed=1):
+        """timer -> /a -> sub1 -> /b -> sub2 (three nodes)."""
+        world = World(num_cpus=2, seed=seed)
+        n1 = Node(world, "source")
+        n2 = Node(world, "middle")
+        n3 = Node(world, "sink")
+        pa = n1.create_publisher("/a")
+        pb = n2.create_publisher("/b")
+
+        def timer_cb(api, msg):
+            yield api.compute(2 * MSEC)
+            api.publish(pa, Msg(stamp=api.now))
+
+        def mid_cb(api, msg):
+            yield api.compute(3 * MSEC)
+            api.publish(pb, Msg(stamp=api.now))
+
+        n1.create_timer(100 * MSEC, timer_cb, label="T1")
+        n2.create_subscription("/a", mid_cb, label="S1")
+        n3.create_subscription("/b", constant_cb(1 * MSEC), label="S2")
+        return world, (n1, n2, n3)
+
+    def test_chain_vertices_and_edges(self):
+        world, nodes = self.build_chain_world()
+        trace = run_traced(world, 5 * SEC)
+        dag = synthesize_from_trace(trace)
+        dag.validate()
+        keys = {v.key for v in dag.vertices()}
+        assert keys == {"source/T1", "middle/S1", "sink/S2"}
+        assert dag.has_edge("source/T1", "middle/S1", "/a")
+        assert dag.has_edge("middle/S1", "sink/S2", "/b")
+        assert dag.num_edges == 2
+
+    def test_callback_types(self):
+        world, _ = self.build_chain_world()
+        dag = synthesize_from_trace(run_traced(world, 5 * SEC))
+        assert dag.vertex("source/T1").cb_type == "timer"
+        assert dag.vertex("middle/S1").cb_type == "subscriber"
+
+    def test_measured_exec_times_match_designed_constants(self):
+        """The paper's validation: constant loads measured exactly."""
+        world, _ = self.build_chain_world()
+        dag = synthesize_from_trace(run_traced(world, 5 * SEC))
+        assert set(dag.vertex("source/T1").exec_times) == {2 * MSEC}
+        assert set(dag.vertex("middle/S1").exec_times) == {3 * MSEC}
+        assert set(dag.vertex("sink/S2").exec_times) == {1 * MSEC}
+
+    def test_timer_period_estimated(self):
+        world, _ = self.build_chain_world()
+        dag = synthesize_from_trace(run_traced(world, 5 * SEC))
+        period = dag.vertex("source/T1").period_ns
+        assert period == pytest.approx(100 * MSEC, rel=0.02)
+
+    def test_exec_time_correct_under_preemption(self):
+        """A higher-priority interferer preempts the subscriber mid-CB;
+        Alg. 2 must still report the designed constant."""
+        world = World(num_cpus=1, seed=2)
+        app = Node(world, "app", priority=0)
+        rival = Node(world, "rival", priority=10)
+        pub = app.create_publisher("/x")
+
+        def heavy(api, msg):
+            yield api.compute(20 * MSEC)
+            api.publish(pub, Msg(stamp=api.now))
+
+        app.create_timer(100 * MSEC, heavy, label="HEAVY")
+        rival.create_timer(7 * MSEC, constant_cb(2 * MSEC), label="RIVAL")
+        trace = run_traced(world, 3 * SEC)
+        dag = synthesize_from_trace(trace)
+        samples = dag.vertex("app/HEAVY").exec_times
+        assert samples
+        assert set(samples) == {20 * MSEC}
+        # And wall-clock response times are strictly larger (preempted).
+        responses = dag.vertex("app/HEAVY").response_times
+        assert max(responses) > 20 * MSEC
+
+
+class TestServiceSynthesis:
+    def build_service_world(self, seed=3):
+        """Two callers of one service; responses handled by CL_A / CL_B."""
+        world = World(num_cpus=2, seed=seed)
+        server = Node(world, "server")
+        node_a = Node(world, "node_a")
+        node_b = Node(world, "node_b")
+
+        def handler(api, request):
+            yield api.compute(2 * MSEC)
+            return request
+
+        server.create_service("/sv", handler, label="SV")
+        ca = node_a.create_client("/sv", constant_cb(1 * MSEC), label="CL_A")
+        cb = node_b.create_client("/sv", constant_cb(1 * MSEC), label="CL_B")
+
+        def call_a(api, msg):
+            yield api.compute(MSEC)
+            api.call(ca, "a")
+
+        def call_b(api, msg):
+            yield api.compute(MSEC)
+            api.call(cb, "b")
+
+        # Phase > warmup so the first request is written after the runtime
+        # tracers attach (otherwise FindCaller sees a take_request whose
+        # matching dds_write predates the trace).
+        node_a.create_timer(100 * MSEC, call_a, label="TA", phase_ns=10 * MSEC)
+        node_b.create_timer(130 * MSEC, call_b, label="TB", phase_ns=10 * MSEC)
+        return world
+
+    def test_service_split_per_caller(self):
+        dag = synthesize_from_trace(run_traced(self.build_service_world(), 5 * SEC))
+        dag.validate()
+        sv_vertices = dag.find_vertices(cb_id="SV")
+        assert len(sv_vertices) == 2  # one per caller
+
+    def test_chains_do_not_cross(self):
+        """TA's chain must reach CL_A but never CL_B (the paper's
+        motivating example for per-caller replication)."""
+        dag = synthesize_from_trace(run_traced(self.build_service_world(), 5 * SEC))
+        reachable = set()
+        frontier = ["node_a/TA"]
+        while frontier:
+            key = frontier.pop()
+            for nxt in dag.successors(key):
+                if nxt.key not in reachable:
+                    reachable.add(nxt.key)
+                    frontier.append(nxt.key)
+        assert "node_a/CL_A" in reachable
+        assert "node_b/CL_B" not in reachable
+
+    def test_service_edges_qualified_by_caller(self):
+        dag = synthesize_from_trace(run_traced(self.build_service_world(), 5 * SEC))
+        sv_for_a = [
+            v for v in dag.find_vertices(cb_id="SV") if "TA" in (v.intopic or "")
+        ]
+        assert len(sv_for_a) == 1
+        preds = dag.predecessors(sv_for_a[0].key)
+        assert [p.cb_id for p in preds] == ["TA"]
+        succs = dag.successors(sv_for_a[0].key)
+        assert [s.cb_id for s in succs] == ["CL_A"]
+
+    def test_client_callback_exec_times(self):
+        dag = synthesize_from_trace(run_traced(self.build_service_world(), 5 * SEC))
+        cl = dag.find_vertices(cb_id="CL_A")[0]
+        assert set(cl.exec_times) == {1 * MSEC}
+
+
+class TestSyncSynthesis:
+    def build_sync_world(self, seed=4):
+        world = World(num_cpus=2, seed=seed)
+        src = Node(world, "drivers")
+        fusion = Node(world, "fusion")
+        sink = Node(world, "consumer")
+        p1 = src.create_publisher("/f1")
+        p2 = src.create_publisher("/f2")
+
+        def feed(api, msg):
+            stamp = api.now
+            api.publish(p1, Msg(stamp=stamp))
+            api.publish(p2, Msg(stamp=stamp))
+            return None
+
+        src.create_timer(100 * MSEC, feed, label="FEED")
+        s1 = fusion.create_subscription("/f1", label="MS1")
+        s2 = fusion.create_subscription("/f2", label="MS2")
+        out = fusion.create_publisher("/fused")
+
+        def fuse(api, msgs):
+            yield api.compute(2 * MSEC)
+            api.publish(out, Msg(stamp=api.now))
+
+        fusion.create_synchronizer([s1, s2], fuse, per_input_work=Constant(MSEC))
+        sink.create_subscription("/fused", constant_cb(MSEC), label="SINK")
+        return world
+
+    def test_and_junction_created(self):
+        dag = synthesize_from_trace(run_traced(self.build_sync_world(), 5 * SEC))
+        dag.validate()
+        junctions = [v for v in dag.vertices() if v.is_and_junction]
+        assert len(junctions) == 1
+        junction = junctions[0]
+        preds = {p.cb_id for p in dag.predecessors(junction.key)}
+        assert preds == {"MS1", "MS2"}
+        succs = {s.cb_id for s in dag.successors(junction.key)}
+        assert succs == {"SINK"}
+
+    def test_sync_members_marked(self):
+        dag = synthesize_from_trace(run_traced(self.build_sync_world(), 5 * SEC))
+        assert dag.vertex("fusion/MS1").is_sync_member
+        assert dag.vertex("fusion/MS2").is_sync_member
+
+    def test_no_direct_edge_from_members_to_consumer(self):
+        dag = synthesize_from_trace(run_traced(self.build_sync_world(), 5 * SEC))
+        assert not dag.has_edge("fusion/MS1", "consumer/SINK")
+        assert not dag.has_edge("fusion/MS2", "consumer/SINK")
+
+    def test_junction_has_zero_exec_time(self):
+        dag = synthesize_from_trace(run_traced(self.build_sync_world(), 5 * SEC))
+        junction = [v for v in dag.vertices() if v.is_and_junction][0]
+        assert junction.exec_stats.mwcet == 0
+
+
+class TestOrJunction:
+    def test_two_publishers_one_subscriber(self):
+        world = World(num_cpus=2, seed=5)
+        a = Node(world, "a")
+        b = Node(world, "b")
+        c = Node(world, "c")
+        pa = a.create_publisher("/shared")
+        pb = b.create_publisher("/shared")
+        a.create_timer(100 * MSEC, lambda api, msg: api.publish(pa) and None, label="TA")
+        b.create_timer(150 * MSEC, lambda api, msg: api.publish(pb) and None, label="TB")
+        c.create_subscription("/shared", constant_cb(MSEC), label="SC")
+        dag = synthesize_from_trace(run_traced(world, 5 * SEC))
+        vertex = dag.vertex("c/SC")
+        assert vertex.is_or_junction
+        assert {p.cb_id for p in dag.predecessors("c/SC")} == {"TA", "TB"}
+
+    def test_single_publisher_not_or(self):
+        world = World(num_cpus=2, seed=6)
+        a = Node(world, "a")
+        c = Node(world, "c")
+        pa = a.create_publisher("/solo")
+        a.create_timer(100 * MSEC, lambda api, msg: api.publish(pa) and None, label="TA")
+        c.create_subscription("/solo", constant_cb(MSEC), label="SC")
+        dag = synthesize_from_trace(run_traced(world, 3 * SEC))
+        assert not dag.vertex("c/SC").is_or_junction
+
+
+class TestPidFiltering:
+    def test_pids_argument_restricts_model(self):
+        world = World(num_cpus=2, seed=7)
+        keep = Node(world, "keep")
+        drop = Node(world, "drop")
+        keep.create_timer(100 * MSEC, constant_cb(MSEC), label="K")
+        drop.create_timer(100 * MSEC, constant_cb(MSEC), label="D")
+        trace = run_traced(world, 3 * SEC)
+        dag = synthesize_from_trace(trace, pids=[keep.pid])
+        assert {v.key for v in dag.vertices()} == {"keep/K"}

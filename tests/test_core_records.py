@@ -1,0 +1,107 @@
+"""Unit tests for CallbackInstance / CallbackRecord / CBList."""
+
+import pytest
+
+from repro.core import CallbackInstance, CallbackRecord, CBList
+
+
+def instance(cb_id="X", cb_type="subscriber", start=0, end=10, intopic="/t",
+             outtopics=None, exec_time=7, sync=False):
+    return CallbackInstance(
+        cb_type=cb_type,
+        start=start,
+        end=end,
+        cb_id=cb_id,
+        intopic=intopic,
+        outtopics=list(outtopics or []),
+        is_sync_subscriber=sync,
+        exec_time=exec_time,
+    )
+
+
+class TestInstance:
+    def test_response_time(self):
+        assert instance(start=5, end=30).response_time == 25
+
+    def test_response_time_none_without_end(self):
+        inst = CallbackInstance(cb_type="timer", start=5)
+        assert inst.response_time is None
+
+
+class TestCBListMatching:
+    def test_same_id_merges(self):
+        cbl = CBList(pid=3, node="n")
+        cbl.add(instance(start=0, end=10, exec_time=7))
+        cbl.add(instance(start=100, end=110, exec_time=8))
+        assert len(cbl) == 1
+        record = cbl.get("X")
+        assert record.exec_times == [7, 8]
+        assert record.start_times == [0, 100]
+
+    def test_service_split_by_intopic(self):
+        cbl = CBList(pid=3, node="n")
+        cbl.add(instance(cb_type="service", intopic="/svRequest#A"))
+        cbl.add(instance(cb_type="service", intopic="/svRequest#B"))
+        assert len(cbl) == 2
+
+    def test_non_service_not_split_by_intopic(self):
+        cbl = CBList(pid=3, node="n")
+        cbl.add(instance(intopic="/a"))
+        cbl.add(instance(intopic="/a"))
+        assert len(cbl) == 1
+
+    def test_out_topics_union(self):
+        cbl = CBList(pid=3, node="n")
+        cbl.add(instance(outtopics=["/x"]))
+        cbl.add(instance(outtopics=["/x", "/y"]))
+        assert cbl.get("X").outtopics == ["/x", "/y"]
+
+    def test_sync_flag_sticky(self):
+        cbl = CBList(pid=3, node="n")
+        cbl.add(instance(sync=False))
+        cbl.add(instance(sync=True))
+        cbl.add(instance(sync=False))
+        assert cbl.get("X").is_sync_subscriber
+
+    def test_instance_without_id_rejected(self):
+        cbl = CBList(pid=3)
+        with pytest.raises(ValueError):
+            cbl.add(CallbackInstance(cb_type="timer", start=0))
+
+    def test_get_unknown_raises(self):
+        cbl = CBList(pid=3)
+        with pytest.raises(KeyError):
+            cbl.get("nope")
+
+    def test_get_ambiguous_service_requires_intopic(self):
+        cbl = CBList(pid=3, node="n")
+        cbl.add(instance(cb_type="service", intopic="/r#A"))
+        cbl.add(instance(cb_type="service", intopic="/r#B"))
+        with pytest.raises(KeyError):
+            cbl.get("X")
+        assert cbl.get("X", intopic="/r#A").intopic == "/r#A"
+
+
+class TestRecordMerging:
+    def test_absorb_record(self):
+        a = CallbackRecord(pid=1, node="n", cb_type="timer", cb_id="T",
+                           exec_times=[1, 2], start_times=[0, 10],
+                           outtopics=["/a"])
+        b = CallbackRecord(pid=1, node="n", cb_type="timer", cb_id="T",
+                           exec_times=[3], start_times=[20],
+                           outtopics=["/b"])
+        a.absorb_record(b)
+        assert a.exec_times == [1, 2, 3]
+        assert a.outtopics == ["/a", "/b"]
+        assert a.invocations == 3
+
+    def test_absorb_mismatched_key_rejected(self):
+        a = CallbackRecord(pid=1, node="n", cb_type="timer", cb_id="T")
+        b = CallbackRecord(pid=1, node="n", cb_type="timer", cb_id="U")
+        with pytest.raises(ValueError):
+            a.absorb_record(b)
+
+    def test_service_key_includes_intopic(self):
+        a = CallbackRecord(pid=1, node="n", cb_type="service", cb_id="S", intopic="/r#A")
+        b = CallbackRecord(pid=1, node="n", cb_type="service", cb_id="S", intopic="/r#B")
+        assert a.key != b.key

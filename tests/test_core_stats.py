@@ -1,0 +1,99 @@
+"""Unit + property tests for statistics and prefix evolution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExecStats, estimate_period, prefix_stats, utilization
+from repro.sim import MSEC
+
+
+class TestExecStats:
+    def test_basic(self):
+        stats = ExecStats.from_samples([MSEC, 3 * MSEC, 2 * MSEC])
+        assert stats.count == 3
+        assert stats.mbcet == MSEC
+        assert stats.mwcet == 3 * MSEC
+        assert stats.macet == pytest.approx(2 * MSEC)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ExecStats.from_samples([])
+
+    def test_ms_conversion(self):
+        stats = ExecStats.from_samples([2 * MSEC]).ms()
+        assert stats.mbcet == pytest.approx(2.0)
+
+    def test_str_rendering(self):
+        text = str(ExecStats.from_samples([MSEC, 2 * MSEC]))
+        assert "ms" in text and "n=2" in text
+
+    def test_zero_sentinel(self):
+        assert ExecStats.ZERO.count == 0
+        assert ExecStats.ZERO.mwcet == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_ordering_invariant(self, samples):
+        stats = ExecStats.from_samples(samples)
+        assert stats.mbcet <= stats.macet <= stats.mwcet
+
+
+class TestPeriodEstimation:
+    def test_exact_period(self):
+        assert estimate_period([0, 100, 200, 300]) == 100
+
+    def test_median_robust_to_outlier(self):
+        # One delayed invocation does not skew the estimate.
+        assert estimate_period([0, 100, 200, 390, 400, 500]) == 100
+
+    def test_none_for_short_series(self):
+        assert estimate_period([]) is None
+        assert estimate_period([5]) is None
+
+    def test_unsorted_input(self):
+        assert estimate_period([300, 100, 0, 200]) == 100
+
+
+class TestUtilization:
+    def test_basic(self):
+        stats = ExecStats.from_samples([27 * MSEC])
+        assert utilization(stats, 100 * MSEC) == pytest.approx(0.27)
+
+    def test_none_without_period(self):
+        stats = ExecStats.from_samples([MSEC])
+        assert utilization(stats, None) is None
+        assert utilization(stats, 0) is None
+
+
+class TestPrefixStats:
+    def test_growing_window(self):
+        series = prefix_stats([[10], [30], [20]])
+        assert [s.mwcet for s in series] == [10, 30, 30]
+        assert [s.mbcet for s in series] == [10, 10, 10]
+        assert [s.count for s in series] == [1, 2, 3]
+
+    def test_empty_runs_carry_previous(self):
+        series = prefix_stats([[5], [], [7]])
+        assert [s.mwcet for s in series] == [5, 5, 7]
+
+    def test_all_empty(self):
+        series = prefix_stats([[], []])
+        assert all(s.count == 0 for s in series)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=10**6), max_size=20),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_monotonicity_properties(self, per_run):
+        """The Fig. 4 invariants for arbitrary sample histories."""
+        series = prefix_stats(per_run)
+        mwcets = [s.mwcet for s in series if s.count]
+        assert all(b >= a for a, b in zip(mwcets, mwcets[1:]))
+        mbcets = [s.mbcet for s in series if s.count]
+        assert all(b <= a for a, b in zip(mbcets, mbcets[1:]))
+        counts = [s.count for s in series]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))

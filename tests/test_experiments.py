@@ -1,0 +1,157 @@
+"""Tests for the experiment drivers (reduced-size configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    Fig3Result,
+    Table2Config,
+    check_avp_dag,
+    check_syn_dag,
+    fig4_from_table2,
+    run_fig3a,
+    run_fig3b,
+    run_overhead,
+    run_table1,
+    run_table2,
+)
+from repro.sim import SEC
+
+
+@pytest.fixture(scope="module")
+def fig3a() -> Fig3Result:
+    return run_fig3a(duration_ns=8 * SEC)
+
+
+@pytest.fixture(scope="module")
+def fig3b() -> Fig3Result:
+    return run_fig3b(duration_ns=8 * SEC)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2(Table2Config(runs=6, duration_ns=4 * SEC))
+
+
+class TestFig3a:
+    def test_all_structural_checks_pass(self, fig3a):
+        failed = [name for name, ok in fig3a.checks if not ok]
+        assert not failed, failed
+
+    def test_vertex_and_edge_counts(self, fig3a):
+        # 16 callbacks + duplicated SV3 + AND junction = 18 vertices.
+        assert fig3a.dag.num_vertices == 18
+        assert fig3a.dag.num_edges == 16
+
+    def test_dag_validates(self, fig3a):
+        fig3a.dag.validate()
+
+
+class TestFig3b:
+    def test_all_structural_checks_pass(self, fig3b):
+        failed = [name for name, ok in fig3b.checks if not ok]
+        assert not failed, failed
+
+    def test_seven_vertices_six_edges(self, fig3b):
+        assert fig3b.dag.num_vertices == 7
+        assert fig3b.dag.num_edges == 6
+
+
+class TestTable1:
+    def test_all_sixteen_probes_attached(self):
+        result = run_table1()
+        assert result.complete, f"missing: {result.missing}"
+        assert len(result.rows) == 16
+
+    def test_table_renders(self):
+        result = run_table1()
+        text = result.table()
+        for row_id in ("P1", "P7", "P16"):
+            assert row_id in text
+
+
+class TestTable2:
+    def test_all_callbacks_measured(self, table2):
+        for cb in ("cb1", "cb2", "cb3", "cb4", "cb5", "cb6"):
+            mbcet, macet, mwcet = table2.measured_ms(cb)
+            assert 0 < mbcet <= macet <= mwcet
+
+    def test_ordering_matches_paper(self, table2):
+        """The qualitative claims of Table II: cb2 > cb1 everywhere; cb6
+        has the widest spread; cb4's average stays far below cb3's."""
+        cb1 = table2.measured_ms("cb1")
+        cb2 = table2.measured_ms("cb2")
+        cb3 = table2.measured_ms("cb3")
+        cb4 = table2.measured_ms("cb4")
+        cb6 = table2.measured_ms("cb6")
+        assert all(b > a for a, b in zip(cb1, cb2))
+        spread = lambda t: t[2] / t[0]
+        assert spread(cb6) > max(spread(cb1), spread(cb2))
+        assert cb4[1] < cb3[1] / 2
+
+    def test_values_close_to_reference(self, table2):
+        """Within a generous envelope of the paper's numbers (shape)."""
+        for cb in ("cb1", "cb2", "cb5"):
+            ref = table2.reference_ms[cb]
+            ours = table2.measured_ms(cb)
+            for r, o in zip(ref, ours):
+                assert o == pytest.approx(r, rel=0.15), (cb, ref, ours)
+
+    def test_table_renders(self, table2):
+        text = table2.table()
+        assert "cb1" in text and "cb6" in text  # rows use cb ids, not keys
+        assert "filter_transform_vlp16_rear" in text
+
+    def test_comparison_renders(self, table2):
+        assert "paper mWCET" in table2.comparison()
+
+    def test_merged_dag_structure_stable(self, table2):
+        checks = check_avp_dag(table2.merged_dag)
+        failed = [name for name, ok in checks if not ok]
+        assert not failed, failed
+
+
+class TestFig4:
+    def test_series_shapes(self, table2):
+        result = fig4_from_table2(table2)
+        for cb in ("cb1", "cb2", "cb5", "cb6"):
+            series = result.series[cb]
+            assert series.runs == len(table2.per_run_dags)
+
+    def test_mwcet_monotonic_nondecreasing(self, table2):
+        """Prefix maxima can only grow -- the Fig. 4 invariant."""
+        result = fig4_from_table2(table2)
+        for series in result.series.values():
+            mwcets = [s.mwcet for s in series.stats]
+            assert all(b >= a for a, b in zip(mwcets, mwcets[1:]))
+
+    def test_mbcet_monotonic_nonincreasing(self, table2):
+        result = fig4_from_table2(table2)
+        for series in result.series.values():
+            mbcets = [s.mbcet for s in series.stats]
+            assert all(b <= a for a, b in zip(mbcets, mbcets[1:]))
+
+    def test_macet_stable(self, table2):
+        """Averages stabilise: last two prefix means within 10 %."""
+        result = fig4_from_table2(table2)
+        for series in result.series.values():
+            a, b = series.stats[-2].macet, series.stats[-1].macet
+            assert b == pytest.approx(a, rel=0.1)
+
+    def test_table_renders(self, table2):
+        text = fig4_from_table2(table2).table()
+        assert "runs" in text
+
+
+class TestOverhead:
+    def test_overhead_report(self):
+        result = run_overhead(duration_ns=5 * SEC)
+        assert result.report.trace_bytes > 0
+        # Probe load is a small fraction of app load (paper: ~0.3 %).
+        assert result.report.probe_share_of_app < 0.05
+        assert result.filter_reduction > 1.0
+        assert "MB" in result.summary()
+
+    def test_trace_volume_scales_with_duration(self):
+        short = run_overhead(duration_ns=2 * SEC)
+        long = run_overhead(duration_ns=4 * SEC)
+        assert long.report.trace_bytes > short.report.trace_bytes

@@ -1,0 +1,70 @@
+"""Property-based end-to-end tests: random applications, synthesized
+models, and the invariants that must hold between them.
+
+Each example builds a random-but-known application, traces it, and
+verifies that the synthesized model (a) covers the ground-truth
+topology, (b) is acyclic, and (c) carries execution-time measurements
+bounded by wall-clock response times.  Examples are kept small because
+every one is a full simulation run.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import GeneratorConfig, generate_app
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.sim import SEC
+
+RUN_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def generator_configs(draw):
+    return GeneratorConfig(
+        num_nodes=draw(st.integers(min_value=2, max_value=5)),
+        num_chains=draw(st.integers(min_value=1, max_value=3)),
+        chain_length=draw(st.integers(min_value=1, max_value=4)),
+        service_probability=draw(st.sampled_from([0.0, 0.3, 0.7])),
+    )
+
+
+def run_generated(config, app_seed, world_seed=77):
+    run_config = RunConfig(duration_ns=4 * SEC, base_seed=world_seed, num_cpus=4)
+    result = run_once(lambda w, i: generate_app(w, config, seed=app_seed), run_config)
+    dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+    return dag, result.apps
+
+
+class TestGeneratedModels:
+    @RUN_SETTINGS
+    @given(config=generator_configs(), app_seed=st.integers(min_value=0, max_value=50))
+    def test_ground_truth_covered_and_acyclic(self, config, app_seed):
+        dag, app = run_generated(config, app_seed)
+        dag.validate()
+        actual = {
+            (dag.vertex(e.src).cb_id, dag.vertex(e.dst).cb_id) for e in dag.edges()
+        }
+        assert app.expected_edges <= actual
+        observed = {v.cb_id for v in dag.vertices() if not v.is_and_junction}
+        assert set(app.labels) <= observed
+
+    @RUN_SETTINGS
+    @given(config=generator_configs(), app_seed=st.integers(min_value=0, max_value=50))
+    def test_exec_time_bounded_by_response_time(self, config, app_seed):
+        dag, _ = run_generated(config, app_seed)
+        for vertex in dag.vertices():
+            assert len(vertex.exec_times) == len(vertex.response_times)
+            for exec_time, response in zip(vertex.exec_times, vertex.response_times):
+                assert 0 <= exec_time <= response
+
+    @RUN_SETTINGS
+    @given(config=generator_configs(), app_seed=st.integers(min_value=0, max_value=50))
+    def test_service_vertices_have_single_caller(self, config, app_seed):
+        dag, app = run_generated(config, app_seed)
+        for label in app.service_labels:
+            for vertex in dag.find_vertices(cb_id=label):
+                assert len(dag.predecessors(vertex.key)) <= 1

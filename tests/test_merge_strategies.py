@@ -1,0 +1,138 @@
+"""Tests for the multi-run processing strategies of Sec. V / Fig. 2.
+
+Strategy 1 (merge traces, synthesize once) and strategy 2 (DAG per
+trace, merge DAGs) must agree on structure and on the execution-time
+sample population when runs have disjoint clock/PID bases -- which the
+staggered runner guarantees, mirroring a real machine's monotonic
+uptime clock and advancing PID counter.
+"""
+
+import pytest
+
+from repro.apps import build_avp, build_syn
+from repro.core import (
+    STRATEGY_MERGE_DAGS,
+    STRATEGY_MERGE_TRACES,
+    dag_from_merged_traces,
+    dag_from_runs,
+    diff_dags,
+    synthesize_from_database,
+)
+from repro.experiments import RunConfig, collect_database, run_many
+from repro.sim import SEC
+from repro.tracing import Trace
+
+
+@pytest.fixture(scope="module")
+def avp_runs():
+    config = RunConfig(duration_ns=4 * SEC, base_seed=300, num_cpus=4)
+    results = run_many(lambda w, i: build_avp(w), runs=3, config=config)
+    return results, collect_database(results)
+
+
+class TestStaggering:
+    def test_runs_have_disjoint_pid_ranges(self, avp_runs):
+        results, _ = avp_runs
+        ranges = [set(r.trace.pid_map) for r in results]
+        for i, a in enumerate(ranges):
+            for b in ranges[i + 1:]:
+                assert not (a & b)
+
+    def test_runs_have_disjoint_time_ranges(self, avp_runs):
+        results, _ = avp_runs
+        spans = [(r.trace.start_ts, r.trace.stop_ts) for r in results]
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 < s2
+
+    def test_stagger_disabled_overlaps(self):
+        config = RunConfig(
+            duration_ns=2 * SEC, base_seed=301, num_cpus=2, stagger_runs=False
+        )
+        results = run_many(lambda w, i: build_avp(w), runs=2, config=config)
+        assert set(results[0].trace.pid_map) == set(results[1].trace.pid_map)
+
+
+class TestStrategyEquivalence:
+    def test_structure_identical(self, avp_runs):
+        results, database = avp_runs
+        merged_traces = synthesize_from_database(database, STRATEGY_MERGE_TRACES)
+        merged_dags = synthesize_from_database(database, STRATEGY_MERGE_DAGS)
+        # Strategy 1 vertices are keyed by per-run node names (same) --
+        # but per-run PIDs differ, so a node appears once per run in the
+        # merged-trace model.  Collapse by (node, cb_id) for comparison.
+        def shape(dag):
+            vertices = {
+                (v.node, v.cb_id, v.cb_type)
+                for v in dag.vertices()
+            }
+            edges = {
+                (dag.vertex(e.src).node, dag.vertex(e.src).cb_id,
+                 dag.vertex(e.dst).node, dag.vertex(e.dst).cb_id)
+                for e in dag.edges()
+            }
+            return vertices, edges
+
+        assert shape(merged_traces) == shape(merged_dags)
+
+    def test_sample_population_identical(self, avp_runs):
+        results, database = avp_runs
+        merged_traces = synthesize_from_database(database, STRATEGY_MERGE_TRACES)
+        merged_dags = synthesize_from_database(database, STRATEGY_MERGE_DAGS)
+
+        def samples(dag, cb_id):
+            values = []
+            for v in dag.find_vertices(cb_id=cb_id):
+                values.extend(v.exec_times)
+            return sorted(values)
+
+        for cb in ("cb1", "cb2", "cb5", "cb6"):
+            assert samples(merged_traces, cb) == samples(merged_dags, cb)
+
+    def test_unknown_strategy_rejected(self, avp_runs):
+        _, database = avp_runs
+        with pytest.raises(ValueError):
+            synthesize_from_database(database, "bogus")
+
+
+class TestMixedStrategy:
+    def test_merge_traces_within_merge_dags_across(self):
+        """Fig. 2 option (iii): merge segments within a run, DAGs across
+        runs."""
+        config = RunConfig(
+            duration_ns=4 * SEC,
+            base_seed=320,
+            num_cpus=4,
+            segment_every_ns=1 * SEC,
+        )
+        results = run_many(lambda w, i: build_syn(w), runs=2, config=config)
+        assert all(len(r.session.segments) >= 4 for r in results)
+        dag = dag_from_runs([r.trace for r in results],
+                            pids=results[0].apps.pids + results[1].apps.pids)
+        # DAG merge across runs unions same-keyed vertices: still two SV3
+        # vertices (one per caller), with samples from both runs.
+        sv3 = dag.find_vertices(cb_id="SV3")
+        assert len(sv3) == 2
+        from repro.core import synthesize_from_trace
+
+        single = synthesize_from_trace(results[0].trace, pids=results[0].apps.pids)
+        merged_samples = sum(len(v.exec_times) for v in sv3)
+        single_samples = sum(
+            len(v.exec_times) for v in single.find_vertices(cb_id="SV3")
+        )
+        assert merged_samples > single_samples
+
+
+class TestTraceMerge:
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.merge([])
+
+    def test_merge_preserves_event_counts(self, avp_runs):
+        results, database = avp_runs
+        merged = database.merged()
+        assert len(merged.ros_events) == sum(
+            len(r.trace.ros_events) for r in results
+        )
+        ts = [e.ts for e in merged.ros_events]
+        assert ts == sorted(ts)

@@ -1,0 +1,158 @@
+"""Robustness tests: buffer overflow, map exhaustion, degenerate traces,
+and end-to-end behaviour under adverse tracing conditions."""
+
+import pytest
+
+from repro.apps import build_avp
+from repro.core import SchedIndex, extract_all, synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.ros2 import Msg, Node
+from repro.sim import MSEC, SEC
+from repro.tracing import Trace, TracingSession
+from repro.world import World
+
+
+class TestBufferOverflow:
+    def test_lost_events_counted_and_pipeline_survives(self):
+        """A tiny RT buffer drops events; synthesis must still produce a
+        (partial) model without crashing."""
+        world = World(num_cpus=2, seed=9)
+        node = Node(world, "chatty")
+        pub = node.create_publisher("/x")
+
+        def cb(api, msg):
+            yield api.compute(MSEC)
+            api.publish(pub, Msg(stamp=api.now))
+
+        node.create_timer(10 * MSEC, cb, label="T")
+        sink = Node(world, "sink")
+        sink.create_subscription("/x", lambda api, m: (yield api.compute(MSEC)), label="S")
+        session = TracingSession(world, rt_buffer_capacity=64)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=MSEC)
+        session.stop_init()
+        session.start_runtime()
+        world.run(for_ns=5 * SEC)  # >> 64 events without rotation
+        session.stop_runtime()
+        assert session.rt_tracer.buffer.lost > 0
+        dag = synthesize_from_trace(session.trace())
+        assert dag.num_vertices >= 1  # partial but usable
+
+    def test_rotation_prevents_loss(self):
+        world = World(num_cpus=2, seed=9)
+        node = Node(world, "chatty2")
+        node.create_timer(10 * MSEC, lambda api, m: (yield api.compute(MSEC)), label="T")
+        session = TracingSession(world, rt_buffer_capacity=256)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=MSEC)
+        session.stop_init()
+        session.start_runtime()
+        for _ in range(10):
+            world.run(for_ns=500 * MSEC)
+            session.rotate()
+        session.stop_runtime()
+        assert session.rt_tracer.buffer.lost == 0
+        starts = [e for e in session.trace().ros_events if e.is_cb_start()]
+        assert len(starts) >= 490
+
+
+class TestDegenerateTraces:
+    def test_empty_trace_yields_empty_model(self):
+        dag = synthesize_from_trace(Trace())
+        assert dag.num_vertices == 0
+        dag.validate()
+
+    def test_trace_with_only_sched_events(self):
+        world = World(num_cpus=1, seed=2)
+        node = Node(world, "n")
+        node.create_timer(50 * MSEC, lambda api, m: (yield api.compute(MSEC)))
+        session = TracingSession(world)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=MSEC)
+        session.stop_init()
+        session.start_runtime()
+        world.run(for_ns=SEC)
+        session.stop_runtime()
+        trace = session.trace()
+        stripped = Trace(
+            ros_events=[],
+            sched_events=trace.sched_events,
+            pid_map=trace.pid_map,
+        )
+        dag = synthesize_from_trace(stripped)
+        assert dag.num_vertices == 0
+
+    def test_extract_all_unknown_pid(self):
+        trace = Trace(pid_map={42: "ghost"})
+        cblists = extract_all(trace)
+        assert len(cblists) == 1
+        assert len(cblists[0]) == 0
+
+    def test_sched_index_empty(self):
+        index = SchedIndex([])
+        assert index.pids() == []
+        assert index.exec_time(0, 100, 1) == 100
+
+
+class TestWarmupArtifacts:
+    def test_mid_callback_attach_produces_clean_model(self):
+        """Attaching the runtime tracers mid-execution leaves partial
+        instances that Alg. 1 must silently drop."""
+        config = RunConfig(duration_ns=5 * SEC, warmup_ns=37 * MSEC, base_seed=8)
+        result = run_once(lambda w, i: build_avp(w), config)
+        dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+        dag.validate()
+        # All six callbacks present despite the odd attach point.
+        cb_ids = {v.cb_id for v in dag.vertices() if not v.is_and_junction}
+        assert cb_ids == {"cb1", "cb2", "cb3", "cb4", "cb5", "cb6"}
+
+    @pytest.mark.parametrize("warmup_ms", [0, 1, 13, 53, 101])
+    def test_any_attach_point_is_safe(self, warmup_ms):
+        config = RunConfig(
+            duration_ns=3 * SEC, warmup_ns=warmup_ms * MSEC, base_seed=12
+        )
+        result = run_once(lambda w, i: build_avp(w), config)
+        dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+        dag.validate()
+        for vertex in dag.vertices():
+            for sample, response in zip(vertex.exec_times, vertex.response_times):
+                assert 0 <= sample <= response
+
+
+class TestSrcTsStash:
+    def test_concurrent_takes_use_per_pid_slots(self):
+        """Two nodes taking simultaneously must not cross their srcTS
+        stash entries (the BPF map is keyed by PID)."""
+        world = World(num_cpus=2, seed=4, dds_latency_ns=0)
+        src = Node(world, "src")
+        a = Node(world, "a")
+        b = Node(world, "b")
+        pa = src.create_publisher("/fan")
+
+        def feed(api, msg):
+            api.publish(pa, Msg(stamp=api.now))
+            return None
+
+        src.create_timer(50 * MSEC, feed)
+        a.create_subscription("/fan", lambda api, m: (yield api.compute(MSEC)), label="A")
+        b.create_subscription("/fan", lambda api, m: (yield api.compute(MSEC)), label="B")
+        session = TracingSession(world)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=MSEC)
+        session.stop_init()
+        session.start_runtime()
+        world.run(for_ns=2 * SEC)
+        session.stop_runtime()
+        trace = session.trace()
+        from repro.tracing import P6_TAKE, P16_DDS_WRITE
+
+        write_ts = {
+            e.get("src_ts") for e in trace.ros_events if e.probe == P16_DDS_WRITE
+        }
+        takes = [e for e in trace.ros_events if e.probe == P6_TAKE]
+        assert takes
+        assert all(t.get("src_ts") in write_ts for t in takes)

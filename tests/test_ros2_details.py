@@ -1,0 +1,279 @@
+"""Detailed ROS2-substrate tests: QoS drops, executor semantics,
+synchronizer edge cases, DDS behaviour."""
+
+import pytest
+
+from repro.ros2 import (
+    DEFAULT_QOS,
+    ExternalPublisher,
+    Msg,
+    Node,
+    QoSProfile,
+    reply_topic,
+    request_topic,
+)
+from repro.sim import Constant, MSEC, SEC
+from repro.world import World
+
+
+def make_world(**kwargs):
+    kwargs.setdefault("num_cpus", 2)
+    kwargs.setdefault("seed", 3)
+    return World(**kwargs)
+
+
+class TestQoS:
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            QoSProfile(depth=0)
+
+    def test_keep_last_drops_oldest(self):
+        """A slow subscriber with depth 2 keeps only the newest samples."""
+        world = make_world(num_cpus=1)
+        producer = Node(world, "producer")
+        consumer = Node(world, "consumer", start_delay_ns=0)
+        pub = producer.create_publisher("/burst")
+        got = []
+
+        def burst(api, msg):
+            for _ in range(6):
+                api.publish(pub, Msg(stamp=api.now))
+            yield api.compute(MSEC)
+
+        def slow(api, msg):
+            got.append(msg.stamp)
+            yield api.compute(50 * MSEC)
+
+        producer.create_timer(500 * MSEC, burst, label="B")
+        sub = consumer.create_subscription("/burst", slow, qos=QoSProfile(depth=2))
+        world.launch()
+        world.run(for_ns=490 * MSEC)
+        # 6 published, queue depth 2 + the one consumed early.
+        assert sub.reader.dropped >= 3
+        assert len(got) <= 3
+
+    def test_default_depth_keeps_bursts(self):
+        world = make_world()
+        producer = Node(world, "p2")
+        consumer = Node(world, "c2")
+        pub = producer.create_publisher("/burst2")
+        got = []
+
+        def burst(api, msg):
+            for _ in range(6):
+                api.publish(pub, Msg(stamp=api.now))
+            return None
+
+        producer.create_timer(500 * MSEC, burst)
+        consumer.create_subscription("/burst2", lambda api, m: got.append(m.stamp))
+        world.launch()
+        world.run(for_ns=400 * MSEC)
+        assert len(got) == 6
+
+
+class TestExecutorSemantics:
+    def test_one_callback_at_a_time(self):
+        """Callbacks of one node never overlap (single-threaded executor)."""
+        world = make_world()
+        node = Node(world, "busy")
+        windows = []
+
+        def make_cb(tag, duration):
+            def cb(api, msg):
+                start = api.now
+                yield api.compute(duration)
+                windows.append((tag, start, api.now))
+
+            return cb
+
+        node.create_timer(30 * MSEC, make_cb("t1", 10 * MSEC))
+        node.create_timer(45 * MSEC, make_cb("t2", 12 * MSEC))
+        world.launch()
+        world.run(for_ns=2 * SEC)
+        spans = sorted((s, e) for _, s, e in windows)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2  # no overlap
+
+    def test_timer_before_subscription_priority(self):
+        """rclcpp wait-set order: ready timers dispatch before ready subs."""
+        world = make_world(num_cpus=1, dds_latency_ns=0)
+        node = Node(world, "orderly")
+        other = Node(world, "feeder")
+        pub = other.create_publisher("/x")
+        order = []
+
+        def blocker(api, msg):
+            # Long callback so both timer and sub become ready during it.
+            yield api.compute(50 * MSEC)
+
+        def on_timer(api, msg):
+            order.append("timer")
+            yield api.compute(MSEC)
+
+        def on_sub(api, msg):
+            order.append("sub")
+            yield api.compute(MSEC)
+
+        node.create_timer(200 * MSEC, blocker, label="BLOCK", phase_ns=0)
+        node.create_timer(200 * MSEC, on_timer, label="TM", phase_ns=10 * MSEC)
+        node.create_subscription("/x", on_sub)
+        other.create_timer(200 * MSEC, lambda api, m: api.publish(pub) and None,
+                           phase_ns=5 * MSEC)
+        world.launch()
+        world.run(for_ns=190 * MSEC)
+        # During BLOCK (0..50ms) both the publication (5ms) and TM (10ms)
+        # became ready; the timer dispatches first.
+        assert order[:2] == ["timer", "sub"]
+
+    def test_executor_drains_backlog(self):
+        world = make_world(num_cpus=2, dds_latency_ns=0)
+        fast = Node(world, "fast")
+        slow = Node(world, "slow")
+        pub = fast.create_publisher("/q")
+        fast.create_timer(10 * MSEC, lambda api, m: api.publish(pub) and None)
+        seen = []
+        slow.create_subscription(
+            "/q", lambda api, m: seen.append(api.now), qos=QoSProfile(depth=100)
+        )
+        world.launch()
+        world.run(for_ns=SEC)
+        assert len(seen) >= 99
+
+
+class TestServiceTopics:
+    def test_topic_naming(self):
+        assert request_topic("/sv") == "/svRequest"
+        assert reply_topic("/sv") == "/svReply"
+
+    def test_sequence_numbers_distinguish_calls(self):
+        world = make_world()
+        server = Node(world, "srv")
+        caller = Node(world, "cli")
+        seen = []
+
+        def handler(api, request):
+            return request
+
+        server.create_service("/echo", handler)
+        client = caller.create_client("/echo", lambda api, d: seen.append(d))
+        count = {"n": 0}
+
+        def call(api, msg):
+            count["n"] += 1
+            api.call(client, count["n"])
+            return None
+
+        caller.create_timer(50 * MSEC, call)
+        world.launch()
+        world.run(for_ns=SEC)
+        assert seen == sorted(seen)
+        assert len(seen) >= 19
+
+    def test_malformed_request_detected(self):
+        world = make_world()
+        server = Node(world, "srv")
+        server.create_service("/echo", lambda api, r: r)
+        # Write a non-envelope payload straight onto the request topic.
+        writer = world.dds.create_writer(request_topic("/echo"), kind="request")
+        world.kernel.schedule_at(10 * MSEC, lambda: world.dds.write(writer, "garbage"))
+        world.launch()
+        with pytest.raises(TypeError):
+            world.run(for_ns=SEC)
+
+
+class TestSynchronizerEdgeCases:
+    def test_needs_two_subscriptions(self):
+        world = make_world()
+        node = Node(world, "f")
+        s1 = node.create_subscription("/a")
+        with pytest.raises(ValueError):
+            node.create_synchronizer([s1], lambda api, msgs: None)
+
+    def test_members_must_share_node(self):
+        world = make_world()
+        n1 = Node(world, "f1")
+        n2 = Node(world, "f2")
+        s1 = n1.create_subscription("/a")
+        s2 = n2.create_subscription("/b")
+        with pytest.raises(ValueError):
+            from repro.ros2 import TimeSynchronizer
+
+            TimeSynchronizer([s1, s2], lambda api, msgs: None)
+
+    def test_unstamped_message_rejected(self):
+        world = make_world(dds_latency_ns=0)
+        node = Node(world, "f")
+        s1 = node.create_subscription("/a")
+        s2 = node.create_subscription("/b")
+        node.create_synchronizer([s1, s2], lambda api, msgs: None)
+        src = Node(world, "src")
+        pa = src.create_publisher("/a")
+        src.create_timer(50 * MSEC, lambda api, m: api.publish(pa, Msg(stamp=None)) and None)
+        world.launch()
+        with pytest.raises(ValueError):
+            world.run(for_ns=SEC)
+
+    def test_mismatched_stamps_never_fuse_exact_policy(self):
+        world = make_world(dds_latency_ns=0)
+        node = Node(world, "f")
+        s1 = node.create_subscription("/a")
+        s2 = node.create_subscription("/b")
+        fused = []
+        sync = node.create_synchronizer([s1, s2], lambda api, msgs: fused.append(msgs))
+        src = Node(world, "src")
+        pa = src.create_publisher("/a")
+        pb = src.create_publisher("/b")
+
+        def feed(api, msg):
+            api.publish(pa, Msg(stamp=api.now))
+            api.publish(pb, Msg(stamp=api.now + 1))  # off by one ns
+            return None
+
+        src.create_timer(50 * MSEC, feed)
+        world.launch()
+        world.run(for_ns=SEC)
+        assert fused == []
+        assert sync.matches == 0
+
+    def test_queue_size_bounds_memory(self):
+        world = make_world(dds_latency_ns=0)
+        node = Node(world, "f")
+        s1 = node.create_subscription("/a")
+        s2 = node.create_subscription("/b")
+        sync = node.create_synchronizer(
+            [s1, s2], lambda api, msgs: None, queue_size=3
+        )
+        src = Node(world, "src")
+        pa = src.create_publisher("/a")  # only /a ever publishes
+        src.create_timer(10 * MSEC, lambda api, m: api.publish(pa, Msg(stamp=api.now)) and None)
+        world.launch()
+        world.run(for_ns=SEC)
+        assert len(sync._queues[s1]) <= 3
+
+
+class TestDds:
+    def test_write_returns_src_ts(self):
+        world = make_world()
+        node = Node(world, "w")
+        pub = node.create_publisher("/t")
+        stamps = []
+
+        def cb(api, msg):
+            yield api.compute(MSEC)
+            stamps.append(api.publish(pub, Msg(stamp=api.now)))
+
+        node.create_timer(100 * MSEC, cb)
+        world.launch()
+        world.run(for_ns=500 * MSEC)
+        assert stamps
+        assert stamps == sorted(stamps)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            World(dds_latency_ns=-1)
+
+    def test_duplicate_node_name_rejected(self):
+        world = make_world()
+        Node(world, "dup")
+        with pytest.raises(ValueError):
+            Node(world, "dup")

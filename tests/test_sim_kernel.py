@@ -1,0 +1,162 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import MSEC, SEC, SimKernel, USEC
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule_at(30, lambda: fired.append(30))
+        kernel.schedule_at(10, lambda: fired.append(10))
+        kernel.schedule_at(20, lambda: fired.append(20))
+        kernel.run()
+        assert fired == [10, 20, 30]
+
+    def test_same_time_events_fifo(self):
+        kernel = SimKernel()
+        fired = []
+        for tag in range(5):
+            kernel.schedule_at(100, lambda t=tag: fired.append(t))
+        kernel.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule_at(100, lambda: fired.append("low"), priority=5)
+        kernel.schedule_at(100, lambda: fired.append("high"), priority=0)
+        kernel.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_after_relative(self):
+        kernel = SimKernel()
+        marks = []
+        kernel.schedule_at(10, lambda: kernel.schedule_after(5, lambda: marks.append(kernel.now)))
+        kernel.run()
+        assert marks == [15]
+
+    def test_schedule_in_past_rejected(self):
+        kernel = SimKernel()
+        kernel.schedule_at(10, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        kernel = SimKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule_after(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = SimKernel()
+        fired = []
+        handle = kernel.schedule_at(10, lambda: fired.append(1))
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+        assert not handle.pending
+
+    def test_cancel_is_idempotent(self):
+        kernel = SimKernel()
+        handle = kernel.schedule_at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        kernel.run()
+
+    def test_cancel_from_earlier_event(self):
+        kernel = SimKernel()
+        fired = []
+        later = kernel.schedule_at(20, lambda: fired.append("later"))
+        kernel.schedule_at(10, later.cancel)
+        kernel.run()
+        assert fired == []
+
+    def test_pending_count_ignores_cancelled(self):
+        kernel = SimKernel()
+        keep = kernel.schedule_at(10, lambda: None)
+        drop = kernel.schedule_at(20, lambda: None)
+        drop.cancel()
+        assert kernel.pending_count() == 1
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_to_bound(self):
+        kernel = SimKernel()
+        kernel.schedule_at(10, lambda: None)
+        kernel.run(until=100)
+        assert kernel.now == 100
+
+    def test_run_until_excludes_later_events(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule_at(10, lambda: fired.append(10))
+        kernel.schedule_at(200, lambda: fired.append(200))
+        kernel.run(until=100)
+        assert fired == [10]
+        kernel.run()
+        assert fired == [10, 200]
+
+    def test_run_until_includes_boundary_events(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule_at(100, lambda: fired.append(100))
+        kernel.run(until=100)
+        assert fired == [100]
+
+    def test_max_events(self):
+        kernel = SimKernel()
+        fired = []
+        for i in range(10):
+            kernel.schedule_at(i, lambda i=i: fired.append(i))
+        kernel.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self):
+        kernel = SimKernel()
+        assert kernel.step() is False
+
+    def test_reentrant_run_rejected(self):
+        kernel = SimKernel()
+
+        def recurse():
+            kernel.run()
+
+        kernel.schedule_at(1, recurse)
+        with pytest.raises(RuntimeError):
+            kernel.run()
+
+    def test_events_spawned_during_run_execute(self):
+        kernel = SimKernel()
+        fired = []
+
+        def cascade(depth):
+            fired.append(depth)
+            if depth < 5:
+                kernel.schedule_after(1, lambda: cascade(depth + 1))
+
+        kernel.schedule_at(0, lambda: cascade(0))
+        kernel.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+
+class TestClockProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**12), min_size=1, max_size=50))
+    def test_clock_monotonic_over_arbitrary_schedules(self, times):
+        kernel = SimKernel()
+        observed = []
+        for t in times:
+            kernel.schedule_at(t, lambda: observed.append(kernel.now))
+        kernel.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(times)
+
+    def test_constants(self):
+        assert USEC == 1_000
+        assert MSEC == 1_000_000
+        assert SEC == 1_000_000_000

@@ -1,0 +1,129 @@
+"""Property-based tests on scheduler invariants.
+
+Random thread populations are generated and the resulting sched_switch
+stream is checked against the invariants the timing-model synthesis
+relies on: per-PID run-state alternation, CPU-time conservation, and
+single-occupancy per CPU.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Block, Compute, MSEC, SchedPolicy, SimKernel, Scheduler
+
+
+@st.composite
+def thread_population(draw):
+    """A set of compute-burst threads with random shapes."""
+    threads = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        bursts = draw(
+            st.lists(st.integers(min_value=1, max_value=8 * MSEC), min_size=1, max_size=4)
+        )
+        priority = draw(st.sampled_from([0, 0, 0, 10, 100]))
+        policy = draw(st.sampled_from([SchedPolicy.OTHER, SchedPolicy.FIFO]))
+        start = draw(st.integers(min_value=0, max_value=4 * MSEC))
+        threads.append((bursts, priority, policy, start))
+    num_cpus = draw(st.integers(min_value=1, max_value=3))
+    return threads, num_cpus
+
+
+def run_population(population):
+    threads, num_cpus = population
+    kernel = SimKernel()
+    sched = Scheduler(kernel, num_cpus=num_cpus, timeslice=2 * MSEC)
+    records = []
+    sched.on_sched_switch(records.append)
+    spawned = []
+
+    def make_activity(bursts):
+        def activity():
+            for burst in bursts:
+                yield Compute(burst)
+
+        return activity()
+
+    for bursts, priority, policy, start in threads:
+        spawned.append(
+            (
+                sched.spawn(
+                    make_activity(bursts),
+                    priority=priority,
+                    policy=policy,
+                    start=start,
+                ),
+                sum(bursts),
+            )
+        )
+    kernel.run()
+    return sched, records, spawned
+
+
+class TestSchedulerInvariants:
+    @given(thread_population())
+    @settings(max_examples=60, deadline=None)
+    def test_all_threads_complete_with_exact_cpu_time(self, population):
+        sched, records, spawned = run_population(population)
+        for thread, demand in spawned:
+            assert thread.cpu_time == demand
+
+    @given(thread_population())
+    @settings(max_examples=60, deadline=None)
+    def test_per_pid_run_state_alternates(self, population):
+        """For each PID the sched_switch stream alternates strictly
+        between switch-in and switch-out -- the invariant Alg. 2's
+        folding depends on."""
+        sched, records, spawned = run_population(population)
+        for thread, _ in spawned:
+            running = False
+            for record in records:
+                if record.next_pid == thread.pid:
+                    assert not running, f"double switch-in for {thread.pid}"
+                    running = True
+                elif record.prev_pid == thread.pid:
+                    assert running, f"switch-out while not running {thread.pid}"
+                    running = False
+            assert not running  # everything ends descheduled
+
+    @given(thread_population())
+    @settings(max_examples=60, deadline=None)
+    def test_sched_switch_reconstructs_cpu_time(self, population):
+        sched, records, spawned = run_population(population)
+        for thread, demand in spawned:
+            total, start = 0, None
+            for record in records:
+                if record.next_pid == thread.pid:
+                    start = record.ts
+                elif record.prev_pid == thread.pid and start is not None:
+                    total += record.ts - start
+                    start = None
+            assert total == demand
+
+    @given(thread_population())
+    @settings(max_examples=60, deadline=None)
+    def test_single_occupancy_per_cpu(self, population):
+        """Replaying switches per CPU: prev must equal the occupant."""
+        sched, records, spawned = run_population(population)
+        occupant = {}
+        for record in records:
+            cpu = record.cpu
+            expected = occupant.get(cpu, 0)
+            assert record.prev_pid == expected, (
+                f"cpu{cpu}: switch away from {record.prev_pid} "
+                f"but occupant was {expected}"
+            )
+            occupant[cpu] = record.next_pid
+
+    @given(thread_population())
+    @settings(max_examples=60, deadline=None)
+    def test_timestamps_monotonic(self, population):
+        sched, records, spawned = run_population(population)
+        ts = [r.ts for r in records]
+        assert ts == sorted(ts)
+
+    @given(thread_population())
+    @settings(max_examples=40, deadline=None)
+    def test_busy_accounting_matches_demands(self, population):
+        sched, records, spawned = run_population(population)
+        total_busy = sum(cpu.busy_time for cpu in sched.cpus)
+        total_demand = sum(demand for _, demand in spawned)
+        assert total_busy == total_demand

@@ -1,0 +1,176 @@
+"""Unit + property tests for the workload models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    Constant,
+    Empirical,
+    Hooked,
+    Mixture,
+    Scaled,
+    ShiftedLognormal,
+    TruncatedNormal,
+    Uniform,
+    ms,
+    us,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConverters:
+    def test_ms(self):
+        assert ms(1) == 1_000_000
+        assert ms(0.5) == 500_000
+        assert ms(17.1) == 17_100_000
+
+    def test_us(self):
+        assert us(1) == 1_000
+        assert us(2.5) == 2_500
+
+
+class TestConstant:
+    def test_always_same(self):
+        model = Constant(ms(3))
+        assert {model.sample(rng()) for _ in range(10)} == {ms(3)}
+
+    def test_bounds(self):
+        assert Constant(5).bounds() == (5, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Constant(-1)
+
+
+class TestUniform:
+    def test_within_range(self):
+        model = Uniform(10, 20)
+        r = rng()
+        samples = [model.sample(r) for _ in range(200)]
+        assert all(10 <= s <= 20 for s in samples)
+        assert min(samples) < 13 and max(samples) > 17  # spreads out
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Uniform(20, 10)
+        with pytest.raises(ValueError):
+            Uniform(-5, 10)
+
+
+class TestTruncatedNormal:
+    def test_within_bounds(self):
+        model = TruncatedNormal(mean=ms(17), std=ms(2), low=ms(14), high=ms(20))
+        r = rng()
+        samples = [model.sample(r) for _ in range(500)]
+        assert all(ms(14) <= s <= ms(20) for s in samples)
+
+    def test_mean_close(self):
+        model = TruncatedNormal(mean=ms(17), std=ms(1), low=ms(13), high=ms(21))
+        r = rng()
+        samples = [model.sample(r) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(ms(17), rel=0.02)
+
+    def test_zero_std_is_clamped_mean(self):
+        model = TruncatedNormal(mean=ms(30), std=0, low=ms(10), high=ms(20))
+        assert model.sample(rng()) == ms(20)
+
+    def test_empirical_max_approaches_bound(self):
+        """The Fig. 4 mechanism: more samples -> max nearer the bound."""
+        model = TruncatedNormal(mean=ms(17), std=ms(2), low=ms(10), high=ms(24))
+        r = rng(1)
+        few = max(model.sample(r) for _ in range(20))
+        r = rng(1)
+        many = max(model.sample(r) for _ in range(5000))
+        assert many >= few
+        assert many <= ms(24)
+
+
+class TestShiftedLognormal:
+    def test_support(self):
+        model = ShiftedLognormal(base=ms(3), scale=ms(10), sigma=0.6, high=ms(60))
+        r = rng()
+        samples = [model.sample(r) for _ in range(1000)]
+        assert all(ms(3) <= s <= ms(60) for s in samples)
+
+    def test_right_skew(self):
+        model = ShiftedLognormal(base=0, scale=ms(10), sigma=0.8, high=ms(1000))
+        r = rng()
+        samples = np.array([model.sample(r) for _ in range(3000)])
+        assert np.mean(samples) > np.median(samples)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ShiftedLognormal(base=-1, scale=1, sigma=0.5, high=10)
+        with pytest.raises(ValueError):
+            ShiftedLognormal(base=10, scale=1, sigma=0.5, high=5)
+
+
+class TestMixture:
+    def test_component_selection_respects_weights(self):
+        model = Mixture([(0.9, Constant(1)), (0.1, Constant(100))])
+        r = rng()
+        samples = [model.sample(r) for _ in range(2000)]
+        share = samples.count(100) / len(samples)
+        assert share == pytest.approx(0.1, abs=0.03)
+
+    def test_bounds_union(self):
+        model = Mixture([(1, Uniform(5, 10)), (1, Uniform(50, 60))])
+        assert model.bounds() == (5, 60)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Mixture([(0.0, Constant(1))])
+
+
+class TestEmpirical:
+    def test_resamples_only_given_values(self):
+        model = Empirical([3, 7, 11])
+        r = rng()
+        assert {model.sample(r) for _ in range(100)} <= {3, 7, 11}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+
+class TestScaledAndHooked:
+    def test_scaled(self):
+        model = Scaled(Constant(ms(2)), 2.5)
+        assert model.sample(rng()) == ms(5)
+        assert model.bounds() == (ms(5), ms(5))
+
+    def test_hooked_switches_models(self):
+        current = {"m": Constant(1)}
+        model = Hooked(lambda: current["m"])
+        r = rng()
+        assert model.sample(r) == 1
+        current["m"] = Constant(2)
+        assert model.sample(r) == 2
+
+
+class TestDeterminism:
+    @settings(max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_same_seed_same_samples(self, seed):
+        model = TruncatedNormal(mean=ms(10), std=ms(2), low=ms(5), high=ms(15))
+        a = [model.sample(rng(seed)) for _ in range(5)]
+        b = [model.sample(rng(seed)) for _ in range(5)]
+        assert a == b
+
+    @given(
+        low=st.integers(min_value=0, max_value=10**6),
+        width=st.integers(min_value=0, max_value=10**6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_uniform_always_in_bounds(self, low, width, seed):
+        model = Uniform(low, low + width)
+        assert low <= model.sample(rng(seed)) <= low + width

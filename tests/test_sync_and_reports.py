@@ -1,0 +1,102 @@
+"""Tests for the approximate-time synchronizer policy and the report
+formatting helpers of the analysis layer."""
+
+import pytest
+
+from repro.analysis import (
+    enumerate_chains,
+    format_activations,
+    format_bounds,
+    format_chains,
+)
+from repro.apps import build_avp
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.ros2 import ApproximateTimeSynchronizer, ExternalPublisher, Msg, Node
+from repro.sim import MSEC, SEC
+from repro.world import World
+
+
+class TestApproximateTimeSynchronizer:
+    def build(self, slop_ms=30, phase_b_ms=12):
+        world = World(num_cpus=2, seed=6, dds_latency_ns=0)
+        node = Node(world, "fusion")
+        s1 = node.create_subscription("/a", label="A")
+        s2 = node.create_subscription("/b", label="B")
+        fused = []
+        sync = ApproximateTimeSynchronizer(
+            [s1, s2],
+            lambda api, msgs: fused.append(tuple(m.stamp for m in msgs)),
+            slop_ns=slop_ms * MSEC,
+        )
+        ExternalPublisher(world, "/a", period_ns=100 * MSEC, phase_ns=0).start()
+        ExternalPublisher(world, "/b", period_ns=100 * MSEC,
+                          phase_ns=phase_b_ms * MSEC).start()
+        world.launch()
+        world.run(for_ns=2 * SEC)
+        return fused, sync
+
+    def test_matches_within_slop(self):
+        fused, sync = self.build(slop_ms=30, phase_b_ms=12)
+        assert len(fused) >= 18
+        for stamp_a, stamp_b in fused:
+            assert abs(stamp_a - stamp_b) <= 30 * MSEC
+
+    def test_no_matches_beyond_slop(self):
+        fused, sync = self.build(slop_ms=5, phase_b_ms=40)
+        assert fused == []
+        assert sync.matches == 0
+
+    def test_requires_positive_slop(self):
+        world = World()
+        node = Node(world, "n")
+        s1 = node.create_subscription("/a")
+        s2 = node.create_subscription("/b")
+        with pytest.raises(ValueError):
+            ApproximateTimeSynchronizer([s1, s2], lambda api, m: None, slop_ns=0)
+
+    def test_pairs_nearest_not_stale(self):
+        """After a dropped sample, matching resumes with fresh pairs
+        rather than pairing a new /a with an ancient /b."""
+        world = World(num_cpus=2, seed=8, dds_latency_ns=0)
+        node = Node(world, "fusion")
+        s1 = node.create_subscription("/a")
+        s2 = node.create_subscription("/b")
+        fused = []
+        ApproximateTimeSynchronizer(
+            [s1, s2],
+            lambda api, msgs: fused.append(tuple(m.stamp for m in msgs)),
+            slop_ns=20 * MSEC,
+        )
+        # /b publishes at half the rate of /a.
+        ExternalPublisher(world, "/a", period_ns=100 * MSEC).start()
+        ExternalPublisher(world, "/b", period_ns=200 * MSEC).start()
+        world.launch()
+        world.run(for_ns=2 * SEC)
+        assert fused
+        for stamp_a, stamp_b in fused:
+            assert abs(stamp_a - stamp_b) <= 20 * MSEC
+
+
+@pytest.fixture(scope="module")
+def avp_dag():
+    config = RunConfig(duration_ns=6 * SEC, base_seed=31, num_cpus=4)
+    result = run_once(lambda w, i: build_avp(w), config)
+    return synthesize_from_trace(result.trace, pids=result.apps.pids)
+
+
+class TestReportFormatters:
+    def test_format_chains_lists_all(self, avp_dag):
+        chains = enumerate_chains(avp_dag)
+        text = format_chains(avp_dag, chains)
+        assert text.count("sum WCET") == len(chains)
+
+    def test_format_bounds_has_one_row_per_chain(self, avp_dag):
+        chains = enumerate_chains(avp_dag)
+        text = format_bounds(avp_dag, chains, comm_latency_ns=50_000)
+        assert len(text.splitlines()) == 1 + len(chains)
+
+    def test_format_activations_covers_measured_callbacks(self, avp_dag):
+        text = format_activations(avp_dag)
+        for cb in ("cb1", "cb2", "cb5", "cb6"):
+            assert cb in text

@@ -1,0 +1,165 @@
+"""Unit tests for the DAG-synthesis rules on hand-built CBlists."""
+
+import pytest
+
+from repro.core import CallbackInstance, CBList, synthesize_dag
+from repro.core.synthesis import junction_key, vertex_key
+
+
+def cblist(pid, node, *instances):
+    cbl = CBList(pid=pid, node=node)
+    for inst in instances:
+        cbl.add(inst)
+    return cbl
+
+
+def inst(cb_id, cb_type="subscriber", intopic=None, outtopics=(), sync=False,
+         start=0, end=10, exec_time=5):
+    return CallbackInstance(
+        cb_type=cb_type,
+        start=start,
+        end=end,
+        cb_id=cb_id,
+        intopic=intopic,
+        outtopics=list(outtopics),
+        is_sync_subscriber=sync,
+        exec_time=exec_time,
+    )
+
+
+class TestEdgeRules:
+    def test_topic_match_creates_edge(self):
+        dag = synthesize_dag([
+            cblist(1, "a", inst("T", cb_type="timer", outtopics=["/x"])),
+            cblist(2, "b", inst("S", intopic="/x")),
+        ])
+        assert dag.has_edge("a/T", "b/S", "/x")
+
+    def test_no_edge_without_match(self):
+        dag = synthesize_dag([
+            cblist(1, "a", inst("T", cb_type="timer", outtopics=["/x"])),
+            cblist(2, "b", inst("S", intopic="/y")),
+        ])
+        assert dag.num_edges == 0
+
+    def test_no_self_edge(self):
+        dag = synthesize_dag([
+            cblist(1, "a", inst("S", intopic="/loop", outtopics=["/loop"])),
+        ])
+        assert dag.num_edges == 0
+
+    def test_divergence_multiple_outputs(self):
+        dag = synthesize_dag([
+            cblist(1, "a", inst("T", cb_type="timer", outtopics=["/x", "/y"])),
+            cblist(2, "b", inst("S1", intopic="/x"), inst("S2", intopic="/y")),
+        ])
+        assert dag.has_edge("a/T", "b/S1", "/x")
+        assert dag.has_edge("a/T", "b/S2", "/y")
+
+
+class TestOrJunctionRule:
+    def test_two_publishers_mark_or(self):
+        dag = synthesize_dag([
+            cblist(1, "a", inst("T1", cb_type="timer", outtopics=["/x"])),
+            cblist(2, "b", inst("T2", cb_type="timer", outtopics=["/x"])),
+            cblist(3, "c", inst("S", intopic="/x")),
+        ])
+        assert dag.vertex("c/S").is_or_junction
+        assert len(dag.predecessors("c/S")) == 2
+
+    def test_single_publisher_no_or(self):
+        dag = synthesize_dag([
+            cblist(1, "a", inst("T1", cb_type="timer", outtopics=["/x"])),
+            cblist(3, "c", inst("S", intopic="/x")),
+        ])
+        assert not dag.vertex("c/S").is_or_junction
+
+
+class TestSyncJunctionRule:
+    def make_sync_lists(self, include_downstream=True):
+        lists = [
+            cblist(
+                1,
+                "fusion",
+                inst("M1", intopic="/f1", sync=True, outtopics=["/out"]),
+                inst("M2", intopic="/f2", sync=True),
+            ),
+        ]
+        if include_downstream:
+            lists.append(cblist(2, "sink", inst("D", intopic="/out")))
+        return lists
+
+    def test_junction_inserted(self):
+        dag = synthesize_dag(self.make_sync_lists())
+        jkey = junction_key("fusion")
+        assert dag.has_vertex(jkey)
+        assert dag.has_edge("fusion/M1", jkey)
+        assert dag.has_edge("fusion/M2", jkey)
+        assert dag.has_edge(jkey, "sink/D", "/out")
+
+    def test_member_outputs_rerouted(self):
+        dag = synthesize_dag(self.make_sync_lists())
+        assert not dag.has_edge("fusion/M1", "sink/D")
+
+    def test_member_never_last_has_no_output(self):
+        """A member whose data never arrives last publishes nothing; the
+        junction output still comes from the union."""
+        dag = synthesize_dag(self.make_sync_lists())
+        assert dag.vertex(junction_key("fusion")).outtopics == ["/out"]
+
+    def test_single_sync_member_no_junction(self):
+        dag = synthesize_dag([
+            cblist(1, "fusion", inst("M1", intopic="/f1", sync=True, outtopics=["/out"])),
+            cblist(2, "sink", inst("D", intopic="/out")),
+        ])
+        assert not dag.has_vertex(junction_key("fusion"))
+        assert dag.has_edge("fusion/M1", "sink/D", "/out")
+
+    def test_model_sync_disabled(self):
+        dag = synthesize_dag(self.make_sync_lists(), model_sync=False)
+        assert not dag.has_vertex(junction_key("fusion"))
+        assert dag.has_edge("fusion/M1", "sink/D", "/out")
+
+
+class TestServiceReplication:
+    def make_service_lists(self):
+        return [
+            cblist(
+                1,
+                "server",
+                inst("SV", cb_type="service", intopic="/rq#A", outtopics=["/rp#CA"]),
+                inst("SV", cb_type="service", intopic="/rq#B", outtopics=["/rp#CB"]),
+            ),
+            cblist(2, "na", inst("A", cb_type="timer", outtopics=["/rq#A"]),
+                   inst("CA", cb_type="client", intopic="/rp#CA")),
+            cblist(3, "nb", inst("B", cb_type="timer", outtopics=["/rq#B"]),
+                   inst("CB", cb_type="client", intopic="/rp#CB")),
+        ]
+
+    def test_replicated_vertices_and_disjoint_chains(self):
+        dag = synthesize_dag(self.make_service_lists())
+        sv = dag.find_vertices(cb_id="SV")
+        assert len(sv) == 2
+        for vertex in sv:
+            preds = dag.predecessors(vertex.key)
+            succs = dag.successors(vertex.key)
+            assert len(preds) == 1 and len(succs) == 1
+            assert (preds[0].cb_id, succs[0].cb_id) in {("A", "CA"), ("B", "CB")}
+
+    def test_naive_mode_folds_vertices(self):
+        dag = synthesize_dag(self.make_service_lists(), split_services=False)
+        sv = dag.find_vertices(cb_id="SV")
+        assert len(sv) == 1
+        assert len(dag.predecessors(sv[0].key)) == 2
+        assert len(dag.successors(sv[0].key)) == 2
+
+    def test_naive_mode_merges_samples(self):
+        dag = synthesize_dag(self.make_service_lists(), split_services=False)
+        sv = dag.find_vertices(cb_id="SV")[0]
+        assert len(sv.exec_times) == 2
+
+    def test_vertex_key_scheme(self):
+        lists = self.make_service_lists()
+        records = {r.cb_id: r for r in lists[0]}
+        assert "@" in vertex_key(records["SV"])
+        assert vertex_key(records["SV"], split_services=False) == "server/SV"

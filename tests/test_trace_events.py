@@ -1,0 +1,95 @@
+"""Tests for trace-event records, probe vocabulary and Trace helpers."""
+
+import pytest
+
+from repro.tracing import (
+    CB_END_PROBES,
+    CB_START_PROBES,
+    P1_CREATE_NODE,
+    P2_TIMER_START,
+    P5_SUB_START,
+    P6_TAKE,
+    P9_SERVICE_START,
+    P12_CLIENT_START,
+    P16_DDS_WRITE,
+    PROBE_TABLE,
+    TAKE_PROBES,
+    TraceEvent,
+)
+from repro.tracing.session import Trace
+
+
+class TestProbeVocabulary:
+    def test_sixteen_rows(self):
+        assert len(PROBE_TABLE) == 16
+        assert sorted(PROBE_TABLE.values()) == sorted(f"P{i}" for i in range(1, 17))
+
+    def test_start_end_pairs_disjoint(self):
+        assert not (CB_START_PROBES & CB_END_PROBES)
+        assert len(CB_START_PROBES) == 4
+        assert len(CB_END_PROBES) == 4
+
+    def test_take_probes(self):
+        assert len(TAKE_PROBES) == 3
+        assert P6_TAKE in TAKE_PROBES
+
+
+class TestTraceEvent:
+    def test_pnum(self):
+        assert TraceEvent(ts=0, pid=1, probe=P16_DDS_WRITE).pnum == "P16"
+        assert TraceEvent(ts=0, pid=1, probe="unknown").pnum is None
+
+    def test_cb_type_per_start_probe(self):
+        assert TraceEvent(ts=0, pid=1, probe=P2_TIMER_START).cb_type() == "timer"
+        assert TraceEvent(ts=0, pid=1, probe=P5_SUB_START).cb_type() == "subscriber"
+        assert TraceEvent(ts=0, pid=1, probe=P9_SERVICE_START).cb_type() == "service"
+        assert TraceEvent(ts=0, pid=1, probe=P12_CLIENT_START).cb_type() == "client"
+
+    def test_predicates(self):
+        start = TraceEvent(ts=0, pid=1, probe=P2_TIMER_START)
+        assert start.is_cb_start() and not start.is_cb_end() and not start.is_take()
+        take = TraceEvent(ts=0, pid=1, probe=P6_TAKE)
+        assert take.is_take() and not take.is_cb_start()
+
+    def test_get_with_default(self):
+        event = TraceEvent(ts=0, pid=1, probe=P6_TAKE, data={"topic": "/x"})
+        assert event.get("topic") == "/x"
+        assert event.get("missing", 7) == 7
+
+    def test_dict_round_trip(self):
+        event = TraceEvent(ts=5, pid=3, probe=P1_CREATE_NODE, data={"node": "n"})
+        clone = TraceEvent.from_dict(event.to_dict())
+        assert clone == event
+
+
+class TestTraceHelpers:
+    def make_trace(self):
+        return Trace(
+            ros_events=[
+                TraceEvent(ts=10, pid=1, probe=P2_TIMER_START),
+                TraceEvent(ts=20, pid=2, probe=P5_SUB_START),
+                TraceEvent(ts=30, pid=1, probe=P16_DDS_WRITE),
+            ],
+            pid_map={1: "a", 2: "b"},
+            start_ts=10,
+            stop_ts=40,
+        )
+
+    def test_events_for_pid(self):
+        trace = self.make_trace()
+        assert len(trace.events_for_pid(1)) == 2
+        assert len(trace.events_for_pid(2)) == 1
+        assert trace.events_for_pid(9) == []
+
+    def test_pids_sorted(self):
+        assert self.make_trace().pids() == [1, 2]
+
+    def test_duration(self):
+        assert self.make_trace().duration_ns == 30
+        assert Trace().duration_ns == 0
+
+    def test_sort_orders_all_streams(self):
+        trace = self.make_trace()
+        trace.ros_events.reverse()
+        trace.sort()
+        assert [e.ts for e in trace.ros_events] == [10, 20, 30]

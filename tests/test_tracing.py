@@ -1,0 +1,250 @@
+"""Tests for the eBPF substrate and the three tracers: probe firing,
+srcTS stash, PID filtering, buffer rotation and overhead accounting."""
+
+import pytest
+
+from repro.sim import MSEC, SEC
+from repro.ros2 import Msg, Node
+from repro.tracing import (
+    Bpf,
+    BpfError,
+    BpfMap,
+    P1_CREATE_NODE,
+    P2_TIMER_START,
+    P3_TIMER_CALL,
+    P4_TIMER_END,
+    P5_SUB_START,
+    P6_TAKE,
+    P16_DDS_WRITE,
+    PerfBuffer,
+    ROS2_PIDS_MAP,
+    TraceEvent,
+    TracingSession,
+    measure_overhead,
+)
+from repro.world import World
+
+
+def traced_pub_sub(seed=1, duration=SEC):
+    """One talker (timer + publish) and one listener, fully traced."""
+    world = World(num_cpus=2, seed=seed)
+    talker = Node(world, "talker")
+    listener = Node(world, "listener")
+    pub = talker.create_publisher("/chatter")
+
+    def timer_cb(api, msg):
+        yield api.compute(2 * MSEC)
+        api.publish(pub, Msg(stamp=api.now))
+
+    def sub_cb(api, msg):
+        yield api.compute(1 * MSEC)
+
+    talker.create_timer(100 * MSEC, timer_cb, label="T1")
+    listener.create_subscription("/chatter", sub_cb, label="SC1")
+
+    session = TracingSession(world)
+    session.start_init()
+    world.launch()
+    world.run(for_ns=MSEC)  # let nodes announce themselves
+    session.stop_init()
+    session.start_runtime()
+    world.run(for_ns=duration)
+    session.stop_runtime()
+    return world, session, talker, listener
+
+
+class TestBpfPrimitives:
+    def test_map_bounded(self):
+        table = BpfMap("m", max_entries=2)
+        table.update("a", 1)
+        table.update("b", 2)
+        with pytest.raises(BpfError):
+            table.update("c", 3)
+
+    def test_lru_map_evicts(self):
+        table = BpfMap("m", max_entries=2, lru=True)
+        table.update("a", 1)
+        table.update("b", 2)
+        table.lookup("a")  # refresh 'a'
+        table.update("c", 3)  # evicts 'b'
+        assert "a" in table and "c" in table and "b" not in table
+
+    def test_perf_buffer_overflow_counts_lost(self):
+        buffer = PerfBuffer("b", capacity=2)
+        assert buffer.submit("e1")
+        assert buffer.submit("e2")
+        assert not buffer.submit("e3")
+        assert buffer.lost == 1
+        assert len(buffer.poll()) == 2
+        assert buffer.submit("e4")  # space again after poll
+
+    def test_attach_unknown_symbol_fails(self):
+        world = World()
+        bpf = Bpf(world.symbols, world.tracepoints)
+        with pytest.raises(Exception):
+            bpf.attach_uprobe("libfoo:bar", lambda ctx, args: None)
+
+    def test_attach_unknown_tracepoint_fails(self):
+        world = World()
+        bpf = Bpf(world.symbols, world.tracepoints)
+        with pytest.raises(BpfError):
+            bpf.attach_tracepoint("net:rx", lambda rec: None)
+
+
+class TestInitTracer:
+    def test_discovers_node_pids(self):
+        world, session, talker, listener = traced_pub_sub()
+        pid_map = session.pid_map()
+        assert pid_map[talker.pid] == "talker"
+        assert pid_map[listener.pid] == "listener"
+
+    def test_pid_map_shared_with_kernel_tracer(self):
+        world, session, talker, listener = traced_pub_sub()
+        shared = session.bpf.get_table(ROS2_PIDS_MAP)
+        assert talker.pid in shared and listener.pid in shared
+
+
+class TestRuntimeTracer:
+    def test_timer_event_sequence(self):
+        world, session, talker, _ = traced_pub_sub()
+        trace = session.trace()
+        events = trace.events_for_pid(talker.pid)
+        probes = [e.probe for e in events if e.probe != P1_CREATE_NODE]
+        # Tracing may have attached mid-callback: align to the first full
+        # instance, then expect the repeating pattern
+        # timer start, timer id, dds write, timer end.
+        first = probes.index(P2_TIMER_START)
+        pattern = probes[first : first + 4]
+        assert pattern == [P2_TIMER_START, P3_TIMER_CALL, P16_DDS_WRITE, P4_TIMER_END]
+
+    def test_timer_cb_id_in_p3(self):
+        world, session, talker, _ = traced_pub_sub()
+        trace = session.trace()
+        p3 = [e for e in trace.events_for_pid(talker.pid) if e.probe == P3_TIMER_CALL]
+        assert p3 and all(e.get("cb_id") == "T1" for e in p3)
+
+    def test_take_event_carries_src_ts_and_topic(self):
+        """The srcTS entry/exit stash produces filled src_ts values that
+        equal the publisher's dds_write timestamps."""
+        world, session, talker, listener = traced_pub_sub()
+        trace = session.trace()
+        takes = [e for e in trace.events_for_pid(listener.pid) if e.probe == P6_TAKE]
+        writes = [e for e in trace.events_for_pid(talker.pid) if e.probe == P16_DDS_WRITE]
+        assert takes and writes
+        write_ts = {e.get("src_ts") for e in writes}
+        for take in takes:
+            assert take.get("topic") == "/chatter"
+            assert take.get("cb_id") == "SC1"
+            assert take.get("src_ts") in write_ts
+
+    def test_dds_write_event_fields(self):
+        world, session, talker, _ = traced_pub_sub()
+        trace = session.trace()
+        writes = [e for e in trace.ros_events if e.probe == P16_DDS_WRITE]
+        assert writes
+        assert all(e.get("topic") == "/chatter" for e in writes)
+        assert all(e.get("kind") == "data" for e in writes)
+        assert all(e.get("src_ts") == e.ts for e in writes)
+
+    def test_start_end_pairs_balanced(self):
+        world, session, talker, listener = traced_pub_sub()
+        trace = session.trace()
+        for pid in (talker.pid, listener.pid):
+            events = trace.events_for_pid(pid)
+            starts = sum(1 for e in events if e.is_cb_start())
+            ends = sum(1 for e in events if e.is_cb_end())
+            assert starts == ends or starts == ends + 1  # run may cut mid-CB
+
+
+class TestKernelTracer:
+    def test_sched_events_only_for_ros2_pids(self):
+        world, session, talker, listener = traced_pub_sub()
+        trace = session.trace()
+        assert trace.sched_events
+        ros2 = {talker.pid, listener.pid}
+        for record in trace.sched_events:
+            assert record.prev_pid in ros2 or record.next_pid in ros2
+
+    def test_filtering_reduces_footprint(self):
+        """With an extra untraced busy thread, PID filtering must drop
+        events -- the 'order of three' reduction claim's mechanism."""
+        world = World(num_cpus=1, seed=3)
+        node = Node(world, "only")
+        node.create_timer(50 * MSEC, lambda api, msg: (yield api.compute(5 * MSEC)))
+        # Untraced interference: plain threads sharing the CPU.
+        from repro.sim import Compute
+
+        def busy():
+            while True:
+                yield Compute(3 * MSEC)
+
+        world.scheduler.spawn(busy(), name="noise1")
+        world.scheduler.spawn(busy(), name="noise2")
+        session = TracingSession(world)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=10 * MSEC)
+        session.stop_init()
+        session.start_runtime()
+        world.run(for_ns=2 * SEC)
+        session.stop_runtime()
+        kt = session.kernel_tracer
+        assert kt.seen > 0
+        recorded = sum(len(s.sched_events) for s in session.segments)
+        assert recorded < kt.seen
+
+
+class TestSegmentedCollection:
+    def test_rotation_preserves_all_events(self):
+        world = World(num_cpus=2, seed=5)
+        node = Node(world, "n")
+        node.create_timer(10 * MSEC, lambda api, msg: (yield api.compute(MSEC)))
+        session = TracingSession(world)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=MSEC)
+        session.stop_init()
+        session.start_runtime()
+        for _ in range(5):
+            world.run(for_ns=200 * MSEC)
+            session.rotate()
+        session.stop_runtime()
+        assert len(session.segments) >= 5
+        trace = session.trace()
+        starts = [e for e in trace.ros_events if e.probe == P2_TIMER_START]
+        assert len(starts) == pytest.approx(100, abs=3)
+        # Chronological order after merging segments.
+        ts = [e.ts for e in trace.ros_events]
+        assert ts == sorted(ts)
+
+
+class TestOverheadAccounting:
+    def test_overhead_report(self):
+        world, session, talker, listener = traced_pub_sub()
+        report = measure_overhead(
+            [session.bpf], world, elapsed_ns=SEC, app_pids=[talker.pid, listener.pid]
+        )
+        assert report.trace_bytes > 0
+        assert report.probe_run_cnt > 0
+        assert 0 < report.probe_cores < 0.01
+        assert report.app_cores > 0
+        assert "MB" in report.summary()
+
+    def test_probe_stats_accumulate(self):
+        world, session, *_ = traced_pub_sub()
+        stats = session.bpf.program_stats()
+        by_name = {s["name"]: s for s in stats}
+        assert by_name["P2"]["run_cnt"] > 0
+        assert by_name["P16"]["run_cnt"] > 0
+        assert all(s["run_time_ns"] >= s["run_cnt"] for s in stats if s["run_cnt"])
+
+
+class TestTracePersistence:
+    def test_trace_round_trips_through_dict(self):
+        world, session, *_ = traced_pub_sub()
+        trace = session.trace()
+        clone = type(trace).from_dict(trace.to_dict())
+        assert len(clone.ros_events) == len(trace.ros_events)
+        assert len(clone.sched_events) == len(trace.sched_events)
+        assert clone.pid_map == trace.pid_map
+        assert clone.ros_events[0] == trace.ros_events[0]

@@ -1,0 +1,172 @@
+"""Tests for the World container and the symbol-table uprobe machinery."""
+
+import pytest
+
+from repro.ros2 import Node
+from repro.sim import Compute, MSEC, SEC
+from repro.tracing import Bpf, ProbeContext, SymbolLookupError, SymbolTable
+from repro.world import World
+
+
+class TestWorld:
+    def test_run_requires_exactly_one_bound(self):
+        world = World()
+        with pytest.raises(ValueError):
+            world.run()
+        with pytest.raises(ValueError):
+            world.run(for_ns=1, until=2)
+
+    def test_launch_twice_rejected(self):
+        world = World()
+        Node(world, "n")
+        world.launch()
+        with pytest.raises(RuntimeError):
+            world.launch()
+
+    def test_run_advances_clock(self):
+        world = World()
+        world.run(for_ns=5 * SEC)
+        assert world.now == 5 * SEC
+        world.run(until=7 * SEC)
+        assert world.now == 7 * SEC
+
+    def test_seed_controls_rng(self):
+        a = World(seed=5).rng.integers(0, 1 << 30)
+        b = World(seed=5).rng.integers(0, 1 << 30)
+        c = World(seed=6).rng.integers(0, 1 << 30)
+        assert a == b
+        assert a != c
+
+    def test_fresh_rng_independent(self):
+        world = World(seed=5)
+        r1 = world.fresh_rng(1).integers(0, 1 << 30)
+        r2 = world.fresh_rng(1).integers(0, 1 << 30)
+        assert r1 == r2
+
+    def test_probe_context_outside_thread_is_pid0(self):
+        world = World()
+        ctx = world._probe_context()
+        assert ctx.pid == 0
+
+    def test_probe_context_inside_thread(self):
+        world = World()
+        seen = []
+
+        def activity():
+            seen.append(world._probe_context())
+            yield Compute(MSEC)
+
+        thread = world.scheduler.spawn(activity(), name="probe-me")
+        world.kernel.run()
+        assert seen[0].pid == thread.pid
+        assert seen[0].comm == "probe-me"
+
+    def test_tracepoint_registry(self):
+        world = World()
+        assert "sched:sched_switch" in world.tracepoints
+        assert "sched:sched_wakeup" in world.tracepoints
+
+
+class TestSymbolTable:
+    def make_table(self):
+        return SymbolTable(lambda: ProbeContext(ts=123, pid=9, cpu=0, comm="x"))
+
+    def test_register_idempotent(self):
+        table = self.make_table()
+        first = table.register("lib", "fn")
+        second = table.register("lib", "fn")
+        assert first is second
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(SymbolLookupError):
+            self.make_table().lookup("libfoo:bar")
+
+    def test_entry_and_exit_probes_fire(self):
+        table = self.make_table()
+        table.register("lib", "fn")
+        fired = []
+        table.attach_entry("lib:fn", lambda ctx, args: fired.append(("entry", args)))
+        table.attach_exit("lib:fn", lambda ctx, args, ret: fired.append(("exit", ret)))
+        result = table.call("lib:fn", lambda a, b: a + b, 2, 3)
+        assert result == 5
+        assert fired == [("entry", (2, 3)), ("exit", 5)]
+
+    def test_detach_stops_firing(self):
+        table = self.make_table()
+        table.register("lib", "fn")
+        fired = []
+        detach = table.attach_entry("lib:fn", lambda ctx, args: fired.append(1))
+        table.call("lib:fn", lambda: None)
+        detach()
+        table.call("lib:fn", lambda: None)
+        assert fired == [1]
+        detach()  # idempotent
+
+    def test_uninstrumented_call_has_no_overhead_path(self):
+        table = self.make_table()
+        table.register("lib", "fn")
+        assert table.call("lib:fn", lambda: 42) == 42
+
+    def test_generator_function_exit_probe_fires_after_completion(self):
+        table = self.make_table()
+        table.register("lib", "gen")
+        order = []
+
+        def gen_fn(n):
+            order.append("body-start")
+            yield Compute(n)
+            order.append("body-end")
+            return n * 2
+
+        table.attach_entry("lib:gen", lambda ctx, args: order.append("entry"))
+        table.attach_exit("lib:gen", lambda ctx, args, ret: order.append(("exit", ret)))
+
+        gen = table.call_gen("lib:gen", gen_fn, 7)
+        request = next(gen)
+        assert isinstance(request, Compute)
+        with pytest.raises(StopIteration) as stop:
+            gen.send(None)
+        assert stop.value.value == 14
+        assert order == ["entry", "body-start", "body-end", ("exit", 14)]
+
+
+class TestBpfDetails:
+    def test_detach_all_keeps_stats(self):
+        world = World()
+        world.symbols.register("lib", "fn")
+        bpf = Bpf(world.symbols, world.tracepoints)
+        program = bpf.attach_uprobe("lib:fn", lambda ctx, args: None)
+        world.symbols.call("lib:fn", lambda: None)
+        assert program.run_cnt == 1
+        bpf.detach_all()
+        world.symbols.call("lib:fn", lambda: None)
+        assert program.run_cnt == 1  # no longer firing, stats retained
+
+    def test_shared_tables(self):
+        world = World()
+        bpf = Bpf(world.symbols, world.tracepoints)
+        a = bpf.get_table("pids")
+        b = bpf.get_table("pids")
+        assert a is b
+
+    def test_program_stats_shape(self):
+        world = World()
+        world.symbols.register("lib", "fn")
+        bpf = Bpf(world.symbols, world.tracepoints)
+        bpf.attach_uprobe("lib:fn", lambda ctx, args: None, name="myprobe")
+        stats = bpf.program_stats()
+        assert stats[0]["name"] == "myprobe"
+        assert stats[0]["kind"] == "uprobe"
+
+    def test_tracepoint_attach_and_fire(self):
+        world = World()
+        bpf = Bpf(world.symbols, world.tracepoints)
+        records = []
+        bpf.attach_tracepoint("sched:sched_switch", records.append)
+
+        def activity():
+            yield Compute(MSEC)
+
+        world.scheduler.spawn(activity())
+        world.kernel.run()
+        assert records  # at least the initial dispatch switch
