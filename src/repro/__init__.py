@@ -25,6 +25,42 @@ Quickstart::
     session.stop_runtime()
 
     dag = synthesize_from_trace(session.trace())
+
+Scenario DSL: applications can also be declared as data.  A
+:class:`~repro.scenarios.ScenarioSpec` lists nodes, timers,
+subscriptions, services, clients, synchronizers and external feeds; it
+builds a ready-to-trace world *and* predicts the exact DAG the
+synthesis must recover (its own ground truth)::
+
+    from repro import ScenarioSpec, NodeSpec, TimerSpec, SubscriptionSpec
+    from repro.sim.workload import Constant, ms
+
+    spec = ScenarioSpec(
+        name="demo", description="timer -> subscriber chain",
+        nodes=(NodeSpec("producer"), NodeSpec("consumer")),
+        timers=(TimerSpec("producer", "SRC", ms(100), Constant(ms(2)),
+                          publishes=("/data",)),),
+        subscriptions=(SubscriptionSpec("consumer", "SNK", "/data",
+                                        Constant(ms(1))),),
+    )
+    app = spec.build(World(num_cpus=2, seed=1))   # ready to trace
+    spec.expected_edge_pairs()                     # ground-truth edges
+
+Named scenarios live in a registry (``repro.scenarios``: the paper's
+``avp``/``syn``/``avp-interference`` plus sensor-fusion, service-mesh,
+overload and deep-pipeline stressors).  The batch runner executes any
+entry N times with per-run seeds, sharded over worker processes, and
+merges the per-run DAGs -- results are identical for any job count::
+
+    from repro import run_batch, BatchConfig, scenario_names
+
+    scenario_names()                       # registry listing
+    result = run_batch("avp", runs=50, jobs=8,
+                       config=BatchConfig(base_seed=2000))
+    print(result.table())                  # Table II-style merged stats
+
+From a shell: ``python -m repro scenarios`` and ``python -m repro batch
+avp --runs 50 --jobs 8`` (see ``examples/batch_scenarios.py``).
 """
 
 from .core import (
@@ -37,12 +73,26 @@ from .core import (
     synthesize_from_trace,
     to_dot,
 )
+from .experiments.batch import BatchConfig, BatchResult, run_batch
 from .ros2 import ExternalPublisher, Msg, Node
+from .scenarios import (
+    ClientSpec,
+    ExternalPublisherSpec,
+    NodeSpec,
+    ScenarioSpec,
+    ServiceSpec,
+    SubscriptionSpec,
+    SyncInputSpec,
+    SynchronizerSpec,
+    TimerSpec,
+    build_scenario_spec,
+    scenario_names,
+)
 from .sim import SchedPolicy, ms, us
 from .tracing import Trace, TraceDatabase, TracingSession, measure_overhead
 from .world import World
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExecStats",
@@ -53,9 +103,23 @@ __all__ = [
     "synthesize_from_database",
     "synthesize_from_trace",
     "to_dot",
+    "BatchConfig",
+    "BatchResult",
+    "run_batch",
     "ExternalPublisher",
     "Msg",
     "Node",
+    "ClientSpec",
+    "ExternalPublisherSpec",
+    "NodeSpec",
+    "ScenarioSpec",
+    "ServiceSpec",
+    "SubscriptionSpec",
+    "SyncInputSpec",
+    "SynchronizerSpec",
+    "TimerSpec",
+    "build_scenario_spec",
+    "scenario_names",
     "SchedPolicy",
     "ms",
     "us",

@@ -1,21 +1,25 @@
 """Evaluation workloads: SYN, AVP localization, and a random generator."""
 
 from .avp import (
+    AVP_CB_KEYS,
     AvpApp,
     LIDAR_PERIOD,
     NODE_NAMES,
     TABLE2_REFERENCE_MS,
+    avp_spec,
     build_avp,
     default_workloads,
 )
 from .generator import GeneratedApp, GeneratorConfig, generate_app
-from .syn import ALL_CALLBACKS, BASE_LOADS_MS, SynApp, build_syn
+from .syn import ALL_CALLBACKS, BASE_LOADS_MS, SynApp, build_syn, syn_spec
 
 __all__ = [
+    "AVP_CB_KEYS",
     "AvpApp",
     "LIDAR_PERIOD",
     "NODE_NAMES",
     "TABLE2_REFERENCE_MS",
+    "avp_spec",
     "build_avp",
     "default_workloads",
     "GeneratedApp",
@@ -25,4 +29,5 @@ __all__ = [
     "BASE_LOADS_MS",
     "SynApp",
     "build_syn",
+    "syn_spec",
 ]

@@ -25,7 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..ros2 import ExternalPublisher, Msg, Node
+from ..ros2 import ExternalPublisher, Node
+from ..scenarios.spec import (
+    ExternalPublisherSpec,
+    NodeSpec,
+    ScenarioSpec,
+    SubscriptionSpec,
+    SyncInputSpec,
+    SynchronizerSpec,
+)
 from ..sim.threads import SchedPolicy
 from ..sim.workload import (
     Mixture,
@@ -57,6 +65,11 @@ NODE_NAMES: Dict[str, str] = {
     "cb4": "point_cloud_fusion",
     "cb5": "voxel_grid_cloud_node",
     "cb6": "p2d_ndt_localizer_node",
+}
+
+#: Vertex keys of cb1..cb6 in the synthesized DAG.
+AVP_CB_KEYS: Dict[str, str] = {
+    cb: f"{node}/{cb}" for cb, node in NODE_NAMES.items()
 }
 
 
@@ -135,8 +148,7 @@ class AvpApp:
         return [node.name for node in self.nodes]
 
 
-def build_avp(
-    world,
+def avp_spec(
     workloads: Optional[Dict[str, WorkloadModel]] = None,
     affinity: Optional[Dict[str, Sequence[int]]] = None,
     priority: int = 0,
@@ -144,8 +156,8 @@ def build_avp(
     front_phase_ns: int = ms(2),
     rear_phase_ns: int = 0,
     sensor_jitter_ns: int = int(ms(0.5)),
-) -> AvpApp:
-    """Instantiate the AVP localization pipeline on ``world``.
+) -> ScenarioSpec:
+    """The AVP localization pipeline as a declarative scenario.
 
     Parameters
     ----------
@@ -161,107 +173,118 @@ def build_avp(
     w = workloads if workloads is not None else default_workloads()
 
     def aff(name):
-        return None if affinity is None else affinity.get(name)
+        cpus = None if affinity is None else affinity.get(name)
+        return tuple(cpus) if cpus is not None else None
 
-    rear_filter = Node(
-        world, "filter_transform_vlp16_rear",
-        priority=priority, policy=policy, affinity=aff("filter_transform_vlp16_rear"),
+    def node(name):
+        return NodeSpec(name, affinity=aff(name), priority=priority, policy=policy)
+
+    return ScenarioSpec(
+        name="avp",
+        description="Autoware AVP LIDAR localization chain (Fig. 3b)",
+        nodes=(
+            node("filter_transform_vlp16_rear"),
+            node("filter_transform_vlp16_front"),
+            node("point_cloud_fusion"),
+            node("voxel_grid_cloud_node"),
+            node("p2d_ndt_localizer_node"),
+        ),
+        subscriptions=(
+            # cb1/cb2 keep the sensor stamp on their outputs so the
+            # fusion filter can match front/rear clouds by origin time.
+            SubscriptionSpec(
+                node="filter_transform_vlp16_rear",
+                label="cb1",
+                topic="lidar_rear/points_raw",
+                work=w["cb1"],
+                publishes=("lidar_rear/points_filtered",),
+            ),
+            SubscriptionSpec(
+                node="filter_transform_vlp16_front",
+                label="cb2",
+                topic="lidar_front/points_raw",
+                work=w["cb2"],
+                publishes=("lidar_front/points_filtered",),
+            ),
+            SubscriptionSpec(
+                node="voxel_grid_cloud_node",
+                label="cb5",
+                topic="lidars/points_fused",
+                work=w["cb5"],
+                publishes=("lidars/points_fused_downsampled",),
+            ),
+            SubscriptionSpec(
+                node="p2d_ndt_localizer_node",
+                label="cb6",
+                topic="lidars/points_fused_downsampled",
+                work=w["cb6"],
+                publishes=("localization/ndt_pose",),
+            ),
+        ),
+        synchronizers=(
+            # cb3 (front) + cb4 (rear): the member completing the set
+            # carries the fusion work and publishes the fused cloud.
+            SynchronizerSpec(
+                node="point_cloud_fusion",
+                inputs=(
+                    SyncInputSpec(
+                        "cb3", "lidar_front/points_filtered", w["fusion_input_front"]
+                    ),
+                    SyncInputSpec(
+                        "cb4", "lidar_rear/points_filtered", w["fusion_input_rear"]
+                    ),
+                ),
+                publishes=("lidars/points_fused",),
+                work=w["fusion"],
+                slop_ns=ms(50),
+                queue_size=5,
+                stamp="min",
+            ),
+        ),
+        external_publishers=(
+            ExternalPublisherSpec(
+                "lidar_rear/points_raw", LIDAR_PERIOD,
+                phase_ns=rear_phase_ns, jitter_ns=sensor_jitter_ns,
+            ),
+            ExternalPublisherSpec(
+                "lidar_front/points_raw", LIDAR_PERIOD,
+                phase_ns=front_phase_ns, jitter_ns=sensor_jitter_ns,
+            ),
+        ),
+        num_cpus=4,
     )
-    front_filter = Node(
-        world, "filter_transform_vlp16_front",
-        priority=priority, policy=policy, affinity=aff("filter_transform_vlp16_front"),
-    )
-    fusion = Node(
-        world, "point_cloud_fusion",
-        priority=priority, policy=policy, affinity=aff("point_cloud_fusion"),
-    )
-    voxel = Node(
-        world, "voxel_grid_cloud_node",
-        priority=priority, policy=policy, affinity=aff("voxel_grid_cloud_node"),
-    )
-    localizer = Node(
-        world, "p2d_ndt_localizer_node",
-        priority=priority, policy=policy, affinity=aff("p2d_ndt_localizer_node"),
-    )
 
-    # -- filter/transform nodes (cb1: rear, cb2: front) --------------------
-    rear_out = rear_filter.create_publisher("lidar_rear/points_filtered")
 
-    def cb1(api, msg):
-        yield api.work(w["cb1"])
-        api.publish(rear_out, Msg(stamp=msg.stamp))  # keep the sensor stamp
+def build_avp(
+    world,
+    workloads: Optional[Dict[str, WorkloadModel]] = None,
+    affinity: Optional[Dict[str, Sequence[int]]] = None,
+    priority: int = 0,
+    policy: SchedPolicy = SchedPolicy.OTHER,
+    front_phase_ns: int = ms(2),
+    rear_phase_ns: int = 0,
+    sensor_jitter_ns: int = int(ms(0.5)),
+) -> AvpApp:
+    """Instantiate the AVP localization pipeline on ``world``.
 
-    rear_filter.create_subscription("lidar_rear/points_raw", cb1, label="cb1")
-
-    front_out = front_filter.create_publisher("lidar_front/points_filtered")
-
-    def cb2(api, msg):
-        yield api.work(w["cb2"])
-        api.publish(front_out, Msg(stamp=msg.stamp))
-
-    front_filter.create_subscription("lidar_front/points_raw", cb2, label="cb2")
-
-    # -- fusion node: cb3 (front) + cb4 (rear), synchronized ---------------
-    fused_pub = fusion.create_publisher("lidars/points_fused")
-    sub_front = fusion.create_subscription("lidar_front/points_filtered", label="cb3")
-    sub_rear = fusion.create_subscription("lidar_rear/points_filtered", label="cb4")
-
-    def fuse_cb(api, msgs):
-        yield api.work(w["fusion"])
-        api.publish(fused_pub, Msg(stamp=min(m.stamp for m in msgs)))
-
-    fusion.create_synchronizer(
-        [sub_front, sub_rear],
-        fuse_cb,
-        slop_ns=ms(50),
-        queue_size=5,
-        per_input_work={
-            "cb3": w["fusion_input_front"],
-            "cb4": w["fusion_input_rear"],
-        },
-    )
-
-    # -- voxel grid downsampling (cb5) --------------------------------------
-    downsampled_pub = voxel.create_publisher("lidars/points_fused_downsampled")
-
-    def cb5(api, msg):
-        yield api.work(w["cb5"])
-        api.publish(downsampled_pub, Msg(stamp=msg.stamp))
-
-    voxel.create_subscription("lidars/points_fused", cb5, label="cb5")
-
-    # -- NDT localization (cb6) ---------------------------------------------
-    pose_pub = localizer.create_publisher("localization/ndt_pose")
-
-    def cb6(api, msg):
-        yield api.work(w["cb6"])
-        api.publish(pose_pub, Msg(stamp=msg.stamp))
-
-    localizer.create_subscription("lidars/points_fused_downsampled", cb6, label="cb6")
-
-    # -- the (untraced) LIDAR feed -------------------------------------------
-    rear_sensor = ExternalPublisher(
-        world, "lidar_rear/points_raw", LIDAR_PERIOD,
-        phase_ns=rear_phase_ns, jitter_ns=sensor_jitter_ns,
-    )
-    front_sensor = ExternalPublisher(
-        world, "lidar_front/points_raw", LIDAR_PERIOD,
-        phase_ns=front_phase_ns, jitter_ns=sensor_jitter_ns,
-    )
-    rear_sensor.start()
-    front_sensor.start()
-
-    cb_keys = {
-        "cb1": "filter_transform_vlp16_rear/cb1",
-        "cb2": "filter_transform_vlp16_front/cb2",
-        "cb3": "point_cloud_fusion/cb3",
-        "cb4": "point_cloud_fusion/cb4",
-        "cb5": "voxel_grid_cloud_node/cb5",
-        "cb6": "p2d_ndt_localizer_node/cb6",
-    }
-    return AvpApp(
-        nodes=[rear_filter, front_filter, fusion, voxel, localizer],
-        sensors=[rear_sensor, front_sensor],
+    Thin wrapper over :func:`avp_spec` +
+    :meth:`~repro.scenarios.spec.ScenarioSpec.build`; parameters as in
+    :func:`avp_spec`.
+    """
+    w = workloads if workloads is not None else default_workloads()
+    spec = avp_spec(
         workloads=w,
-        cb_keys=cb_keys,
+        affinity=affinity,
+        priority=priority,
+        policy=policy,
+        front_phase_ns=front_phase_ns,
+        rear_phase_ns=rear_phase_ns,
+        sensor_jitter_ns=sensor_jitter_ns,
+    )
+    app = spec.build(world)
+    return AvpApp(
+        nodes=app.nodes,
+        sensors=app.externals,
+        workloads=w,
+        cb_keys=dict(AVP_CB_KEYS),
     )

@@ -45,7 +45,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..ros2 import Msg, Node
+from ..ros2 import Node
+from ..scenarios.spec import (
+    ClientSpec,
+    NodeSpec,
+    ScenarioSpec,
+    ServiceSpec,
+    SubscriptionSpec,
+    SyncInputSpec,
+    SynchronizerSpec,
+    TimerSpec,
+)
 from ..sim.threads import SchedPolicy
 from ..sim.workload import Constant, ms
 
@@ -78,6 +88,17 @@ T3_PERIOD = ms(150)
 ALL_CALLBACKS = tuple(sorted(BASE_LOADS_MS))
 
 
+def syn_loads(load_factor: float = 1.0) -> Dict[str, Constant]:
+    """The designed constant load per callback, scaled by ``load_factor``
+    (the single source both :func:`syn_spec` and :class:`SynApp` use)."""
+    if load_factor <= 0:
+        raise ValueError("load_factor must be positive")
+    return {
+        label: Constant(int(ms(base) * load_factor))
+        for label, base in BASE_LOADS_MS.items()
+    }
+
+
 @dataclass
 class SynApp:
     """Handles to the built SYN application."""
@@ -98,15 +119,14 @@ class SynApp:
         return self.loads[label].duration
 
 
-def build_syn(
-    world,
+def syn_spec(
     load_factor: float = 1.0,
     affinity: Optional[Sequence[int]] = None,
     priority: int = 0,
     policy: SchedPolicy = SchedPolicy.OTHER,
     start_phase_ns: int = ms(5),
-) -> SynApp:
-    """Instantiate SYN on ``world``.
+) -> ScenarioSpec:
+    """SYN as a declarative scenario.
 
     Parameters
     ----------
@@ -120,135 +140,114 @@ def build_syn(
         Phase of the first timer ticks, so initial callbacks land after
         the runtime tracers attach.
     """
-    if load_factor <= 0:
-        raise ValueError("load_factor must be positive")
-    loads = {
-        label: Constant(int(ms(base) * load_factor))
-        for label, base in BASE_LOADS_MS.items()
-    }
+    loads = syn_loads(load_factor)
+    aff = tuple(affinity) if affinity is not None else None
 
-    def node_kwargs():
-        return dict(priority=priority, policy=policy, affinity=affinity)
+    def node(name):
+        return NodeSpec(name, affinity=aff, priority=priority, policy=policy)
 
-    n1 = Node(world, "syn_n1", **node_kwargs())
-    n2 = Node(world, "syn_n2", **node_kwargs())
-    n3 = Node(world, "syn_n3", **node_kwargs())
-    n4 = Node(world, "syn_n4", **node_kwargs())
-    n5 = Node(world, "syn_n5", **node_kwargs())
-    n6 = Node(world, "syn_n6", **node_kwargs())
-
-    # ---- syn_n4: SV1 + SV2 (two services in one node) -------------------
-    def sv1_handler(api, request):
-        yield api.work(loads["SV1"])
-        return ("sv1", request)
-
-    def sv2_handler(api, request):
-        yield api.work(loads["SV2"])
-        return ("sv2", request)
-
-    n4.create_service("/sv1", sv1_handler, label="SV1")
-    n4.create_service("/sv2", sv2_handler, label="SV2")
-
-    # ---- syn_n1: T1 (timer), SC5 (subscriber), SV3 (service) ------------
-    t1_pub = n1.create_publisher("/t1")
-    clp3_pub = n1.create_publisher("/clp3")
-
-    def t1_cb(api, msg):
-        yield api.work(loads["T1"])
-        api.publish(t1_pub, Msg(stamp=api.now))
-        api.publish(clp3_pub, Msg(stamp=api.now))
-
-    n1.create_timer(T1_PERIOD, t1_cb, label="T1", phase_ns=start_phase_ns)
-
-    def sc5_cb(api, msg):
-        yield api.work(loads["SC5"])
-
-    n1.create_subscription("/clp3", sc5_cb, label="SC5")
-
-    def sv3_handler(api, request):
-        yield api.work(loads["SV3"])
-        return ("sv3", request)
-
-    n1.create_service("/sv3", sv3_handler, label="SV3")
-
-    # ---- syn_n2: T2, T3 (timers) + CL2, CL4 (client CBs) ----------------
-    t3_pub = n2.create_publisher("/t3")
-
-    def cl4_cb(api, data):
-        yield api.work(loads["CL4"])
-
-    sv3_client_b = n2.create_client("/sv3", cl4_cb, label="CL4")
-
-    def cl2_cb(api, data):
-        yield api.work(loads["CL2"])
-        api.call(sv3_client_b, "from_cl2")
-
-    sv2_client = n2.create_client("/sv2", cl2_cb, label="CL2")
-
-    def t2_cb(api, msg):
-        yield api.work(loads["T2"])
-        api.call(sv2_client, "from_t2")
-
-    def t3_cb(api, msg):
-        yield api.work(loads["T3"])
-        api.publish(t3_pub, Msg(stamp=api.now))
-
-    n2.create_timer(T2_PERIOD, t2_cb, label="T2", phase_ns=start_phase_ns)
-    n2.create_timer(T3_PERIOD, t3_cb, label="T3", phase_ns=start_phase_ns)
-
-    # ---- syn_n3: SC1, SC4 (subscribers) + CL1 (client CB) ----------------
-    f1_pub = n3.create_publisher("/f1")
-
-    def cl1_cb(api, data):
-        yield api.work(loads["CL1"])
-        api.publish(f1_pub, Msg(stamp=api.now))
-
-    sv1_client = n3.create_client("/sv1", cl1_cb, label="CL1")
-
-    def sc1_cb(api, msg):
-        yield api.work(loads["SC1"])
-        api.call(sv1_client, "from_sc1")
-
-    def sc4_cb(api, msg):
-        yield api.work(loads["SC4"])
-
-    n3.create_subscription("/t1", sc1_cb, label="SC1")
-    n3.create_subscription("/clp3", sc4_cb, label="SC4")
-
-    # ---- syn_n5: SC3 (subscriber) + CL3 (client CB) ----------------------
-    f2_pub = n5.create_publisher("/f2")
-
-    def cl3_cb(api, data):
-        yield api.work(loads["CL3"])
-        api.publish(f2_pub, Msg(stamp=api.now))
-
-    sv3_client_a = n5.create_client("/sv3", cl3_cb, label="CL3")
-
-    def sc3_cb(api, msg):
-        yield api.work(loads["SC3"])
-        api.call(sv3_client_a, "from_sc3")
-
-    n5.create_subscription("/t3", sc3_cb, label="SC3")
-
-    # ---- syn_n6: SC2.1 + SC2.2 with data synchronization -----------------
-    f3_pub = n6.create_publisher("/f3")
-    s21 = n6.create_subscription("/f1", label="SC2.1")
-    s22 = n6.create_subscription("/f2", label="SC2.2")
-
-    def fuse_cb(api, msgs):
-        api.publish(f3_pub, Msg(stamp=api.now))
-        return None
-
-    n6.create_synchronizer(
-        [s21, s22],
-        fuse_cb,
-        slop_ns=ms(500),
-        queue_size=20,
-        per_input_work=loads["SC2.1"],
+    return ScenarioSpec(
+        name="syn",
+        description="the paper's synthetic evaluation application (Fig. 3a)",
+        nodes=(
+            node("syn_n1"), node("syn_n2"), node("syn_n3"),
+            node("syn_n4"), node("syn_n5"), node("syn_n6"),
+        ),
+        services=(
+            ServiceSpec("syn_n4", "SV1", "/sv1", loads["SV1"]),
+            ServiceSpec("syn_n4", "SV2", "/sv2", loads["SV2"]),
+            ServiceSpec("syn_n1", "SV3", "/sv3", loads["SV3"]),
+        ),
+        timers=(
+            TimerSpec(
+                node="syn_n1", label="T1", period_ns=T1_PERIOD,
+                work=loads["T1"], publishes=("/t1", "/clp3"),
+                phase_ns=start_phase_ns,
+            ),
+            TimerSpec(
+                node="syn_n2", label="T2", period_ns=T2_PERIOD,
+                work=loads["T2"], calls="CL2", phase_ns=start_phase_ns,
+            ),
+            TimerSpec(
+                node="syn_n2", label="T3", period_ns=T3_PERIOD,
+                work=loads["T3"], publishes=("/t3",), phase_ns=start_phase_ns,
+            ),
+        ),
+        # Declaration order fixes each node's executor polling order
+        # (SC5 before SC4 on /clp3, as in the paper's node inventory).
+        subscriptions=(
+            SubscriptionSpec(
+                node="syn_n1", label="SC5", topic="/clp3", work=loads["SC5"]
+            ),
+            SubscriptionSpec(
+                node="syn_n3", label="SC1", topic="/t1",
+                work=loads["SC1"], calls="CL1",
+            ),
+            SubscriptionSpec(
+                node="syn_n3", label="SC4", topic="/clp3", work=loads["SC4"]
+            ),
+            SubscriptionSpec(
+                node="syn_n5", label="SC3", topic="/t3",
+                work=loads["SC3"], calls="CL3",
+            ),
+        ),
+        clients=(
+            ClientSpec(
+                node="syn_n2", label="CL4", service="/sv3", work=loads["CL4"]
+            ),
+            ClientSpec(
+                node="syn_n2", label="CL2", service="/sv2",
+                work=loads["CL2"], calls="CL4",
+            ),
+            ClientSpec(
+                node="syn_n3", label="CL1", service="/sv1",
+                work=loads["CL1"], publishes=("/f1",),
+            ),
+            ClientSpec(
+                node="syn_n5", label="CL3", service="/sv3",
+                work=loads["CL3"], publishes=("/f2",),
+            ),
+        ),
+        synchronizers=(
+            SynchronizerSpec(
+                node="syn_n6",
+                inputs=(
+                    SyncInputSpec("SC2.1", "/f1", loads["SC2.1"]),
+                    SyncInputSpec("SC2.2", "/f2", loads["SC2.1"]),
+                ),
+                publishes=("/f3",),
+                work=None,
+                slop_ns=ms(500),
+                queue_size=20,
+                stamp="now",
+            ),
+        ),
+        num_cpus=4,
     )
 
-    return SynApp(
-        nodes=[n1, n2, n3, n4, n5, n6],
-        loads=loads,
+
+def build_syn(
+    world,
+    load_factor: float = 1.0,
+    affinity: Optional[Sequence[int]] = None,
+    priority: int = 0,
+    policy: SchedPolicy = SchedPolicy.OTHER,
+    start_phase_ns: int = ms(5),
+) -> SynApp:
+    """Instantiate SYN on ``world``.
+
+    Thin wrapper over :func:`syn_spec` +
+    :meth:`~repro.scenarios.spec.ScenarioSpec.build`; parameters as in
+    :func:`syn_spec`.
+    """
+    spec = syn_spec(
         load_factor=load_factor,
+        affinity=affinity,
+        priority=priority,
+        policy=policy,
+        start_phase_ns=start_phase_ns,
+    )
+    app = spec.build(world)
+    return SynApp(
+        nodes=app.nodes, loads=syn_loads(load_factor), load_factor=load_factor
     )

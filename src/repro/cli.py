@@ -5,12 +5,17 @@ Usage::
     python -m repro table1
     python -m repro fig3a [--duration 12] [--seed 42] [--dot out.dot]
     python -m repro fig3b [--duration 20] [--dot out.dot] [--json out.json]
-    python -m repro table2 [--runs 50] [--duration 10]
-    python -m repro fig4   [--runs 50] [--duration 10]
+    python -m repro table2 [--runs 50] [--duration 10] [--jobs 4]
+    python -m repro fig4   [--runs 50] [--duration 10] [--jobs 4]
     python -m repro overhead [--duration 60]
+    python -m repro scenarios
+    python -m repro batch <scenario> [--runs 8] [--jobs 4] [--duration 10]
+                          [--seed 1000] [--dot out.dot] [--json out.json]
 
 Durations are in (simulated) seconds.  Every command prints the
-regenerated table/figure in the same shape the paper reports.
+regenerated table/figure in the same shape the paper reports;
+``scenarios`` lists the registry and ``batch`` runs any entry N times
+across worker processes and reports the merged timing model.
 """
 
 from __future__ import annotations
@@ -20,11 +25,13 @@ import sys
 from typing import List, Optional
 
 from .core.export import dag_to_json, format_edges, format_exec_table, to_dot
+from .experiments.batch import BatchConfig, run_batch
 from .experiments.fig3 import run_fig3a, run_fig3b
 from .experiments.fig4 import fig4_from_table2
 from .experiments.overhead import run_overhead
 from .experiments.table1 import run_table1
 from .experiments.table2 import Table2Config, run_table2
+from .scenarios import build_scenario_spec, get_scenario, scenario_names
 from .sim.kernel import SEC
 
 
@@ -73,7 +80,9 @@ def _cmd_fig3b(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    config = Table2Config(runs=args.runs, duration_ns=int(args.duration * SEC))
+    config = Table2Config(
+        runs=args.runs, duration_ns=int(args.duration * SEC), jobs=args.jobs
+    )
     result = run_table2(config)
     print(f"Table II -- execution times over {args.runs} runs x "
           f"{args.duration:.0f} s\n")
@@ -84,7 +93,9 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_fig4(args) -> int:
-    config = Table2Config(runs=args.runs, duration_ns=int(args.duration * SEC))
+    config = Table2Config(
+        runs=args.runs, duration_ns=int(args.duration * SEC), jobs=args.jobs
+    )
     table2 = run_table2(config)
     result = fig4_from_table2(table2)
     print(f"Fig. 4 -- estimates vs number of runs ({args.runs} runs)\n")
@@ -94,6 +105,41 @@ def _cmd_fig4(args) -> int:
         series = result.series[cb]
         print(f"{cb}: mWCET growth {100 * series.mwcet_growth():.1f}%, "
               f"stable from run {series.runs_to_converge()}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    print(f"{'scenario':<18} {'nodes':>5} {'CBs':>4} {'edges':>5}  summary")
+    print("-" * 78)
+    for name in scenario_names():
+        entry = get_scenario(name)
+        spec = build_scenario_spec(name)
+        print(
+            f"{name:<18} {len(spec.nodes):>5} "
+            f"{len(spec.callback_labels()):>4} "
+            f"{len(spec.expected_edge_pairs()):>5}  {entry.summary}"
+        )
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    duration_ns = int(args.duration * SEC) if args.duration is not None else None
+    config = BatchConfig(
+        duration_ns=duration_ns,
+        num_cpus=args.cpus,
+        base_seed=args.seed,
+        collect_traces=False,
+    )
+    result = run_batch(args.scenario, runs=args.runs, jobs=args.jobs, config=config)
+    seconds = (duration_ns if duration_ns is not None else result.spec.duration_ns) / SEC
+    print(
+        f"batch {args.scenario} -- {args.runs} runs x {seconds:.0f} s "
+        f"on {result.jobs} worker(s)\n"
+    )
+    print(format_edges(result.merged_dag))
+    print()
+    print(result.table())
+    _write_artifacts(result.merged_dag, args)
     return 0
 
 
@@ -130,13 +176,34 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="Table II: AVP execution times")
     table2.add_argument("--runs", type=int, default=50)
     table2.add_argument("--duration", type=float, default=10.0)
+    table2.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the independent runs")
 
     fig4 = sub.add_parser("fig4", help="Fig. 4: estimates vs runs")
     fig4.add_argument("--runs", type=int, default=50)
     fig4.add_argument("--duration", type=float, default=10.0)
+    fig4.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the independent runs")
 
     overhead = sub.add_parser("overhead", help="tracing overheads")
     overhead.add_argument("--duration", type=float, default=60.0)
+
+    sub.add_parser("scenarios", help="list the scenario registry")
+
+    batch = sub.add_parser(
+        "batch", help="run a registered scenario N times across workers"
+    )
+    batch.add_argument("scenario", help="registry name (see `repro scenarios`)")
+    batch.add_argument("--runs", type=int, default=8)
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (results identical for any value)")
+    batch.add_argument("--duration", type=float, default=None,
+                       help="seconds per run (default: the scenario's own)")
+    batch.add_argument("--seed", type=int, default=1000)
+    batch.add_argument("--cpus", type=int, default=None,
+                       help="simulated CPUs (default: the scenario's own)")
+    batch.add_argument("--dot", help="write the merged DAG as Graphviz DOT")
+    batch.add_argument("--json", help="write the merged DAG as JSON")
 
     return parser
 
@@ -148,6 +215,8 @@ COMMANDS = {
     "table2": _cmd_table2,
     "fig4": _cmd_fig4,
     "overhead": _cmd_overhead,
+    "scenarios": _cmd_scenarios,
+    "batch": _cmd_batch,
 }
 
 

@@ -1,5 +1,6 @@
 """Experiment drivers: one module per paper artefact (see DESIGN.md)."""
 
+from .batch import BatchConfig, BatchResult, run_batch
 from .fig3 import (
     AVP_CHAIN,
     EXPECTED_SYN_EDGES,
@@ -18,11 +19,13 @@ from .table2 import (
     SYN_AFFINITY,
     Table2Config,
     Table2Result,
-    build_concurrent_apps,
     run_table2,
 )
 
 __all__ = [
+    "BatchConfig",
+    "BatchResult",
+    "run_batch",
     "AVP_CHAIN",
     "EXPECTED_SYN_EDGES",
     "Fig3Result",
@@ -50,6 +53,5 @@ __all__ = [
     "SYN_AFFINITY",
     "Table2Config",
     "Table2Result",
-    "build_concurrent_apps",
     "run_table2",
 ]

@@ -16,33 +16,24 @@ cpu 1  filter rear (cb1)  + SYN (interference)
 cpu 2  point_cloud_fusion (cb3/cb4) + voxel grid (cb5)
 cpu 3  NDT localizer (cb6)          + SYN (interference)
 =====  ==========================================================
+
+The deployment itself is the ``avp-interference`` entry of the scenario
+registry; this module drives it through the parallel batch runner
+(``jobs`` shards the independent runs over CPU cores) and keeps the
+Table II reporting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..apps.avp import AvpApp, TABLE2_REFERENCE_MS, build_avp
-from ..apps.syn import build_syn
+from ..apps.avp import AVP_CB_KEYS, TABLE2_REFERENCE_MS
 from ..core.dag import TimingDag
 from ..core.export import format_exec_table
-from ..core.merge import merge_dags
-from ..core.pipeline import synthesize_from_trace
+from ..scenarios.library import AVP_AFFINITY, SYN_AFFINITY
 from ..sim.kernel import SEC
-from .runner import RunConfig, run_many
-
-#: Per-node CPU affinities for the AVP nodes.
-AVP_AFFINITY: Dict[str, List[int]] = {
-    "filter_transform_vlp16_front": [0],
-    "filter_transform_vlp16_rear": [1],
-    "point_cloud_fusion": [2],
-    "voxel_grid_cloud_node": [2],
-    "p2d_ndt_localizer_node": [3],
-}
-
-#: CPUs shared with SYN.
-SYN_AFFINITY: List[int] = [1, 3]
+from .batch import BatchConfig, run_batch
 
 
 @dataclass
@@ -54,13 +45,14 @@ class Table2Config:
     base_seed: int = 2000
     num_cpus: int = 4
     syn_load_range: Tuple[float, float] = (0.5, 2.5)
+    #: Worker processes for the independent runs (1: in-process).
+    jobs: int = 1
 
     def load_factor(self, run_index: int) -> float:
         """SYN load for a given run (swept linearly across runs)."""
-        lo, hi = self.syn_load_range
-        if self.runs <= 1:
-            return lo
-        return lo + (hi - lo) * run_index / (self.runs - 1)
+        from ..scenarios.library import _syn_load_factor
+
+        return _syn_load_factor(run_index, self.runs, self.syn_load_range)
 
 
 @dataclass
@@ -96,45 +88,22 @@ class Table2Result:
         return "\n".join(lines)
 
 
-def build_concurrent_apps(world, run_index: int, config: Table2Config):
-    """AVP + SYN on one machine, SYN load varying per run."""
-    from ..apps.avp import LIDAR_PERIOD, default_workloads
-
-    samples_per_run = max(1, config.duration_ns // LIDAR_PERIOD)
-    avp = build_avp(
-        world,
-        workloads=default_workloads(samples_per_run=samples_per_run),
-        affinity=AVP_AFFINITY,
-    )
-    syn = build_syn(
-        world,
-        load_factor=config.load_factor(run_index),
-        affinity=SYN_AFFINITY,
-    )
-    return (avp, syn)
-
-
 def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
     """The full experiment: N concurrent runs, DAG per run, merged DAG."""
-    run_config = RunConfig(
-        duration_ns=config.duration_ns,
-        base_seed=config.base_seed,
-        num_cpus=config.num_cpus,
-    )
-    results = run_many(
-        lambda world, i: build_concurrent_apps(world, i, config),
+    batch = run_batch(
+        "avp-interference",
         runs=config.runs,
-        config=run_config,
+        jobs=config.jobs,
+        config=BatchConfig(
+            duration_ns=config.duration_ns,
+            num_cpus=config.num_cpus,
+            base_seed=config.base_seed,
+            collect_traces=False,
+            scenario_params={"syn_load_range": config.syn_load_range},
+        ),
     )
-    per_run_dags: List[TimingDag] = []
-    cb_keys: Optional[Dict[str, str]] = None
-    for result in results:
-        avp: AvpApp = result.apps[0]
-        cb_keys = avp.cb_keys
-        per_run_dags.append(synthesize_from_trace(result.trace, pids=avp.pids))
-    assert cb_keys is not None
     return Table2Result(
-        merged_dag=merge_dags(per_run_dags),
-        per_run_dags=per_run_dags,
-        cb_keys=cb_keys,
+        merged_dag=batch.merged_dag,
+        per_run_dags=batch.per_run_dags,
+        cb_keys=dict(AVP_CB_KEYS),
     )

@@ -1,0 +1,52 @@
+"""Declarative scenarios: specs, the registry, and the built-in library.
+
+``ScenarioSpec`` describes an application as data; the registry maps
+names to parameterizable spec factories; the library registers the
+paper's applications plus additional stress workloads.  The library
+module is imported lazily by the registry accessors (so that
+:mod:`repro.apps` can itself be expressed in terms of specs without an
+import cycle) -- use :func:`scenario_names` / :func:`get_scenario` /
+:func:`build_scenario_spec` rather than importing it directly.
+"""
+
+from .registry import (
+    ScenarioEntry,
+    build_scenario_spec,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from .spec import (
+    ClientSpec,
+    ExternalPublisherSpec,
+    NodeSpec,
+    ScenarioApp,
+    ScenarioError,
+    ScenarioSpec,
+    ServiceSpec,
+    SubscriptionSpec,
+    SyncInputSpec,
+    SynchronizerSpec,
+    TimerSpec,
+    combine_specs,
+)
+
+__all__ = [
+    "ScenarioEntry",
+    "build_scenario_spec",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "ClientSpec",
+    "ExternalPublisherSpec",
+    "NodeSpec",
+    "ScenarioApp",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ServiceSpec",
+    "SubscriptionSpec",
+    "SyncInputSpec",
+    "SynchronizerSpec",
+    "TimerSpec",
+    "combine_specs",
+]

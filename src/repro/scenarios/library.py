@@ -1,0 +1,374 @@
+"""The built-in scenario library.
+
+Registers the paper's two evaluation applications (re-expressed as
+declarative specs in :mod:`repro.apps.avp` / :mod:`repro.apps.syn`),
+their concurrent interference deployment (the Table II / Fig. 4
+workload), and four new workloads that stress different structural
+corners of the synthesis pipeline:
+
+``sensor-fusion``
+    a multi-rate sensor-fusion pipeline: two external sensors at
+    different rates joined by an AND synchronizer, plus a camera chain
+    merging into the tracker output so the planner input is a genuine
+    OR junction;
+``service-mesh``
+    a service-heavy client/server mesh where two frontends share a
+    gateway and an auth service -- every shared service must replicate
+    per caller to keep the chains disjoint;
+``overload``
+    an overload/starvation stressor: a single CPU at ~105 % nominal
+    utilisation, exercising measurement under heavy preemption;
+``deep-pipeline``
+    a long processing chain (one timer, eight subscriber hops) spread
+    round-robin over four nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..apps.avp import LIDAR_PERIOD, avp_spec, default_workloads
+from ..apps.syn import syn_spec
+from ..sim.kernel import SEC
+from ..sim.workload import Constant, TruncatedNormal, Uniform, ms
+from .registry import register_scenario
+from .spec import (
+    ExternalPublisherSpec,
+    NodeSpec,
+    ScenarioSpec,
+    SubscriptionSpec,
+    SyncInputSpec,
+    SynchronizerSpec,
+    ServiceSpec,
+    ClientSpec,
+    TimerSpec,
+    combine_specs,
+)
+
+#: Per-node CPU affinities of the AVP nodes in the interference study
+#: (the Table II machine layout).
+AVP_AFFINITY: Dict[str, List[int]] = {
+    "filter_transform_vlp16_front": [0],
+    "filter_transform_vlp16_rear": [1],
+    "point_cloud_fusion": [2],
+    "voxel_grid_cloud_node": [2],
+    "p2d_ndt_localizer_node": [3],
+}
+
+#: CPUs SYN shares with AVP to create interference.
+SYN_AFFINITY: List[int] = [1, 3]
+
+
+@register_scenario("syn", "the paper's synthetic application (Fig. 3a): "
+                          "16 callbacks of every kind across 6 nodes")
+def _syn(load_factor: float = 1.0) -> ScenarioSpec:
+    return syn_spec(load_factor=load_factor)
+
+
+@register_scenario("avp", "Autoware AVP LIDAR localization chain (Fig. 3b)")
+def _avp(duration_ns: int = 10 * SEC) -> ScenarioSpec:
+    samples_per_run = max(1, duration_ns // LIDAR_PERIOD)
+    spec = avp_spec(workloads=default_workloads(samples_per_run=samples_per_run))
+    return spec.with_overrides(duration_ns=duration_ns)
+
+
+def _syn_load_factor(
+    run_index: int, runs: int, load_range: Tuple[float, float]
+) -> float:
+    lo, hi = load_range
+    if runs <= 1:
+        return lo
+    return lo + (hi - lo) * run_index / (runs - 1)
+
+
+@register_scenario(
+    "avp-interference",
+    "AVP + SYN co-located on 4 CPUs, SYN load swept across runs "
+    "(the Table II / Fig. 4 deployment); synthesis models AVP only",
+)
+def _avp_interference(
+    run_index: int = 0,
+    runs: int = 50,
+    duration_ns: int = 10 * SEC,
+    syn_load_range: Tuple[float, float] = (0.5, 2.5),
+) -> ScenarioSpec:
+    samples_per_run = max(1, duration_ns // LIDAR_PERIOD)
+    avp = avp_spec(
+        workloads=default_workloads(samples_per_run=samples_per_run),
+        affinity=AVP_AFFINITY,
+    )
+    syn = syn_spec(
+        load_factor=_syn_load_factor(run_index, runs, syn_load_range),
+        affinity=tuple(SYN_AFFINITY),
+    )
+    return combine_specs(
+        "avp-interference",
+        "AVP localization under SYN interference",
+        [avp, syn],
+        num_cpus=4,
+        duration_ns=duration_ns,
+        trace_nodes=avp.node_names(),
+    )
+
+
+@register_scenario(
+    "sensor-fusion",
+    "multi-rate LIDAR+radar AND-fusion with a camera chain merging at "
+    "the tracker, making the planner input an OR junction",
+)
+def _sensor_fusion() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sensor-fusion",
+        description="multi-rate sensor fusion pipeline",
+        nodes=(
+            NodeSpec("lidar_preproc"),
+            NodeSpec("radar_preproc"),
+            NodeSpec("fusion_core"),
+            NodeSpec("camera_driver"),
+            NodeSpec("object_tracker"),
+            NodeSpec("motion_planner"),
+        ),
+        timers=(
+            TimerSpec(
+                node="camera_driver",
+                label="CAM",
+                period_ns=ms(60),
+                work=TruncatedNormal(ms(2.0), ms(0.3), ms(1.2), ms(2.8)),
+                publishes=("/camera/detections",),
+            ),
+        ),
+        subscriptions=(
+            SubscriptionSpec(
+                node="lidar_preproc",
+                label="LP",
+                topic="/lidar/raw",
+                work=TruncatedNormal(ms(4.0), ms(0.6), ms(2.5), ms(6.0)),
+                publishes=("/lidar/points",),
+            ),
+            SubscriptionSpec(
+                node="radar_preproc",
+                label="RP",
+                topic="/radar/raw",
+                work=TruncatedNormal(ms(1.5), ms(0.2), ms(1.0), ms(2.2)),
+                publishes=("/radar/points",),
+            ),
+            SubscriptionSpec(
+                node="object_tracker",
+                label="TRK_F",
+                topic="/fused/objects",
+                work=TruncatedNormal(ms(3.0), ms(0.4), ms(2.0), ms(4.5)),
+                publishes=("/tracks",),
+            ),
+            SubscriptionSpec(
+                node="object_tracker",
+                label="TRK_C",
+                topic="/camera/detections",
+                work=TruncatedNormal(ms(1.2), ms(0.2), ms(0.8), ms(1.8)),
+                publishes=("/tracks",),
+            ),
+            SubscriptionSpec(
+                node="motion_planner",
+                label="PLAN",
+                topic="/tracks",
+                work=TruncatedNormal(ms(2.5), ms(0.4), ms(1.5), ms(4.0)),
+            ),
+        ),
+        synchronizers=(
+            SynchronizerSpec(
+                node="fusion_core",
+                inputs=(
+                    SyncInputSpec("FU_L", "/lidar/points", Constant(ms(0.4))),
+                    SyncInputSpec("FU_R", "/radar/points", Constant(ms(0.3))),
+                ),
+                publishes=("/fused/objects",),
+                work=TruncatedNormal(ms(2.2), ms(0.3), ms(1.5), ms(3.2)),
+                slop_ns=ms(80),
+                queue_size=10,
+                stamp="min",
+            ),
+        ),
+        external_publishers=(
+            ExternalPublisherSpec("/lidar/raw", ms(100), jitter_ns=int(ms(0.5))),
+            ExternalPublisherSpec(
+                "/radar/raw", ms(150), phase_ns=ms(3), jitter_ns=int(ms(0.5))
+            ),
+        ),
+        num_cpus=4,
+        duration_ns=10 * SEC,
+    )
+
+
+@register_scenario(
+    "service-mesh",
+    "service-heavy client/server mesh: two frontends share a gateway and "
+    "an auth service, forcing per-caller service replication",
+)
+def _service_mesh() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="service-mesh",
+        description="client/server mesh with shared services",
+        nodes=(
+            NodeSpec("frontend_a"),
+            NodeSpec("frontend_b"),
+            NodeSpec("gateway"),
+            NodeSpec("auth"),
+            NodeSpec("audit_log"),
+        ),
+        services=(
+            ServiceSpec("gateway", "GW", "/gateway", Constant(ms(2.0))),
+            ServiceSpec("auth", "AUTH", "/auth", Constant(ms(1.4))),
+        ),
+        timers=(
+            TimerSpec(
+                node="frontend_a",
+                label="REQ_A",
+                period_ns=ms(80),
+                work=Constant(ms(1.0)),
+                calls="GW_A",
+            ),
+            TimerSpec(
+                node="frontend_b",
+                label="REQ_B",
+                period_ns=ms(120),
+                work=Constant(ms(1.2)),
+                calls="GW_B",
+            ),
+        ),
+        subscriptions=(
+            SubscriptionSpec(
+                node="audit_log",
+                label="LOG_A",
+                topic="/frontend_a/result",
+                work=Constant(ms(0.5)),
+            ),
+            SubscriptionSpec(
+                node="audit_log",
+                label="LOG_B",
+                topic="/frontend_b/result",
+                work=Constant(ms(0.5)),
+            ),
+        ),
+        clients=(
+            ClientSpec(
+                node="frontend_a",
+                label="GW_A",
+                service="/gateway",
+                work=Constant(ms(0.8)),
+                calls="AUTH_A",
+            ),
+            ClientSpec(
+                node="frontend_b",
+                label="GW_B",
+                service="/gateway",
+                work=Constant(ms(0.9)),
+                calls="AUTH_B",
+            ),
+            ClientSpec(
+                node="frontend_a",
+                label="AUTH_A",
+                service="/auth",
+                work=Constant(ms(0.6)),
+                publishes=("/frontend_a/result",),
+            ),
+            ClientSpec(
+                node="frontend_b",
+                label="AUTH_B",
+                service="/auth",
+                work=Constant(ms(0.7)),
+                publishes=("/frontend_b/result",),
+            ),
+        ),
+        num_cpus=4,
+        duration_ns=10 * SEC,
+    )
+
+
+@register_scenario(
+    "overload",
+    "overload/starvation stressor: one CPU at ~105% nominal utilisation "
+    "(a hog timer preempting a producer/worker/sink chain)",
+)
+def _overload() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="overload",
+        description="single-CPU overload with a greedy hog timer",
+        nodes=(
+            NodeSpec("cpu_hog"),
+            NodeSpec("producer"),
+            NodeSpec("worker"),
+            NodeSpec("sink"),
+        ),
+        timers=(
+            TimerSpec(
+                node="cpu_hog",
+                label="HOG",
+                period_ns=ms(20),
+                work=Uniform(ms(12.0), ms(14.0)),
+            ),
+            TimerSpec(
+                node="producer",
+                label="PROD",
+                period_ns=ms(50),
+                work=Constant(ms(8.0)),
+                publishes=("/work/items",),
+                phase_ns=ms(7),
+            ),
+        ),
+        subscriptions=(
+            SubscriptionSpec(
+                node="worker",
+                label="WORK",
+                topic="/work/items",
+                work=Uniform(ms(8.0), ms(12.0)),
+                publishes=("/work/done",),
+            ),
+            SubscriptionSpec(
+                node="sink",
+                label="DONE",
+                topic="/work/done",
+                work=Constant(ms(2.0)),
+            ),
+        ),
+        num_cpus=1,
+        duration_ns=5 * SEC,
+    )
+
+
+@register_scenario(
+    "deep-pipeline",
+    "a deep processing chain: one 10 Hz timer feeding eight subscriber "
+    "hops spread round-robin over four nodes",
+)
+def _deep_pipeline(depth: int = 8) -> ScenarioSpec:
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    nodes = tuple(NodeSpec(f"stage_{i}") for i in range(4))
+    subs = []
+    for hop in range(depth):
+        publishes = (f"/deep/{hop + 1}",) if hop < depth - 1 else ()
+        subs.append(
+            SubscriptionSpec(
+                node=f"stage_{(hop + 1) % 4}",
+                label=f"S{hop + 1}",
+                topic=f"/deep/{hop}",
+                work=TruncatedNormal(ms(1.5), ms(0.25), ms(0.8), ms(2.5)),
+                publishes=publishes,
+            )
+        )
+    return ScenarioSpec(
+        name="deep-pipeline",
+        description=f"{depth}-hop processing chain",
+        nodes=nodes,
+        timers=(
+            TimerSpec(
+                node="stage_0",
+                label="SRC",
+                period_ns=ms(100),
+                work=Constant(ms(1.0)),
+                publishes=("/deep/0",),
+            ),
+        ),
+        subscriptions=tuple(subs),
+        num_cpus=4,
+        duration_ns=10 * SEC,
+    )

@@ -1,0 +1,122 @@
+"""The scenario registry: named, parameterizable scenario factories.
+
+A factory is a plain function returning a :class:`ScenarioSpec`.  Its
+keyword parameters are the scenario's knobs; the batch runner passes
+``run_index`` / ``runs`` / ``duration_ns`` to factories that declare
+them, which is how per-run parameter sweeps (e.g. the Table II
+interference study) stay declarative and picklable: worker processes
+rebuild the spec from ``(name, params, run_index)`` instead of shipping
+closures across process boundaries.
+
+The built-in library (:mod:`repro.scenarios.library`) registers itself
+lazily on first access, so importing :mod:`repro.apps` (which the
+library itself imports) never recurses through this module.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .spec import ScenarioSpec
+
+Factory = Callable[..., ScenarioSpec]
+
+_REGISTRY: Dict[str, "ScenarioEntry"] = {}
+_LIBRARY_LOADED = False
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario."""
+
+    name: str
+    summary: str
+    factory: Factory
+    tags: Tuple[str, ...] = field(default=())
+
+
+def register_scenario(name: str, summary: str, tags: Tuple[str, ...] = ()):
+    """Decorator: register ``factory`` under ``name``."""
+
+    def decorator(factory: Factory) -> Factory:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = ScenarioEntry(
+            name=name, summary=summary, factory=factory, tags=tuple(tags)
+        )
+        return factory
+
+    return decorator
+
+
+def _ensure_library() -> None:
+    global _LIBRARY_LOADED
+    if _LIBRARY_LOADED:
+        return
+    # A failed library import must stay visible on every call (not
+    # silently yield a partial registry), and its partial registrations
+    # must be rolled back so the re-import can register them again.
+    before = set(_REGISTRY)
+    try:
+        from . import library  # noqa: F401  (registers on import)
+    except BaseException:
+        for name in set(_REGISTRY) - before:
+            del _REGISTRY[name]
+        raise
+    _LIBRARY_LOADED = True
+
+
+def scenario_names() -> List[str]:
+    _ensure_library()
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioEntry:
+    _ensure_library()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return entry
+
+
+def build_scenario_spec(
+    name: str,
+    run_index: Optional[int] = None,
+    runs: Optional[int] = None,
+    duration_ns: Optional[int] = None,
+    **params,
+) -> ScenarioSpec:
+    """Instantiate a registered scenario's spec.
+
+    ``run_index`` / ``runs`` / ``duration_ns`` are forwarded only to
+    factories that declare them; unknown ``params`` raise immediately
+    with the factory's actual signature in the message.
+    """
+    entry = get_scenario(name)
+    signature = inspect.signature(entry.factory)
+    accepts_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in signature.parameters.values()
+    )
+    kwargs = dict(params)
+    for key, value in (
+        ("run_index", run_index),
+        ("runs", runs),
+        ("duration_ns", duration_ns),
+    ):
+        if value is not None and (accepts_kwargs or key in signature.parameters):
+            kwargs[key] = value
+    if not accepts_kwargs:
+        unknown = set(kwargs) - set(signature.parameters)
+        if unknown:
+            raise TypeError(
+                f"scenario {name!r} does not accept parameters "
+                f"{sorted(unknown)}; signature: {signature}"
+            )
+    spec = entry.factory(**kwargs)
+    spec.validate()
+    return spec

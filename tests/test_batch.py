@@ -1,0 +1,148 @@
+"""Tests for the parallel batch runner.
+
+The central property: results are a pure function of (scenario, params,
+runs, seed) -- the worker count shards only wall-clock work, never the
+outcome.  ``--jobs 1`` runs in-process, ``--jobs N`` forks, and both
+must produce byte-identical merged DAGs, per-run DAGs, exec-stat tables
+and trace databases.
+"""
+
+import pytest
+
+from repro.core import dag_to_json
+from repro.experiments import (
+    BatchConfig,
+    RunConfig,
+    Table2Config,
+    run_batch,
+    run_once,
+    run_table2,
+)
+from repro.experiments.batch import _shard
+from repro.scenarios import build_scenario_spec
+from repro.sim import SEC
+
+
+def small_config(**overrides):
+    defaults = dict(duration_ns=2 * SEC, base_seed=500)
+    defaults.update(overrides)
+    return BatchConfig(**defaults)
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_batch("deep-pipeline", runs=4, jobs=1, config=small_config())
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_batch("deep-pipeline", runs=4, jobs=4, config=small_config())
+
+    def test_merged_dags_identical(self, serial, parallel):
+        assert dag_to_json(serial.merged_dag) == dag_to_json(parallel.merged_dag)
+
+    def test_exec_tables_identical(self, serial, parallel):
+        assert serial.table() == parallel.table()
+
+    def test_per_run_dags_identical(self, serial, parallel):
+        assert len(serial.per_run_dags) == len(parallel.per_run_dags) == 4
+        for dag_a, dag_b in zip(serial.per_run_dags, parallel.per_run_dags):
+            assert dag_to_json(dag_a) == dag_to_json(dag_b)
+
+    def test_trace_databases_identical(self, serial, parallel):
+        assert serial.database.run_ids() == parallel.database.run_ids()
+        for run_id in serial.database.run_ids():
+            assert (
+                serial.database.get(run_id).to_dict()
+                == parallel.database.get(run_id).to_dict()
+            )
+
+    def test_more_jobs_than_runs_clamped(self):
+        result = run_batch("deep-pipeline", runs=2, jobs=8, config=small_config())
+        assert result.jobs == 2
+        assert len(result.per_run_dags) == 2
+
+
+class TestBatchSemantics:
+    def test_per_run_seeding_matches_run_once(self):
+        """A batch run equals the same run executed standalone."""
+        batch = run_batch("syn", runs=2, jobs=1, config=small_config())
+        spec = build_scenario_spec("syn")
+        config = RunConfig(duration_ns=2 * SEC, base_seed=500, num_cpus=4)
+        from repro.core import synthesize_from_trace
+
+        for run_index in (0, 1):
+            result = run_once(
+                lambda w, i: spec.build(w), config, run_index=run_index
+            )
+            dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+            assert dag_to_json(dag) == dag_to_json(batch.per_run_dags[run_index])
+
+    def test_merged_topology_matches_ground_truth(self):
+        result = run_batch("service-mesh", runs=3, jobs=3, config=small_config())
+        spec = result.spec
+        assert {v.key for v in result.merged_dag.vertices()} == spec.expected_vertex_keys()
+        assert {(e.src, e.dst) for e in result.merged_dag.edges()} == spec.expected_edge_pairs()
+
+    def test_samples_accumulate_across_runs(self):
+        one = run_batch("deep-pipeline", runs=1, jobs=1, config=small_config())
+        three = run_batch("deep-pipeline", runs=3, jobs=1, config=small_config())
+        key = "stage_0/SRC"
+        assert len(three.merged_dag.vertex(key).exec_times) == 3 * len(
+            one.merged_dag.vertex(key).exec_times
+        )
+
+    def test_collect_traces_disabled(self):
+        result = run_batch(
+            "deep-pipeline", runs=2, jobs=1,
+            config=small_config(collect_traces=False),
+        )
+        assert len(result.database) == 0
+        assert len(result.per_run_dags) == 2
+
+    def test_scenario_params_forwarded(self):
+        result = run_batch(
+            "deep-pipeline", runs=1, jobs=1,
+            config=small_config(scenario_params={"depth": 2}),
+        )
+        assert result.merged_dag.num_vertices == 3  # SRC + S1 + S2
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_batch("deep-pipeline", runs=0)
+        with pytest.raises(ValueError):
+            run_batch("deep-pipeline", runs=1, jobs=0)
+        with pytest.raises(ValueError, match="duration"):
+            run_batch("deep-pipeline", runs=1,
+                      config=BatchConfig(duration_ns=-SEC))
+        with pytest.raises(KeyError):
+            run_batch("no-such-scenario", runs=1)
+
+    def test_shard_round_robin_covers_all_runs(self):
+        shards = _shard(list(range(10)), 3)
+        assert sorted(i for shard in shards for i in shard) == list(range(10))
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+
+class TestTable2ThroughBatch:
+    """The paper artefact is now just a registry entry + the batch runner."""
+
+    def test_jobs_do_not_change_table2(self):
+        config = dict(runs=3, duration_ns=2 * SEC)
+        serial = run_table2(Table2Config(jobs=1, **config))
+        parallel = run_table2(Table2Config(jobs=3, **config))
+        assert serial.table() == parallel.table()
+        assert dag_to_json(serial.merged_dag) == dag_to_json(parallel.merged_dag)
+
+    def test_syn_load_sweep_reaches_factory(self):
+        """The interference sweep parameterizes the scenario per run."""
+        spec_first = build_scenario_spec(
+            "avp-interference", run_index=0, runs=3, syn_load_range=(0.5, 2.5)
+        )
+        spec_last = build_scenario_spec(
+            "avp-interference", run_index=2, runs=3, syn_load_range=(0.5, 2.5)
+        )
+        # SYN timer loads scale with the per-run factor (0.5 vs 2.5).
+        t1_first = next(t for t in spec_first.timers if t.label == "T1")
+        t1_last = next(t for t in spec_last.timers if t.label == "T1")
+        assert t1_last.work.duration == 5 * t1_first.work.duration

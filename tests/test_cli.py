@@ -1,10 +1,14 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.scenarios import scenario_names
+
+GOLDEN_DIR = Path(__file__).parent / "data"
 
 
 class TestParser:
@@ -58,3 +62,60 @@ class TestCommands:
         assert main(["overhead", "--duration", "4"]) == 0
         out = capsys.readouterr().out
         assert "MB trace data" in out
+
+
+class TestScenariosCommand:
+    def test_lists_every_registered_scenario(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_lists_topology_sizes(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        # header plus one row per scenario
+        assert "nodes" in out and "edges" in out
+
+
+class TestBatchCommand:
+    def test_unknown_scenario_fails_loudly(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["batch", "no-such-scenario", "--runs", "1"])
+
+    def test_batch_runs_and_reports(self, capsys):
+        code = main(["batch", "service-mesh", "--runs", "2", "--jobs", "2",
+                     "--duration", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "gateway" in out and "mWCET" in out
+
+    def test_batch_artifact_writing(self, capsys, tmp_path):
+        dot = tmp_path / "mesh.dot"
+        js = tmp_path / "mesh.json"
+        code = main(["batch", "deep-pipeline", "--runs", "2", "--duration", "2",
+                     "--dot", str(dot), "--json", str(js)])
+        assert code == 0
+        assert dot.read_text().startswith("digraph")
+        model = json.loads(js.read_text())
+        assert len(model["vertices"]) == 9  # SRC + S1..S8
+        assert len(model["edges"]) == 8
+
+    def test_batch_dot_matches_golden(self, capsys, tmp_path):
+        """Golden-file regression: the merged small-DAG artefact is
+        byte-stable across worker counts and code changes."""
+        golden = (GOLDEN_DIR / "deep_pipeline_batch.dot").read_text()
+        for jobs in ("1", "2"):
+            dot = tmp_path / f"deep{jobs}.dot"
+            code = main(["batch", "deep-pipeline", "--runs", "2",
+                         "--duration", "2", "--seed", "1000",
+                         "--jobs", jobs, "--dot", str(dot)])
+            assert code == 0
+            assert dot.read_text() == golden
+
+    def test_table2_jobs_flag(self, capsys):
+        assert main(["table2", "--runs", "2", "--duration", "2",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper mWCET" in out

@@ -1,0 +1,65 @@
+"""Deterministic sweep over the random-app generator's config space.
+
+Complements the hypothesis-based tests in
+``test_generator_properties.py`` with a fixed matrix -- every
+``service_probability`` x ``chain_length`` combination -- asserting the
+synthesis recovers the generated ground truth *exactly*: the edge set
+(as label pairs) equals ``expected_edges`` and every generated callback
+appears, with no spurious extras.
+"""
+
+import pytest
+
+from repro.apps import GeneratorConfig, generate_app
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.sim import SEC
+
+SERVICE_PROBABILITIES = (0.0, 0.3, 1.0)
+CHAIN_LENGTHS = (1, 2, 3, 4)
+
+
+def run_sweep_case(service_probability, chain_length, app_seed=17, world_seed=31):
+    config = GeneratorConfig(
+        num_nodes=3,
+        num_chains=2,
+        chain_length=chain_length,
+        service_probability=service_probability,
+    )
+    run_config = RunConfig(duration_ns=3 * SEC, base_seed=world_seed, num_cpus=4)
+    result = run_once(
+        lambda world, i: generate_app(world, config, seed=app_seed), run_config
+    )
+    dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+    return dag, result.apps
+
+
+class TestGeneratorSweep:
+    @pytest.mark.parametrize("service_probability", SERVICE_PROBABILITIES)
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    def test_expected_edges_recovered_exactly(
+        self, service_probability, chain_length
+    ):
+        dag, app = run_sweep_case(service_probability, chain_length)
+        dag.validate()
+        actual = {
+            (dag.vertex(e.src).cb_id, dag.vertex(e.dst).cb_id)
+            for e in dag.edges()
+        }
+        assert actual == app.expected_edges
+
+    @pytest.mark.parametrize("service_probability", SERVICE_PROBABILITIES)
+    @pytest.mark.parametrize("chain_length", CHAIN_LENGTHS)
+    def test_callback_inventory_exact(self, service_probability, chain_length):
+        dag, app = run_sweep_case(service_probability, chain_length)
+        observed = {v.cb_id for v in dag.vertices() if not v.is_and_junction}
+        assert observed == set(app.labels)
+
+    def test_full_service_chains_have_expected_shape(self):
+        """With service_probability=1 every interior hop is a
+        subscriber -> service -> client triple."""
+        _, app = run_sweep_case(1.0, 4)
+        # 2 chains x (chain_length - 2) interior hops, each with a service.
+        assert len(app.service_labels) == 4
+        for sv in app.service_labels:
+            assert any(src == sv or dst == sv for src, dst in app.expected_edges)

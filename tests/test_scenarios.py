@@ -1,0 +1,250 @@
+"""Ground-truth tests for the scenario subsystem.
+
+Every registered scenario is traced and its synthesized DAG compared
+*exactly* -- vertex keys, edge pairs, OR markings -- against the
+topology the declarative spec predicts.  The spec is the oracle: a
+regression in the tracers, extraction, or synthesis shows up as a
+mismatch in at least one scenario.
+"""
+
+import pytest
+
+from repro.apps import avp_spec, syn_spec
+from repro.core import synthesize_from_trace
+from repro.experiments import RunConfig, run_once
+from repro.experiments.fig3 import EXPECTED_SYN_EDGES
+from repro.scenarios import (
+    ClientSpec,
+    NodeSpec,
+    ScenarioError,
+    ScenarioSpec,
+    ServiceSpec,
+    SubscriptionSpec,
+    SyncInputSpec,
+    SynchronizerSpec,
+    TimerSpec,
+    build_scenario_spec,
+    combine_specs,
+    get_scenario,
+    scenario_names,
+)
+from repro.sim import SEC, ms
+from repro.sim.workload import Constant
+
+ALL_SCENARIOS = scenario_names()
+
+
+def trace_scenario(spec, duration_ns=4 * SEC, seed=123):
+    config = RunConfig(
+        duration_ns=duration_ns, base_seed=seed, num_cpus=spec.num_cpus
+    )
+    result = run_once(lambda world, i: spec.build(world), config)
+    dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+    return dag, result.apps
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios(self):
+        assert len(ALL_SCENARIOS) >= 6
+
+    def test_paper_applications_registered(self):
+        assert {"avp", "syn", "avp-interference"} <= set(ALL_SCENARIOS)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("does-not-exist")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError, match="does not accept"):
+            build_scenario_spec("syn", bogus_parameter=1)
+
+    def test_factory_parameters_forwarded(self):
+        spec = build_scenario_spec("deep-pipeline", depth=3)
+        assert len(spec.subscriptions) == 3
+
+    def test_entries_have_summaries(self):
+        for name in ALL_SCENARIOS:
+            assert get_scenario(name).summary
+
+
+class TestGroundTruth:
+    """The tentpole guarantee: spec-declared topology == synthesized DAG."""
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_topology_recovered_exactly(self, name):
+        spec = build_scenario_spec(name)
+        dag, _ = trace_scenario(spec)
+        dag.validate()
+        assert {v.key for v in dag.vertices()} == spec.expected_vertex_keys()
+        assert {(e.src, e.dst) for e in dag.edges()} == spec.expected_edge_pairs()
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_or_junctions_marked_exactly(self, name):
+        spec = build_scenario_spec(name)
+        dag, _ = trace_scenario(spec)
+        marked = {v.key for v in dag.vertices() if v.is_or_junction}
+        assert marked == spec.expected_or_junctions()
+
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_every_callback_measured(self, name):
+        spec = build_scenario_spec(name)
+        dag, _ = trace_scenario(spec)
+        for vertex in dag.vertices():
+            if vertex.is_and_junction:
+                continue
+            assert vertex.exec_times, vertex.key
+            assert all(t > 0 for t in vertex.exec_times), vertex.key
+
+
+class TestSpecDerivations:
+    def test_syn_spec_matches_fig3_ground_truth(self):
+        assert syn_spec().expected_edge_pairs() == set(EXPECTED_SYN_EDGES)
+
+    def test_syn_spec_vertex_count(self):
+        # 16 callbacks + SV3 replicated for its 2 callers + AND junction.
+        assert len(syn_spec().expected_vertex_keys()) == 18
+
+    def test_avp_trace_nodes_filter(self):
+        avp = avp_spec()
+        syn = syn_spec()
+        combined = combine_specs(
+            "combined", "avp+syn", [avp, syn], trace_nodes=avp.node_names()
+        )
+        assert combined.expected_vertex_keys() == avp.expected_vertex_keys()
+        assert combined.expected_edge_pairs() == avp.expected_edge_pairs()
+
+    def test_sensor_fusion_declares_or_junction(self):
+        spec = build_scenario_spec("sensor-fusion")
+        assert spec.expected_or_junctions() == {"motion_planner/PLAN"}
+
+    def test_service_mesh_replicates_shared_services(self):
+        spec = build_scenario_spec("service-mesh")
+        replicas = [k for k in spec.expected_vertex_keys() if "@" in k]
+        # gateway and auth are each invoked by two distinct callers.
+        assert len(replicas) == 4
+
+    def test_or_marking_on_sync_member_with_two_publishers(self):
+        """A multi-publisher topic feeding a synchronizer input must be
+        predicted as OR-marked -- and the synthesis must agree."""
+        spec = ScenarioSpec(
+            name="or-sync", description="",
+            nodes=(NodeSpec("a"), NodeSpec("b"), NodeSpec("f")),
+            timers=(
+                TimerSpec("a", "TA", ms(90), Constant(ms(1)),
+                          publishes=("/t", "/u")),
+                TimerSpec("b", "TB", ms(110), Constant(ms(1)),
+                          publishes=("/t",)),
+            ),
+            synchronizers=(
+                SynchronizerSpec(
+                    "f",
+                    inputs=(SyncInputSpec("M1", "/t"), SyncInputSpec("M2", "/u")),
+                    slop_ns=ms(200),
+                ),
+            ),
+        )
+        assert spec.expected_or_junctions() == {"f/M1"}
+        dag, _ = trace_scenario(spec)
+        marked = {v.key for v in dag.vertices() if v.is_or_junction}
+        assert marked == spec.expected_or_junctions()
+
+
+def minimal_nodes():
+    return (NodeSpec("a"), NodeSpec("b"))
+
+
+class TestSpecValidation:
+    def test_duplicate_labels_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            timers=(
+                TimerSpec("a", "X", ms(100), Constant(ms(1)), publishes=("/t",)),
+                TimerSpec("b", "X", ms(100), Constant(ms(1)), publishes=("/u",)),
+            ),
+        )
+        with pytest.raises(ScenarioError, match="duplicate callback labels"):
+            spec.validate()
+
+    def test_unknown_node_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            timers=(TimerSpec("ghost", "T", ms(100), Constant(ms(1))),),
+        )
+        with pytest.raises(ScenarioError, match="unknown node"):
+            spec.validate()
+
+    def test_subscription_without_publisher_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            subscriptions=(
+                SubscriptionSpec("a", "S", "/nothing", Constant(ms(1))),
+            ),
+        )
+        with pytest.raises(ScenarioError, match="nothing publishes"):
+            spec.validate()
+
+    def test_client_without_service_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            timers=(TimerSpec("a", "T", ms(100), Constant(ms(1)), calls="C"),),
+            clients=(ClientSpec("a", "C", "/missing", Constant(ms(1))),),
+        )
+        with pytest.raises(ScenarioError, match="unknown service"):
+            spec.validate()
+
+    def test_uncalled_client_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            services=(ServiceSpec("b", "SV", "/svc", Constant(ms(1))),),
+            clients=(ClientSpec("a", "C", "/svc", Constant(ms(1))),),
+        )
+        with pytest.raises(ScenarioError, match="never called"):
+            spec.validate()
+
+    def test_single_input_synchronizer_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            timers=(TimerSpec("a", "T", ms(100), Constant(ms(1)), publishes=("/x",)),),
+            synchronizers=(
+                SynchronizerSpec("b", inputs=(SyncInputSpec("S", "/x"),)),
+            ),
+        )
+        with pytest.raises(ScenarioError, match=">= 2 inputs"):
+            spec.validate()
+
+    def test_two_synchronizers_on_one_node_rejected(self):
+        timers = (
+            TimerSpec("a", "T", ms(100), Constant(ms(1)), publishes=("/x", "/y")),
+        )
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(), timers=timers,
+            synchronizers=(
+                SynchronizerSpec("b", inputs=(
+                    SyncInputSpec("S1", "/x"), SyncInputSpec("S2", "/y"))),
+                SynchronizerSpec("b", inputs=(
+                    SyncInputSpec("S3", "/x"), SyncInputSpec("S4", "/y"))),
+            ),
+        )
+        with pytest.raises(ScenarioError, match="one synchronizer per node"):
+            spec.validate()
+
+    def test_trace_nodes_must_exist(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            trace_nodes=("ghost",),
+        )
+        with pytest.raises(ScenarioError, match="trace_nodes"):
+            spec.validate()
+
+    def test_client_with_two_callers_rejected(self):
+        spec = ScenarioSpec(
+            name="bad", description="", nodes=minimal_nodes(),
+            services=(ServiceSpec("b", "SV", "/svc", Constant(ms(1))),),
+            timers=(
+                TimerSpec("a", "T1", ms(100), Constant(ms(1)), calls="C"),
+                TimerSpec("a", "T2", ms(130), Constant(ms(1)), calls="C"),
+            ),
+            clients=(ClientSpec("a", "C", "/svc", Constant(ms(1))),),
+        )
+        with pytest.raises(ScenarioError, match="more than one callback"):
+            spec._callers()
