@@ -1,0 +1,64 @@
+"""Perf harness smoke run: the benchmarks behind ``repro perf``.
+
+Runs the full suite at the reduced ``smoke`` scale (a couple of
+seconds), prints the report next to the committed ``BENCH_2.json``
+trajectory baseline, and sanity-checks the machine-independent speedup
+ratios.  CI's perf-smoke job additionally runs
+``repro perf --check BENCH_2.json`` to fail on >2x regressions.
+
+Set ``REPRO_FULL=1`` to run at the ``full`` scale instead.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.perf import SCALES, check_regression, format_report, run_perf_suite
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SCALE = "full" if os.environ.get("REPRO_FULL", "") == "1" else "smoke"
+
+#: Baselines are per-scale: speedup ratios shrink with trace size, so a
+#: smoke run is only comparable to the committed smoke-scale baseline.
+BASELINE_PATH = REPO_ROOT / ("BENCH_2.smoke.json" if SCALE == "smoke" else "BENCH_2.json")
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_perf_suite(SCALE)
+
+
+def test_report_prints(suite, capsys):
+    with capsys.disabled():
+        print()
+        print(format_report(suite))
+
+
+def test_synthesis_is_faster_than_legacy(suite):
+    """The TraceIndex pipeline must beat the frozen pre-change one."""
+    assert suite["micro"]["synthesis"]["merged"]["speedup"] > 1.0
+
+
+def test_sim_stack_not_slower_than_legacy(suite):
+    # Generous floor: shared layers already carry PR-2 optimizations,
+    # so the frozen stack is a conservative baseline.
+    assert suite["micro"]["sim"]["speedup"] > 0.8
+
+
+def test_batch_and_scaling_report_sane_values(suite):
+    batch = suite["macro"]["table2_batch"]
+    scaling = suite["macro"]["jobs_scaling"]
+    assert batch["new_s"] > 0
+    assert scaling["serial_s"] > 0 and scaling["parallel_s"] > 0
+    assert 0 < scaling["efficiency"] <= 1.5
+
+
+def test_no_regression_vs_committed_baseline(suite):
+    """The >2x gate CI enforces, exercised in-process as well."""
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_2.json")
+    committed = json.loads(BASELINE_PATH.read_text())
+    failures = check_regression(suite, committed, factor=2.0)
+    assert failures == [], "\n".join(failures)

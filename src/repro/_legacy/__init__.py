@@ -1,0 +1,37 @@
+"""Frozen pre-optimization reference implementations (PR 2).
+
+Verbatim copies of the simulation kernel, scheduler, Alg. 1 extraction
+and Alg. 2 exec-time index as they stood *before* the single-pass
+:class:`repro.core.index.TraceIndex` layer and the sim hot-loop
+overhaul.  They exist for two purposes only:
+
+1. **Equivalence pinning** -- the golden tests in
+   ``tests/test_perf_equivalence.py`` assert that the optimized pipeline
+   produces byte-identical DAGs, exec tables and DOT exports;
+2. **Perf baseline** -- ``repro perf`` / ``benchmarks/perf`` measure the
+   optimized paths against these to compute the speedups recorded in
+   ``BENCH_2.json``.
+
+Nothing in production code may import from this package, and nothing in
+it may be optimized: its value is that it does not change.
+"""
+
+from .exec_time import SchedIndex as LegacySchedIndex
+from .exec_time import get_exec_time as legacy_get_exec_time
+from .extraction import EventIndex as LegacyEventIndex
+from .extraction import extract_all as legacy_extract_all
+from .extraction import extract_callbacks as legacy_extract_callbacks
+from .kernel import EventHandle as LegacyEventHandle
+from .kernel import SimKernel as LegacySimKernel
+from .scheduler import Scheduler as LegacyScheduler
+
+__all__ = [
+    "LegacyEventHandle",
+    "LegacyEventIndex",
+    "LegacySchedIndex",
+    "LegacyScheduler",
+    "LegacySimKernel",
+    "legacy_extract_all",
+    "legacy_extract_callbacks",
+    "legacy_get_exec_time",
+]

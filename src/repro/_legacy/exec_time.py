@@ -1,0 +1,123 @@
+"""Frozen pre-columnar Alg. 2 (perf baseline / equivalence reference).
+
+The :class:`SchedIndex` here buckets :class:`SchedSwitch` *objects* and
+folds by attribute access -- the implementation this PR replaced with
+columnar ``array('q')`` buckets.  Kept verbatim so equivalence tests and
+the perf harness can compare against it.  Do not optimize.
+
+Alg. 2: execution-time measurement from ``sched_switch`` folding.
+
+A callback's start/end timestamps (from ROS2 events) bound a window in
+which the executor thread may be preempted or migrated.  Alg. 2 walks
+the ``sched_switch`` stream and sums only the *execution segments* --
+intervals in which the thread actually owns a CPU:
+
+* the window opens with the thread running (the CB-start probe fired in
+  its context), so the first segment starts at ``start``;
+* ``prev_pid == PID`` closes a segment, ``next_pid == PID`` opens one;
+* the window closes with the thread running, so the last segment ends
+  at ``end``.
+
+Boundary refinement over the paper's pseudocode: the paper iterates
+events with ``start < t < end`` strictly and unconditionally closes the
+final segment at ``end``.  On a discrete-time simulator a dispatch can
+coincide *exactly* with the CB-end probe (the thread resumes and
+finishes the callback at the same nanosecond), which would leave a
+stale segment start and over-count.  Both implementations therefore
+track an explicit running flag with inclusive boundaries; on real
+traces (where probe instructions always execute strictly after the
+dispatch) the two formulations are identical.
+
+:func:`get_exec_time` is the direct one-shot translation;
+:class:`SchedIndex` is the production fast path (a per-PID index with
+binary search) computing identical results -- equivalence is enforced
+by property-based tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.scheduler import SchedSwitch
+
+
+def _fold_segments(
+    start: int, end: int, pid: int, events: Iterable[SchedSwitch]
+) -> int:
+    """Shared folding core: sum execution segments inside [start, end].
+
+    ``events`` must be time-ordered and may contain unrelated PIDs.
+    """
+    exec_time = 0
+    last_start = start
+    running = True  # the CB-start probe fired in the thread's context
+    for event in events:
+        if event.ts < start:
+            continue
+        if event.ts > end:
+            break
+        if event.prev_pid == pid and running:
+            exec_time += event.ts - last_start
+            running = False
+        elif event.next_pid == pid and not running:
+            last_start = event.ts
+            running = True
+    if running:
+        exec_time += end - last_start
+    return exec_time
+
+
+def get_exec_time(
+    start: int, end: int, pid: int, sched_events: Sequence[SchedSwitch]
+) -> int:
+    """Alg. 2 over a raw event list (sorted internally, as the paper's
+    line 3 does)."""
+    if end < start:
+        raise ValueError(f"end {end} precedes start {start}")
+    return _fold_segments(
+        start, end, pid, sorted(sched_events, key=lambda e: e.ts)
+    )
+
+
+class SchedIndex:
+    """Per-PID index over sched_switch events for fast Alg. 2 queries.
+
+    Events are bucketed by the PIDs they mention and kept sorted; a
+    window query binary-searches the bucket, making per-instance cost
+    O(log n + segments) instead of O(n).
+    """
+
+    def __init__(self, sched_events: Iterable[SchedSwitch]):
+        self._by_pid: Dict[int, List[SchedSwitch]] = {}
+        for event in sched_events:
+            if event.prev_pid != 0:
+                self._by_pid.setdefault(event.prev_pid, []).append(event)
+            if event.next_pid != 0 and event.next_pid != event.prev_pid:
+                self._by_pid.setdefault(event.next_pid, []).append(event)
+        self._times: Dict[int, List[int]] = {}
+        for pid, events in self._by_pid.items():
+            events.sort(key=lambda e: e.ts)
+            self._times[pid] = [e.ts for e in events]
+
+    def pids(self) -> List[int]:
+        return sorted(self._by_pid)
+
+    def events_for(self, pid: int) -> List[SchedSwitch]:
+        return list(self._by_pid.get(pid, []))
+
+    def exec_time(self, start: int, end: int, pid: int) -> int:
+        """Alg. 2 over the indexed window (identical result, fast)."""
+        if end < start:
+            raise ValueError(f"end {end} precedes start {start}")
+        events = self._by_pid.get(pid)
+        if not events:
+            return end - start
+        times = self._times[pid]
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_right(times, end)
+        return _fold_segments(start, end, pid, events[lo:hi])
+
+    def preemption_time(self, start: int, end: int, pid: int) -> int:
+        """Time inside the window the thread did *not* run."""
+        return (end - start) - self.exec_time(start, end, pid)

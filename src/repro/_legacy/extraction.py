@@ -1,0 +1,206 @@
+"""Frozen pre-TraceIndex Alg. 1 (perf baseline / equivalence reference).
+
+This is the extraction pipeline exactly as it stood before the
+single-pass :class:`repro.core.index.TraceIndex` layer: a full-stream
+re-sort per PID, an ``id(event)``-keyed :class:`EventIndex`, and the
+object-walking :class:`SchedIndex` of :mod:`repro._legacy.exec_time`.
+The golden equivalence tests pin the optimized pipeline to this one;
+the perf harness measures speedups against it.  Do not optimize.
+
+Alg. 1: extract callback attributes for each ROS2 node from traces.
+
+The algorithm exploits the single-threaded executor model: within one
+PID, every event between a CB-start and the next CB-end describes one
+execution of one callback.  It walks the node's ROS2 events in
+chronological order, assembling :class:`CallbackInstance` objects and
+folding them into a :class:`CBList`.
+
+Cross-node lookups follow the paper:
+
+* **FindCaller** (service requests) -- the ``dds_write`` event with the
+  same topic and source timestamp as the ``take_request`` identifies the
+  caller's PID; the ``timer_call``/``take`` event preceding that write
+  (and following the caller's last CB start) provides the caller CB's ID.
+* **FindClient** (service responses) -- the ``take_response`` events
+  with the same topic and source timestamp as the ``dds_write`` locate
+  the candidate clients; the chronologically next
+  ``take_type_erased_response`` per candidate PID tells which client
+  actually dispatched.
+
+Topic names on service request/response paths are qualified with the
+caller/client CB ID (the paper's concatenation), which is what later
+splits a shared service into per-caller vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..tracing.events import (
+    P3_TIMER_CALL,
+    P6_TAKE,
+    P7_SYNC_OP,
+    P10_TAKE_REQUEST,
+    P13_TAKE_RESPONSE,
+    P14_TAKE_TYPE_ERASED,
+    P16_DDS_WRITE,
+    TraceEvent,
+)
+from ..tracing.session import Trace
+from .exec_time import SchedIndex
+from ..core.records import CallbackInstance, CBList
+
+#: Separator used when qualifying a service topic with a CB id.
+TOPIC_ID_SEPARATOR = "#"
+
+
+def cat(topic: str, cb_id: Optional[str]) -> str:
+    """The paper's topic-name concatenation (unknown ids stay visible)."""
+    return f"{topic}{TOPIC_ID_SEPARATOR}{cb_id if cb_id is not None else '?'}"
+
+
+_ID_EVENT_PROBES = {P3_TIMER_CALL, P6_TAKE, P10_TAKE_REQUEST, P13_TAKE_RESPONSE}
+
+
+class EventIndex:
+    """Cross-node lookup structures shared by all per-PID extractions."""
+
+    def __init__(self, ros_events: Sequence[TraceEvent]):
+        events = sorted(ros_events, key=lambda e: e.ts)
+        #: (topic, src_ts) -> dds_write events
+        self._writes: Dict[Tuple[str, int], List[TraceEvent]] = {}
+        #: Cursor per key: two periodic callers can write the same request
+        #: topic at the same nanosecond, so the k-th take of a key is
+        #: matched with the k-th write (FIFO delivery order).
+        self._caller_cursor: Dict[Tuple[str, int], int] = {}
+        #: (topic, src_ts) -> take_response events
+        self._take_responses: Dict[Tuple[str, int], List[TraceEvent]] = {}
+        #: id(write event) -> CB id active in the writer at write time
+        self._writer_cb: Dict[int, Optional[str]] = {}
+        #: id(take_response event) -> will_dispatch of the next P14 (same PID)
+        self._dispatch_after: Dict[int, bool] = {}
+
+        current_cb: Dict[int, Optional[str]] = {}
+        pending_p13: Dict[int, List[TraceEvent]] = {}
+        for event in events:
+            pid = event.pid
+            if event.is_cb_start():
+                current_cb[pid] = None
+            elif event.probe in _ID_EVENT_PROBES:
+                current_cb[pid] = event.get("cb_id")
+                if event.probe == P13_TAKE_RESPONSE:
+                    pending_p13.setdefault(pid, []).append(event)
+                    key = (event.get("topic"), event.get("src_ts"))
+                    self._take_responses.setdefault(key, []).append(event)
+                elif event.probe == P6_TAKE:
+                    pass
+            if event.probe == P16_DDS_WRITE:
+                self._writer_cb[id(event)] = current_cb.get(pid)
+                key = (event.get("topic"), event.get("src_ts"))
+                self._writes.setdefault(key, []).append(event)
+            elif event.probe == P14_TAKE_TYPE_ERASED:
+                for p13 in pending_p13.pop(pid, []):
+                    self._dispatch_after[id(p13)] = bool(event.get("will_dispatch"))
+
+    def find_caller(self, take_request_event: TraceEvent) -> Optional[str]:
+        """ID of the caller CB that produced this service request.
+
+        When several writes share (topic, src_ts) -- periodic callers
+        phase-aligning on the simulator's discrete clock -- successive
+        lookups consume successive writes, preserving FIFO order.
+        """
+        key = (take_request_event.get("topic"), take_request_event.get("src_ts"))
+        writes = [w for w in self._writes.get(key, []) if w.get("kind") == "request"]
+        if not writes:
+            return None
+        cursor = self._caller_cursor.get(key, 0)
+        write = writes[min(cursor, len(writes) - 1)]
+        self._caller_cursor[key] = cursor + 1
+        return self._writer_cb.get(id(write))
+
+    def find_client(self, write_event: TraceEvent) -> Optional[str]:
+        """ID of the client CB that will dispatch this service response."""
+        key = (write_event.get("topic"), write_event.get("src_ts"))
+        for take in self._take_responses.get(key, []):
+            if self._dispatch_after.get(id(take)):
+                return take.get("cb_id")
+        return None
+
+
+def extract_callbacks(
+    pid: int,
+    ros_events: Sequence[TraceEvent],
+    sched_index: SchedIndex,
+    node_name: str = "",
+    event_index: Optional[EventIndex] = None,
+) -> CBList:
+    """Alg. 1 for one ROS2 node.
+
+    Parameters
+    ----------
+    pid:
+        PID of the node's executor thread.
+    ros_events:
+        All ROS2 events of the trace (the algorithm filters by PID, but
+        FindCaller / FindClient need the full stream).
+    sched_index:
+        Indexed ``sched_switch`` events for Alg. 2.
+    node_name:
+        Name from the ROS2-INIT trace (cosmetic; PIDs are the identity).
+    event_index:
+        Pre-built :class:`EventIndex`; built on demand when omitted.
+    """
+    index = event_index if event_index is not None else EventIndex(ros_events)
+    cblist = CBList(pid, node_name)
+    instance: Optional[CallbackInstance] = None
+
+    for event in sorted((e for e in ros_events if e.pid == pid), key=lambda e: e.ts):
+        if event.is_cb_start():
+            instance = CallbackInstance(cb_type=event.cb_type(), start=event.ts)
+        elif event.probe == P3_TIMER_CALL and instance is not None:
+            instance.cb_id = event.get("cb_id")
+        elif event.is_take() and instance is not None:
+            instance.cb_id = event.get("cb_id")
+            if event.probe == P13_TAKE_RESPONSE:
+                instance.intopic = cat(event.get("topic"), instance.cb_id)
+            elif event.probe == P10_TAKE_REQUEST:
+                instance.intopic = cat(event.get("topic"), index.find_caller(event))
+            else:
+                instance.intopic = event.get("topic")
+        elif event.probe == P16_DDS_WRITE and instance is not None:
+            if event.get("kind") == "request":
+                top_out = cat(event.get("topic"), instance.cb_id)
+            elif event.get("kind") == "response":
+                top_out = cat(event.get("topic"), index.find_client(event))
+            else:
+                top_out = event.get("topic")
+            instance.outtopics.append(top_out)
+        elif event.probe == P14_TAKE_TYPE_ERASED and not event.get("will_dispatch"):
+            # Client CB will not dispatch here: drop the instance.
+            instance = None
+        elif event.probe == P7_SYNC_OP and instance is not None:
+            instance.is_sync_subscriber = True
+        elif event.is_cb_end() and instance is not None:
+            instance.end = event.ts
+            instance.exec_time = sched_index.exec_time(instance.start, event.ts, pid)
+            if instance.cb_id is not None:
+                cblist.add(instance)
+            instance = None
+    return cblist
+
+
+def extract_all(trace: Trace, pids: Optional[Iterable[int]] = None) -> List[CBList]:
+    """Run Alg. 1 for every (or the given) node PIDs of a trace."""
+    sched_index = SchedIndex(trace.sched_events)
+    event_index = EventIndex(trace.ros_events)
+    wanted = sorted(pids) if pids is not None else trace.pids()
+    return [
+        extract_callbacks(
+            pid,
+            trace.ros_events,
+            sched_index,
+            node_name=trace.pid_map.get(pid, ""),
+            event_index=event_index,
+        )
+        for pid in wanted
+    ]

@@ -1,4 +1,12 @@
-"""Discrete-event simulation kernel.
+"""Frozen pre-tuple-heap simulation kernel (perf baseline reference).
+
+This kernel pushes :class:`EventHandle` objects onto the heap, so every
+sift comparison calls ``EventHandle.__lt__`` (which builds two tuples),
+and cancelled events linger until popped.  The optimized
+:mod:`repro.sim.kernel` replaced both; this copy stays as the perf
+baseline.  Do not optimize.
+
+Discrete-event simulation kernel.
 
 The kernel is the clock of the simulated machine.  All other substrates
 (the CPU scheduler in :mod:`repro.sim.scheduler`, the DDS bus in
@@ -11,33 +19,17 @@ Events are plain callables ordered by ``(time, priority, sequence)``.  The
 sequence number makes ordering of same-timestamp events deterministic
 (FIFO), which in turn makes every experiment in this repository
 reproducible bit-for-bit.
-
-Hot-loop engineering (this is the innermost loop of every experiment):
-
-* heap entries are ``(time, priority, seq, handle)`` tuples, so sift
-  comparisons are C-level tuple compares -- never a Python-level
-  ``EventHandle.__lt__`` call building two tuples per comparison.  The
-  ``seq`` component is unique, so the handle itself is never compared;
-* cancelled events (dominated by the scheduler's per-dispatch timeslice
-  timers) are counted, and once they exceed half the queue the heap is
-  compacted in one O(n) pass + heapify instead of leaking through pops.
-  The rebuilt heap holds the same pending set under the same total
-  order, so event delivery is unchanged bit for bit.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 #: One microsecond / millisecond / second expressed in kernel ticks (ns).
 USEC = 1_000
 MSEC = 1_000_000
 SEC = 1_000_000_000
-
-#: Queues smaller than this are never compacted (the O(n) rebuild would
-#: cost more than popping the few cancelled entries lazily).
-_COMPACT_MIN_QUEUE = 64
 
 
 class EventHandle:
@@ -48,33 +40,19 @@ class EventHandle:
     the behaviour preemption logic in the scheduler relies on.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "cancelled", "_kernel")
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
 
-    def __init__(
-        self,
-        time: int,
-        priority: int,
-        seq: int,
-        fn: Callable[[], None],
-        kernel: Optional["SimKernel"] = None,
-    ):
+    def __init__(self, time: int, priority: int, seq: int, fn: Callable[[], None]):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn: Optional[Callable[[], None]] = fn
         self.cancelled = False
-        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        was_pending = self.fn is not None and not self.cancelled
         self.cancelled = True
         self.fn = None
-        # Notify only after flipping the state: a compaction triggered
-        # by this notification must see the handle as non-pending, or
-        # the dead entry survives the rebuild and the counter drifts.
-        if was_pending and self._kernel is not None:
-            self._kernel._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -91,10 +69,6 @@ class EventHandle:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
         return f"EventHandle(t={self.time}, seq={self.seq}, {state})"
-
-
-#: Heap entry: the comparison key inline, the handle along for the ride.
-_Entry = Tuple[int, int, int, EventHandle]
 
 
 class SimKernel:
@@ -115,11 +89,9 @@ class SimKernel:
         if start < 0:
             raise ValueError("start time must be >= 0")
         self._now = start
-        self._queue: List[_Entry] = []
+        self._queue: List[EventHandle] = []
         self._seq = 0
         self._running = False
-        #: Cancelled-but-unpopped entries currently in the queue.
-        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> int:
@@ -140,53 +112,32 @@ class SimKernel:
                 f"cannot schedule at t={time} (now={self._now}): time is in the past"
             )
         self._seq += 1
-        handle = EventHandle(time, priority, self._seq, fn, self)
-        heapq.heappush(self._queue, (time, priority, self._seq, handle))
+        handle = EventHandle(time, priority, self._seq, fn)
+        heapq.heappush(self._queue, handle)
         return handle
 
     def schedule_after(
         self, delay: int, fn: Callable[[], None], priority: int = 0
     ) -> EventHandle:
-        """Schedule ``fn`` to run ``delay`` nanoseconds from now.
-
-        Inlined push (no :meth:`schedule_at` hop): this is the most
-        frequently called scheduling entry point, and a non-negative
-        delay can never land in the past.
-        """
+        """Schedule ``fn`` to run ``delay`` nanoseconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        time = self._now + delay
-        self._seq += 1
-        handle = EventHandle(time, priority, self._seq, fn, self)
-        heapq.heappush(self._queue, (time, priority, self._seq, handle))
-        return handle
+        return self.schedule_at(self._now + delay, fn, priority)
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for entry in self._queue if entry[3].pending)
-
-    def _note_cancelled(self) -> None:
-        """A pending handle was cancelled; compact once dead weight wins."""
-        self._cancelled_in_queue += 1
-        if (
-            len(self._queue) >= _COMPACT_MIN_QUEUE
-            and self._cancelled_in_queue * 2 > len(self._queue)
-        ):
-            self._queue = [entry for entry in self._queue if entry[3].pending]
-            heapq.heapify(self._queue)
-            self._cancelled_in_queue = 0
+        return sum(1 for h in self._queue if h.pending)
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when queue is empty."""
-        queue = self._queue
-        while queue:
-            handle = heapq.heappop(queue)[3]
-            fn = handle.fn
-            if fn is None or handle.cancelled:
-                self._cancelled_in_queue -= 1
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if not handle.pending:
                 continue
+            fn = handle.fn
             handle.fn = None
             self._now = handle.time
+            assert fn is not None
             fn()
             return True
         return False
@@ -204,28 +155,16 @@ class SimKernel:
             raise RuntimeError("SimKernel.run() is not reentrant")
         self._running = True
         fired = 0
-        pop = heapq.heappop
         try:
-            # Fused peek+step: one pass over the heap head per event
-            # instead of a _peek() call plus a step() call.  The queue
-            # binding is refreshed every iteration because a compaction
-            # (triggered by a cancel inside ``fn()``) replaces the list.
-            while True:
+            while self._queue:
                 if max_events is not None and fired >= max_events:
                     break
-                queue = self._queue
-                while queue and not queue[0][3].pending:
-                    pop(queue)
-                    self._cancelled_in_queue -= 1
-                if not queue:
+                head = self._peek()
+                if head is None:
                     break
-                if until is not None and queue[0][0] > until:
+                if until is not None and head.time > until:
                     break
-                handle = pop(queue)[3]
-                fn = handle.fn
-                handle.fn = None
-                self._now = handle.time
-                fn()
+                self.step()
                 fired += 1
             if until is not None and until > self._now:
                 self._now = until
@@ -234,11 +173,9 @@ class SimKernel:
         return fired
 
     def _peek(self) -> Optional[EventHandle]:
-        queue = self._queue
-        while queue and not queue[0][3].pending:
-            heapq.heappop(queue)
-            self._cancelled_in_queue -= 1
-        return queue[0][3] if queue else None
+        while self._queue and not self._queue[0].pending:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimKernel(now={self._now}, pending={self.pending_count()})"

@@ -1,4 +1,8 @@
-"""Preemptive multi-CPU scheduler for simulated threads.
+"""Frozen pre-TraceIndex scheduler (perf baseline / equivalence reference).
+
+Byte-for-byte behaviourally identical to the optimized
+:mod:`repro.sim.scheduler`; the only difference is the per-pick
+``sorted(self._ready)`` scan this PR removed.  Do not optimize this file.
 
 The scheduler reproduces the slice of Linux scheduling behaviour the paper
 depends on:
@@ -25,14 +29,14 @@ atomically at one simulated instant while the thread owns a CPU.
 
 from __future__ import annotations
 
-from bisect import insort
 from functools import partial
-from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional, Union
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
 
 from collections import deque
 
 from .kernel import EventHandle, MSEC, SimKernel
-from .threads import (
+from ..sim.scheduler import SchedSwitch, SchedWakeup
+from ..sim.threads import (
     Activity,
     Block,
     Compute,
@@ -48,37 +52,6 @@ IDLE_PID = 0
 #: Default round-robin quantum (Linux RR default is wider; 4 ms keeps
 #: plenty of preemption in the evaluation scenarios).
 DEFAULT_TIMESLICE = 4 * MSEC
-
-
-class SchedSwitch(NamedTuple):
-    """A ``sched_switch`` record, field-for-field what the paper's kernel
-    tracer reads from the tracepoint (Sec. III-B).
-
-    A ``NamedTuple``: one record is built per context switch inside the
-    simulation hot loop, where tuple construction beats a frozen
-    dataclass's per-field ``object.__setattr__`` severalfold.
-    """
-
-    ts: int
-    cpu: int
-    prev_pid: int
-    prev_comm: str
-    prev_prio: int
-    prev_state: str
-    next_pid: int
-    next_comm: str
-    next_prio: int
-
-
-class SchedWakeup(NamedTuple):
-    """A ``sched_wakeup`` record (listed as future work in the paper;
-    used here by the waiting-time analysis extension)."""
-
-    ts: int
-    cpu: Optional[int]
-    pid: int
-    comm: str
-    prio: int
 
 
 class _Cpu:
@@ -125,11 +98,6 @@ class Scheduler:
         self._threads: Dict[int, SimThread] = {}
         self._next_pid = first_pid
         self._ready: Dict[int, Deque[SimThread]] = {}
-        #: Priorities with a non-empty ready deque, kept ascending by
-        #: bisect insertion.  Dispatch walks it in reverse instead of
-        #: calling ``sorted(self._ready)`` on every pick -- same order,
-        #: maintained incrementally.
-        self._ready_prios: List[int] = []
         self._switch_hooks: List[Callable[[SchedSwitch], None]] = []
         self._wakeup_hooks: List[Callable[[SchedWakeup], None]] = []
         self._resched_pending = False
@@ -247,33 +215,25 @@ class Scheduler:
 
     def _enqueue_ready(self, thread: SimThread, front: bool = False) -> None:
         thread.state = ThreadState.READY
-        dq = self._ready.get(thread.priority)
-        if dq is None:
-            dq = self._ready[thread.priority] = deque()
-            insort(self._ready_prios, thread.priority)
+        dq = self._ready.setdefault(thread.priority, deque())
         if front:
             dq.appendleft(thread)
         else:
             dq.append(thread)
 
-    def _drop_ready_prio(self, prio: int) -> None:
-        """Remove a priority whose deque just drained."""
-        del self._ready[prio]
-        self._ready_prios.remove(prio)
-
     def _pick_ready(self, cpu_id: int) -> Optional[SimThread]:
-        for prio in reversed(self._ready_prios):
+        for prio in sorted(self._ready, reverse=True):
             dq = self._ready[prio]
             for thread in dq:
                 if thread.can_run_on(cpu_id):
                     dq.remove(thread)
                     if not dq:
-                        self._drop_ready_prio(prio)
+                        del self._ready[prio]
                     return thread
         return None
 
     def _best_ready_priority(self, cpu_id: int) -> Optional[int]:
-        for prio in reversed(self._ready_prios):
+        for prio in sorted(self._ready, reverse=True):
             if any(t.can_run_on(cpu_id) for t in self._ready[prio]):
                 return prio
         return None
@@ -292,10 +252,7 @@ class Scheduler:
         placed = True
         while placed:
             placed = False
-            # Snapshot: the loop body mutates the ladder, then breaks.
-            for prio in list(reversed(self._ready_prios)):
-                if prio not in self._ready:
-                    continue
+            for prio in sorted(self._ready, reverse=True):
                 for thread in list(self._ready[prio]):
                     cpu = self._find_cpu_for(thread)
                     if cpu is None:
@@ -330,7 +287,7 @@ class Scheduler:
         if dq is not None and thread in dq:
             dq.remove(thread)
             if not dq:
-                self._drop_ready_prio(thread.priority)
+                del self._ready[thread.priority]
 
     # ------------------------------------------------------------------
     # Dispatch machinery
@@ -366,11 +323,7 @@ class Scheduler:
             if request is None:
                 self._retire(cpu, thread, ThreadState.DEAD)
                 return
-            # Exact-type dispatch first (the requests are concrete
-            # protocol classes); isinstance fallback keeps subclasses
-            # working.
-            request_type = type(request)
-            if request_type is Compute or isinstance(request, Compute):
+            if isinstance(request, Compute):
                 if request.duration == 0:
                     continue
                 thread.remaining = request.duration
@@ -379,13 +332,13 @@ class Scheduler:
                     request.duration, partial(self._compute_done, cpu, thread)
                 )
                 return
-            if request_type is Block or isinstance(request, Block):
+            if isinstance(request, Block):
                 if thread.has_pending_wakeup:
                     value = thread.consume_wakeup()
                     continue
                 self._retire(cpu, thread, ThreadState.BLOCKED)
                 return
-            if request_type is YieldCpu or isinstance(request, YieldCpu):
+            if isinstance(request, YieldCpu):
                 self._retire(cpu, thread, ThreadState.READY)
                 return
             raise TypeError(f"activity of {thread} yielded {request!r}")
@@ -460,7 +413,11 @@ class Scheduler:
             )
 
     def _remove_ready_if_present(self, thread: SimThread) -> None:
-        self._remove_ready(thread)
+        dq = self._ready.get(thread.priority)
+        if dq is not None and thread in dq:
+            dq.remove(thread)
+            if not dq:
+                del self._ready[thread.priority]
 
     # ------------------------------------------------------------------
     # Tracepoint emission
@@ -476,33 +433,27 @@ class Scheduler:
         if prev is nxt:
             return
         self.context_switches += 1
-        hooks = self._switch_hooks
-        if not hooks:
-            return  # no tracepoint consumers: skip record construction
         record = SchedSwitch(
-            self.kernel.now,
-            cpu.id,
-            prev.pid if prev else IDLE_PID,
-            prev.name if prev else f"swapper/{cpu.id}",
-            prev.priority if prev else -1,
-            prev_state if prev else "R",
-            nxt.pid if nxt else IDLE_PID,
-            nxt.name if nxt else f"swapper/{cpu.id}",
-            nxt.priority if nxt else -1,
+            ts=self.kernel.now,
+            cpu=cpu.id,
+            prev_pid=prev.pid if prev else IDLE_PID,
+            prev_comm=prev.name if prev else f"swapper/{cpu.id}",
+            prev_prio=prev.priority if prev else -1,
+            prev_state=prev_state if prev else "R",
+            next_pid=nxt.pid if nxt else IDLE_PID,
+            next_comm=nxt.name if nxt else f"swapper/{cpu.id}",
+            next_prio=nxt.priority if nxt else -1,
         )
-        for hook in hooks:
+        for hook in list(self._switch_hooks):
             hook(record)
 
     def _emit_wakeup(self, thread: SimThread) -> None:
-        hooks = self._wakeup_hooks
-        if not hooks:
-            return
         record = SchedWakeup(
-            self.kernel.now,
-            thread.cpu,
-            thread.pid,
-            thread.name,
-            thread.priority,
+            ts=self.kernel.now,
+            cpu=thread.cpu,
+            pid=thread.pid,
+            comm=thread.name,
+            prio=thread.priority,
         )
-        for hook in hooks:
+        for hook in list(self._wakeup_hooks):
             hook(record)

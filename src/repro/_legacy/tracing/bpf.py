@@ -107,14 +107,7 @@ class PerfBuffer:
         self.bytes_submitted = 0
 
     def submit(self, event: Any, size: int = 64) -> bool:
-        """Push one event of ``size`` bytes; False if it was dropped.
-
-        NOTE: two hot probe paths inline this body to skip the call
-        frame -- ``repro.tracing.probes._submit`` and
-        ``repro.tracing.tracers.KernelTracer._on_switch``.  Any change
-        to the accounting/overflow semantics here must be mirrored
-        there.
-        """
+        """Push one event of ``size`` bytes; False if it was dropped."""
         self.submitted += 1
         if len(self._events) >= self.capacity:
             self.lost += 1
@@ -206,13 +199,8 @@ class Bpf:
             cost_ns=cost_ns,
         )
 
-        cost = cost_ns
-
         def trampoline(ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-            # Inlined program.account(): one probe firing per traced
-            # middleware call makes the extra frame measurable.
-            program.run_cnt += 1
-            program.run_time_ns += cost
+            program.account()
             handler(ctx, args)
 
         program._detach = self.symbols.attach_entry(symbol, trampoline)
@@ -235,11 +223,8 @@ class Bpf:
             cost_ns=cost_ns,
         )
 
-        cost = cost_ns
-
         def trampoline(ctx: ProbeContext, args: Tuple[Any, ...], retval: Any) -> None:
-            program.run_cnt += 1
-            program.run_time_ns += cost
+            program.account()
             handler(ctx, args, retval)
 
         program._detach = self.symbols.attach_exit(symbol, trampoline)
@@ -268,11 +253,8 @@ class Bpf:
             cost_ns=cost_ns,
         )
 
-        cost = cost_ns
-
         def trampoline(record: Any) -> None:
-            program.run_cnt += 1
-            program.run_time_ns += cost
+            program.account()
             handler(record)
 
         program._detach = attach(trampoline)

@@ -25,17 +25,14 @@ SCHED_EVENT_BYTES = 60
 
 
 def event_size_bytes(event: Any) -> int:
-    """Encoded size of a userspace :class:`TraceEvent`.
-
-    Runs once per probe firing inside the simulation loop, hence the
-    direct ``data`` access and exact type check instead of
-    ``getattr``/``isinstance``.
-    """
+    """Encoded size of a userspace :class:`TraceEvent`."""
     size = EVENT_HEADER_BYTES
-    data = event.data
-    if data:
-        for value in data.values():
-            size += len(value) + 1 if type(value) is str else 8
+    data = getattr(event, "data", None) or {}
+    for key, value in data.items():
+        if isinstance(value, str):
+            size += len(value) + 1
+        else:
+            size += 8
     return size
 
 

@@ -1,4 +1,6 @@
-"""The paper's probe suite: Table I (P1..P16) as eBPF programs.
+"""Frozen pre-optimization copy (perf baseline; see repro._legacy). Do not optimize.
+
+The paper's probe suite: Table I (P1..P16) as eBPF programs.
 
 Each probe is an entry/exit handler attached to a middleware symbol; it
 traverses the probed function's argument structures (node, timer,
@@ -19,7 +21,7 @@ from __future__ import annotations
 from typing import Any, Optional, Tuple
 
 from .bpf import Bpf, BpfMap, PerfBuffer
-from .events import (
+from ...tracing.events import (
     P1_CREATE_NODE,
     P2_TIMER_START,
     P3_TIMER_CALL,
@@ -38,7 +40,7 @@ from .events import (
     P16_DDS_WRITE,
     TraceEvent,
 )
-from .overhead import EVENT_HEADER_BYTES
+from .overhead import event_size_bytes
 from .symbols import ProbeContext
 
 #: Name of the BPF map sharing discovered ROS2 PIDs between the
@@ -50,22 +52,7 @@ SRCTS_STASH_MAP = "srcts_stash"
 
 
 def _submit(buffer: PerfBuffer, event: TraceEvent) -> None:
-    # Inlined copies of overhead.event_size_bytes() and
-    # PerfBuffer.submit(): one firing per traced middleware call makes
-    # each saved frame measurable.  Keep in sync with both originals
-    # (the other inlined submit lives in tracers.KernelTracer._on_switch).
-    size = EVENT_HEADER_BYTES
-    data = event.data
-    if data:
-        for value in data.values():
-            size += len(value) + 1 if type(value) is str else 8
-    buffer.submitted += 1
-    events = buffer._events
-    if len(events) >= buffer.capacity:
-        buffer.lost += 1
-        return
-    events.append(event)
-    buffer.bytes_submitted += size
+    buffer.submit(event, size=event_size_bytes(event))
 
 
 class InitProbes:
@@ -88,10 +75,10 @@ class InitProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P1_CREATE_NODE,
-                {"node": node.name},
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P1_CREATE_NODE,
+                data={"node": node.name},
             ),
         )
 
@@ -145,28 +132,28 @@ class RuntimeProbes:
     # -- execute_* start/end ---------------------------------------------
 
     def _timer_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P2_TIMER_START))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P2_TIMER_START))
 
     def _timer_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P4_TIMER_END))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P4_TIMER_END))
 
     def _sub_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P5_SUB_START))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P5_SUB_START))
 
     def _sub_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P8_SUB_END))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P8_SUB_END))
 
     def _service_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P9_SERVICE_START))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P9_SERVICE_START))
 
     def _service_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P11_SERVICE_END))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P11_SERVICE_END))
 
     def _client_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P12_CLIENT_START))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P12_CLIENT_START))
 
     def _client_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P15_CLIENT_END))
+        _submit(self.buffer, TraceEvent(ts=ctx.ts, pid=ctx.pid, probe=P15_CLIENT_END))
 
     # -- timer ID ----------------------------------------------------------
 
@@ -175,10 +162,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P3_TIMER_CALL,
-                {"cb_id": timer.cb_id},
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P3_TIMER_CALL,
+                data={"cb_id": timer.cb_id},
             ),
         )
 
@@ -200,10 +187,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P6_TAKE,
-                {
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P6_TAKE,
+                data={
                     "cb_id": sub.cb_id,
                     "topic": sub.topic,
                     "src_ts": self._pop_src_ts(ctx),
@@ -218,10 +205,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P10_TAKE_REQUEST,
-                {
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P10_TAKE_REQUEST,
+                data={
                     "cb_id": service.cb_id,
                     "topic": service.request_topic,
                     "service": service.name,
@@ -237,10 +224,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P13_TAKE_RESPONSE,
-                {
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P13_TAKE_RESPONSE,
+                data={
                     "cb_id": client.cb_id,
                     "topic": client.reader.topic.name,
                     "service": client.service_name,
@@ -255,10 +242,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P14_TAKE_TYPE_ERASED,
-                {"will_dispatch": int(bool(ret))},
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P14_TAKE_TYPE_ERASED,
+                data={"will_dispatch": int(bool(ret))},
             ),
         )
 
@@ -269,10 +256,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P7_SYNC_OP,
-                {"cb_id": sub.cb_id},
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P7_SYNC_OP,
+                data={"cb_id": sub.cb_id},
             ),
         )
 
@@ -281,10 +268,10 @@ class RuntimeProbes:
         _submit(
             self.buffer,
             TraceEvent(
-                ctx[0],
-                ctx[1],
-                P16_DDS_WRITE,
-                {
+                ts=ctx.ts,
+                pid=ctx.pid,
+                probe=P16_DDS_WRITE,
+                data={
                     "topic": writer.topic.name,
                     "src_ts": src_ts,
                     "kind": writer.kind,

@@ -1,0 +1,108 @@
+"""Frozen pre-optimization :class:`TracingSession` (perf baseline).
+
+Verbatim copy of the pre-change session driver, wired to the frozen
+tracer/BPF stack in :mod:`repro._legacy.tracing`.  The :class:`Trace`
+data containers are shared with the production code (they are plain
+data; the hot paths this package freezes are the tracer/probe/kernel
+call chains, not the containers).  Do not optimize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...tracing.events import P1_CREATE_NODE, TraceEvent
+from ...tracing.session import Trace, TraceSegment
+from .bpf import Bpf
+from .tracers import KernelTracer, Ros2InitTracer, Ros2RtTracer
+
+
+class TracingSession:
+    """Drives the three (frozen) tracers against one world."""
+
+    def __init__(
+        self,
+        world,
+        kernel_filter: bool = True,
+        rt_buffer_capacity: int = 1 << 20,
+        kernel_buffer_capacity: int = 1 << 21,
+        record_wakeups: bool = False,
+    ):
+        self.world = world
+        self.bpf = Bpf(world.symbols, world.tracepoints)
+        self.init_tracer = Ros2InitTracer(self.bpf)
+        self.rt_tracer = Ros2RtTracer(self.bpf, buffer_capacity=rt_buffer_capacity)
+        self.kernel_tracer = KernelTracer(
+            self.bpf,
+            filtered=kernel_filter,
+            buffer_capacity=kernel_buffer_capacity,
+            record_wakeups=record_wakeups,
+        )
+        self.segments: List[TraceSegment] = []
+        self._init_events: List[TraceEvent] = []
+        self._segment_start: Optional[int] = None
+        self._runtime_started_ts: Optional[int] = None
+
+    # -- TR-IN ------------------------------------------------------------
+
+    def start_init(self) -> None:
+        self.init_tracer.start()
+
+    def stop_init(self) -> None:
+        self._init_events.extend(self.init_tracer.poll())
+        self.init_tracer.stop()
+
+    # -- TR-RT + TR-KN ------------------------------------------------------
+
+    def start_runtime(self) -> None:
+        self.rt_tracer.start()
+        self.kernel_tracer.start()
+        self._segment_start = self.world.now
+        if self._runtime_started_ts is None:
+            self._runtime_started_ts = self.world.now
+
+    def rotate(self) -> TraceSegment:
+        """Save the current buffers as a segment; keep collecting."""
+        if self._segment_start is None:
+            raise RuntimeError("runtime tracers not started")
+        segment = TraceSegment(
+            index=len(self.segments),
+            start_ts=self._segment_start,
+            stop_ts=self.world.now,
+            ros_events=self.rt_tracer.poll(),
+            sched_events=self.kernel_tracer.poll(),
+            wakeup_events=self.kernel_tracer.poll_wakeups(),
+        )
+        self.segments.append(segment)
+        self._segment_start = self.world.now
+        return segment
+
+    def stop_runtime(self) -> None:
+        if self._segment_start is not None:
+            self.rotate()
+            self._segment_start = None
+        self.rt_tracer.stop()
+        self.kernel_tracer.stop()
+
+    # -- results ----------------------------------------------------------
+
+    def pid_map(self) -> Dict[int, str]:
+        self._init_events.extend(self.init_tracer.poll())
+        return {
+            e.pid: e.get("node")
+            for e in self._init_events
+            if e.probe == P1_CREATE_NODE
+        }
+
+    def trace(self) -> Trace:
+        """Merge the init events and all segments into one trace."""
+        trace = Trace(pid_map=self.pid_map())
+        trace.ros_events.extend(self._init_events)
+        for segment in self.segments:
+            trace.ros_events.extend(segment.ros_events)
+            trace.sched_events.extend(segment.sched_events)
+            trace.wakeup_events.extend(segment.wakeup_events)
+        if self.segments:
+            trace.start_ts = self.segments[0].start_ts
+            trace.stop_ts = self.segments[-1].stop_ts
+        return trace.sort()

@@ -19,7 +19,7 @@ exactly the information flow of real uprobes/uretprobes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: handler(ctx, args) for entry probes.
 EntryHandler = Callable[["ProbeContext", Tuple[Any, ...]], None]
@@ -32,13 +32,9 @@ class SymbolLookupError(KeyError):
     failed ``bcc`` symbol resolution."""
 
 
-class ProbeContext(NamedTuple):
-    """Per-firing context: what ``bpf_get_current_*`` helpers expose.
-
-    A ``NamedTuple`` rather than a frozen dataclass: one is built per
-    probe firing inside the simulation hot loop, and tuple construction
-    is several times cheaper than ``object.__setattr__`` per field.
-    """
+@dataclass(frozen=True)
+class ProbeContext:
+    """Per-firing context: what ``bpf_get_current_*`` helpers expose."""
 
     ts: int
     pid: int
@@ -122,29 +118,16 @@ class SymbolTable:
     # -- trampolines -------------------------------------------------------
 
     def call(self, qualified: str, fn: Callable[..., Any], *args: Any) -> Any:
-        """Invoke a plain middleware function through the probe trampoline.
-
-        Hot loop: a plain (non-generator) function contains no scheduling
-        points, so entry and exit fire at the same simulated instant in
-        the same thread context -- one :class:`ProbeContext` serves both.
-        Probe lists are iterated directly; probes attach/detach between
-        runs, never from inside a firing.
-        """
-        symbol = self._symbols.get(qualified)
-        if symbol is None:
-            self.lookup(qualified)  # raises SymbolLookupError
-        ctx = None
-        entry_probes = symbol.entry_probes
-        if entry_probes:
+        """Invoke a plain middleware function through the probe trampoline."""
+        symbol = self.lookup(qualified)
+        if symbol.entry_probes:
             ctx = self._context_provider()
-            for probe in entry_probes:
+            for probe in list(symbol.entry_probes):
                 probe(ctx, args)
         result = fn(*args)
-        exit_probes = symbol.exit_probes
-        if exit_probes:
-            if ctx is None:
-                ctx = self._context_provider()
-            for probe in exit_probes:
+        if symbol.exit_probes:
+            ctx = self._context_provider()
+            for probe in list(symbol.exit_probes):
                 probe(ctx, args, result)
         return result
 
@@ -154,21 +137,16 @@ class SymbolTable:
         Entry probes fire when the traced thread enters the function; exit
         probes fire at its return -- which, for functions that contain
         scheduling points (``execute_*``), happens at a later simulated
-        time, hence a fresh context per edge.  Use with ``yield from``
-        inside an activity.
+        time.  Use with ``yield from`` inside an activity.
         """
-        symbol = self._symbols.get(qualified)
-        if symbol is None:
-            self.lookup(qualified)  # raises SymbolLookupError
-        entry_probes = symbol.entry_probes
-        if entry_probes:
+        symbol = self.lookup(qualified)
+        if symbol.entry_probes:
             ctx = self._context_provider()
-            for probe in entry_probes:
+            for probe in list(symbol.entry_probes):
                 probe(ctx, args)
         result = yield from fn(*args)
-        exit_probes = symbol.exit_probes
-        if exit_probes:
+        if symbol.exit_probes:
             ctx = self._context_provider()
-            for probe in exit_probes:
+            for probe in list(symbol.exit_probes):
                 probe(ctx, args, result)
         return result

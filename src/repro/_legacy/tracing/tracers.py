@@ -1,4 +1,6 @@
-"""The three tracers of the proposed framework (Fig. 1).
+"""Frozen pre-optimization copy (perf baseline; see repro._legacy). Do not optimize.
+
+The three tracers of the proposed framework (Fig. 1).
 
 * :class:`Ros2InitTracer` (TR-IN) -- attaches P1 and records node
   creation, discovering the node-name -> PID mapping.  It publishes the
@@ -22,7 +24,7 @@ from __future__ import annotations
 from typing import Any, List
 
 from .bpf import Bpf, BpfProgram, PerfBuffer
-from .events import TraceEvent
+from ...tracing.events import TraceEvent
 from .overhead import SCHED_EVENT_BYTES
 from .probes import ROS2_PIDS_MAP, InitProbes, RuntimeProbes
 
@@ -136,16 +138,7 @@ class KernelTracer(_TracerBase):
         if self.filtered:
             if record.prev_pid not in self.pid_map and record.next_pid not in self.pid_map:
                 return
-        # Inlined copy of PerfBuffer.submit (hot: one firing per context
-        # switch); keep in sync with it and with probes._submit.
-        buffer = self.buffer
-        buffer.submitted += 1
-        events = buffer._events
-        if len(events) >= buffer.capacity:
-            buffer.lost += 1
-            return
-        events.append(record)
-        buffer.bytes_submitted += SCHED_EVENT_BYTES
+        self.buffer.submit(record, size=SCHED_EVENT_BYTES)
 
     def _on_wakeup(self, record: Any) -> None:
         if self.filtered and record.pid not in self.pid_map:

@@ -1,4 +1,6 @@
-"""The simulated machine: clock, CPUs, middleware symbols and DDS bus.
+"""Frozen pre-optimization copy (perf baseline; see repro._legacy). Do not optimize.
+
+The simulated machine: clock, CPUs, middleware symbols and DDS bus.
 
 A :class:`World` is the top-level container every experiment starts from.
 It owns:
@@ -26,8 +28,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from .sim.kernel import SimKernel
-from .sim.scheduler import DEFAULT_TIMESLICE, Scheduler
+from .kernel import SimKernel
+from .scheduler import DEFAULT_TIMESLICE, Scheduler
 from .tracing.symbols import ProbeContext, SymbolTable
 
 #: Default one-way DDS delivery latency (intra-host CycloneDDS is in the
@@ -56,11 +58,6 @@ class World:
         (Fig. 2's "merge traces" strategy) exactly as successive runs on
         a real machine -- whose uptime clock and PID counter both keep
         advancing -- can.
-    kernel_cls / scheduler_cls:
-        Substrate implementations (defaults: the production kernel and
-        scheduler).  The perf harness injects the frozen
-        :mod:`repro._legacy` classes here to A/B-measure the hot-loop
-        optimizations on otherwise identical machines.
     """
 
     def __init__(
@@ -71,11 +68,9 @@ class World:
         dds_latency_ns: int = DEFAULT_DDS_LATENCY_NS,
         start_time_ns: int = 0,
         first_pid: int = 1,
-        kernel_cls: type = SimKernel,
-        scheduler_cls: type = Scheduler,
     ):
-        self.kernel = kernel_cls(start=start_time_ns)
-        self.scheduler = scheduler_cls(
+        self.kernel = SimKernel(start=start_time_ns)
+        self.scheduler = Scheduler(
             self.kernel, num_cpus=num_cpus, timeslice=timeslice, first_pid=first_pid
         )
         self.rng = np.random.default_rng(seed)
@@ -86,7 +81,7 @@ class World:
             "sched:sched_wakeup": self.scheduler.on_sched_wakeup,
         }
         # DDS bus (import here to avoid a package cycle at import time).
-        from .ros2.dds import DdsBus
+        from ..ros2.dds import DdsBus
 
         self.dds = DdsBus(self, latency_ns=dds_latency_ns)
         #: Nodes registered on this world (populated by Node.__init__).
@@ -100,14 +95,17 @@ class World:
         return self.kernel.now
 
     def _probe_context(self) -> ProbeContext:
-        # Hot loop (once per probe firing): read the scheduler/kernel
-        # internals directly instead of through their properties.
-        thread = self.scheduler._advancing
+        thread = self.scheduler.current_thread
         if thread is None:
             # Fired from interrupt/kernel context (e.g. an external
             # publisher): no current task.
-            return ProbeContext(self.kernel._now, 0, None, "")
-        return ProbeContext(self.kernel._now, thread.pid, thread.cpu, thread.name)
+            return ProbeContext(ts=self.kernel.now, pid=0, cpu=None, comm="")
+        return ProbeContext(
+            ts=self.kernel.now,
+            pid=thread.pid,
+            cpu=thread.cpu,
+            comm=thread.name,
+        )
 
     # ------------------------------------------------------------------
 

@@ -11,6 +11,9 @@ Usage::
     python -m repro scenarios
     python -m repro batch <scenario> [--runs 8] [--jobs 4] [--duration 10]
                           [--seed 1000] [--dot out.dot] [--json out.json]
+    python -m repro perf  [--scale smoke|default|full] [--out BENCH_2.json]
+                          [--baseline-src PATH] [--baseline-ref REF]
+                          [--check BENCH_2.json] [--factor 2.0]
 
 Durations are in (simulated) seconds.  Every command prints the
 regenerated table/figure in the same shape the paper reports;
@@ -143,6 +146,42 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    import json
+
+    from .perf import (
+        SCALES,
+        check_regression,
+        format_report,
+        run_perf_suite,
+        write_payload,
+    )
+
+    if args.scale not in SCALES:
+        print(f"unknown scale {args.scale!r}; choose from {sorted(SCALES)}",
+              file=sys.stderr)
+        return 2
+    payload = run_perf_suite(
+        args.scale,
+        baseline_src=args.baseline_src,
+        baseline_ref=args.baseline_ref,
+    )
+    print(format_report(payload))
+    if args.out:
+        write_payload(payload, args.out)
+        print(f"\nwrote {args.out}")
+    if args.check:
+        with open(args.check) as handle:
+            committed = json.load(handle)
+        failures = check_regression(payload, committed, factor=args.factor)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"\nregression gate vs {args.check}: OK (factor {args.factor})")
+    return 0
+
+
 def _cmd_overhead(args) -> int:
     result = run_overhead(duration_ns=int(args.duration * SEC))
     print(f"Tracing overheads over {args.duration:.0f} s of SYN + AVP\n")
@@ -205,6 +244,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--dot", help="write the merged DAG as Graphviz DOT")
     batch.add_argument("--json", help="write the merged DAG as JSON")
 
+    perf = sub.add_parser(
+        "perf", help="run the perf harness; write/check BENCH_*.json"
+    )
+    perf.add_argument("--scale", default="default",
+                      help="workload size: smoke | default | full")
+    perf.add_argument("--out", help="write the suite results to this JSON path")
+    perf.add_argument("--baseline-src",
+                      help="src/ of a pre-change checkout; measures the "
+                           "Table II macro batch against it in a subprocess")
+    perf.add_argument("--baseline-ref",
+                      help="label (e.g. git ref) recorded for --baseline-src")
+    perf.add_argument("--check",
+                      help="committed baseline JSON; exit 1 when an "
+                           "in-process speedup regressed by more than "
+                           "--factor")
+    perf.add_argument("--factor", type=float, default=2.0,
+                      help="allowed regression factor for --check")
+
     return parser
 
 
@@ -217,6 +274,7 @@ COMMANDS = {
     "overhead": _cmd_overhead,
     "scenarios": _cmd_scenarios,
     "batch": _cmd_batch,
+    "perf": _cmd_perf,
 }
 
 

@@ -22,17 +22,28 @@ traces (where probe instructions always execute strictly after the
 dispatch) the two formulations are identical.
 
 :func:`get_exec_time` is the direct one-shot translation;
-:class:`SchedIndex` is the production fast path (a per-PID index with
-binary search) computing identical results -- equivalence is enforced
-by property-based tests.
+:class:`SchedIndex` is the production fast path.  It stores *columnar*
+per-PID buckets -- an ``array('q')`` of timestamps and a parallel
+``bytearray`` of open/close flags -- so a window query binary-searches
+plain integers and folds without touching a single
+:class:`SchedSwitch` object.  Equivalence with the literal algorithm
+(and with the frozen pre-columnar index in :mod:`repro._legacy`) is
+enforced by property-based tests.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Dict, Iterable, List, Sequence
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..sim.scheduler import SchedSwitch
+
+#: Flag bits of the columnar bucket: the event closes an execution
+#: segment of the bucket's PID (``prev_pid == pid``) and/or opens one
+#: (``next_pid == pid``).
+_CLOSES = 1
+_OPENS = 2
 
 
 def _fold_segments(
@@ -73,43 +84,106 @@ def get_exec_time(
     )
 
 
-class SchedIndex:
-    """Per-PID index over sched_switch events for fast Alg. 2 queries.
+def _is_nondecreasing(values: Sequence[int]) -> bool:
+    return all(values[i] <= values[i + 1] for i in range(len(values) - 1))
 
-    Events are bucketed by the PIDs they mention and kept sorted; a
-    window query binary-searches the bucket, making per-instance cost
-    O(log n + segments) instead of O(n).
+
+class SchedIndex:
+    """Columnar per-PID index over sched_switch events for Alg. 2.
+
+    For every PID mentioned by the stream the index keeps two parallel
+    columns: event timestamps (``array('q')``) and open/close flag bits
+    (``bytearray``).  A window query binary-searches the timestamp
+    column and folds over machine integers, making per-instance cost
+    O(log n + segments) with none of the per-event attribute lookups of
+    the object-walking variant.
+
+    Bucket order matches the pre-columnar implementation exactly: events
+    are bucketed in input order and stable-sorted by timestamp, so
+    same-timestamp events fold in the same order and every query returns
+    a bit-identical result.
+
+    The input list is referenced, not copied (lists pass through
+    unduplicated); callers must treat the stream as finalized --
+    appending to it after indexing would desynchronize
+    :meth:`events_for` from the frozen columnar buckets.
     """
 
     def __init__(self, sched_events: Iterable[SchedSwitch]):
-        self._by_pid: Dict[int, List[SchedSwitch]] = {}
-        for event in sched_events:
-            if event.prev_pid != 0:
-                self._by_pid.setdefault(event.prev_pid, []).append(event)
-            if event.next_pid != 0 and event.next_pid != event.prev_pid:
-                self._by_pid.setdefault(event.next_pid, []).append(event)
-        self._times: Dict[int, List[int]] = {}
-        for pid, events in self._by_pid.items():
-            events.sort(key=lambda e: e.ts)
-            self._times[pid] = [e.ts for e in events]
+        self._events: List[SchedSwitch] = (
+            sched_events
+            if isinstance(sched_events, list)
+            else list(sched_events)
+        )
+        #: pid -> (timestamps, flags), ts-sorted, parallel columns.
+        self._buckets: Dict[int, Tuple[array, bytearray]] = {}
+        raw: Dict[int, Tuple[array, bytearray]] = {}
+        # SchedSwitch is a NamedTuple: positional access (ts=0,
+        # prev_pid=2, next_pid=6) skips the attribute descriptors in
+        # this per-event loop.
+        for event in self._events:
+            prev_pid = event[2]
+            next_pid = event[6]
+            if prev_pid != 0:
+                bucket = raw.get(prev_pid)
+                if bucket is None:
+                    bucket = raw[prev_pid] = (array("q"), bytearray())
+                bucket[0].append(event[0])
+                bucket[1].append(
+                    _CLOSES | _OPENS if next_pid == prev_pid else _CLOSES
+                )
+            if next_pid != 0 and next_pid != prev_pid:
+                bucket = raw.get(next_pid)
+                if bucket is None:
+                    bucket = raw[next_pid] = (array("q"), bytearray())
+                bucket[0].append(event[0])
+                bucket[1].append(_OPENS)
+        for pid, (times, flags) in raw.items():
+            if not _is_nondecreasing(times):
+                order = sorted(range(len(times)), key=times.__getitem__)
+                times = array("q", (times[i] for i in order))
+                flags = bytearray(flags[i] for i in order)
+            self._buckets[pid] = (times, flags)
 
     def pids(self) -> List[int]:
-        return sorted(self._by_pid)
+        return sorted(self._buckets)
 
     def events_for(self, pid: int) -> List[SchedSwitch]:
-        return list(self._by_pid.get(pid, []))
+        """The PID's events, ts-sorted (reconstructed on demand; the
+        columnar fast path never touches event objects)."""
+        if pid not in self._buckets:
+            return []
+        selected = [
+            e for e in self._events if e.prev_pid == pid or e.next_pid == pid
+        ]
+        selected.sort(key=lambda e: e.ts)  # stable: bucket order
+        return selected
 
     def exec_time(self, start: int, end: int, pid: int) -> int:
         """Alg. 2 over the indexed window (identical result, fast)."""
         if end < start:
             raise ValueError(f"end {end} precedes start {start}")
-        events = self._by_pid.get(pid)
-        if not events:
+        bucket = self._buckets.get(pid)
+        if bucket is None:
             return end - start
-        times = self._times[pid]
-        lo = bisect.bisect_left(times, start)
-        hi = bisect.bisect_right(times, end)
-        return _fold_segments(start, end, pid, events[lo:hi])
+        times, flags = bucket
+        lo = bisect_left(times, start)
+        hi = bisect_right(times, end)
+        exec_time = 0
+        last_start = start
+        running = True  # the CB-start probe fired in the thread's context
+        for i in range(lo, hi):
+            flag = flags[i]
+            if running:
+                if flag & _CLOSES:
+                    exec_time += times[i] - last_start
+                    running = False
+            elif flag & _OPENS:
+                last_start = times[i]
+                running = True
+        if running:
+            exec_time += end - last_start
+        return exec_time
 
     def preemption_time(self, start: int, end: int, pid: int) -> int:
         """Time inside the window the thread did *not* run."""

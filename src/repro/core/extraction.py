@@ -6,6 +6,13 @@ execution of one callback.  It walks the node's ROS2 events in
 chronological order, assembling :class:`CallbackInstance` objects and
 folding them into a :class:`CBList`.
 
+All lookup structures come from the single-pass
+:class:`~repro.core.index.TraceIndex`: per-PID chronological event
+views (no per-PID re-sort of the full stream), the columnar
+:class:`~repro.core.exec_time.SchedIndex`, and the cross-node
+association tables, which key by an event's *position* in the sorted
+stream rather than by ``id(event)``.
+
 Cross-node lookups follow the paper:
 
 * **FindCaller** (service requests) -- the ``dds_write`` event with the
@@ -25,24 +32,33 @@ splits a shared service into per-caller vertices.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
-from ..tracing.events import (
-    P3_TIMER_CALL,
-    P6_TAKE,
-    P7_SYNC_OP,
-    P10_TAKE_REQUEST,
-    P13_TAKE_RESPONSE,
-    P14_TAKE_TYPE_ERASED,
-    P16_DDS_WRITE,
-    TraceEvent,
-)
+from ..tracing.events import TraceEvent
 from ..tracing.session import Trace
 from .exec_time import SchedIndex
-from .records import CallbackInstance, CBList
+from .index import (
+    CODE_CB_END,
+    CODE_CB_START,
+    CODE_DDS_WRITE,
+    CODE_OTHER,
+    CODE_SYNC_OP,
+    CODE_TAKE,
+    CODE_TAKE_REQUEST,
+    CODE_TAKE_RESPONSE,
+    CODE_TAKE_TYPE_ERASED,
+    CODE_TIMER_CALL,
+    ID_EVENT_PROBES,
+    PROBE_CODES,
+    TraceIndex,
+)
+from .records import CBList
 
 #: Separator used when qualifying a service topic with a CB id.
 TOPIC_ID_SEPARATOR = "#"
+
+#: Backwards-compatible alias (the set now lives in repro.core.index).
+_ID_EVENT_PROBES = ID_EVENT_PROBES
 
 
 def cat(topic: str, cb_id: Optional[str]) -> str:
@@ -50,48 +66,28 @@ def cat(topic: str, cb_id: Optional[str]) -> str:
     return f"{topic}{TOPIC_ID_SEPARATOR}{cb_id if cb_id is not None else '?'}"
 
 
-_ID_EVENT_PROBES = {P3_TIMER_CALL, P6_TAKE, P10_TAKE_REQUEST, P13_TAKE_RESPONSE}
-
-
 class EventIndex:
-    """Cross-node lookup structures shared by all per-PID extractions."""
+    """Cross-node lookup cursors shared by all per-PID extractions.
 
-    def __init__(self, ros_events: Sequence[TraceEvent]):
-        events = sorted(ros_events, key=lambda e: e.ts)
-        #: (topic, src_ts) -> dds_write events
-        self._writes: Dict[Tuple[str, int], List[TraceEvent]] = {}
-        #: Cursor per key: two periodic callers can write the same request
-        #: topic at the same nanosecond, so the k-th take of a key is
-        #: matched with the k-th write (FIFO delivery order).
-        self._caller_cursor: Dict[Tuple[str, int], int] = {}
-        #: (topic, src_ts) -> take_response events
-        self._take_responses: Dict[Tuple[str, int], List[TraceEvent]] = {}
-        #: id(write event) -> CB id active in the writer at write time
-        self._writer_cb: Dict[int, Optional[str]] = {}
-        #: id(take_response event) -> will_dispatch of the next P14 (same PID)
-        self._dispatch_after: Dict[int, bool] = {}
+    The immutable association tables live in :class:`TraceIndex`; this
+    class adds the per-extraction FIFO cursors, so two extraction passes
+    over the same ``TraceIndex`` never observe each other's state.
+    """
 
-        current_cb: Dict[int, Optional[str]] = {}
-        pending_p13: Dict[int, List[TraceEvent]] = {}
-        for event in events:
-            pid = event.pid
-            if event.is_cb_start():
-                current_cb[pid] = None
-            elif event.probe in _ID_EVENT_PROBES:
-                current_cb[pid] = event.get("cb_id")
-                if event.probe == P13_TAKE_RESPONSE:
-                    pending_p13.setdefault(pid, []).append(event)
-                    key = (event.get("topic"), event.get("src_ts"))
-                    self._take_responses.setdefault(key, []).append(event)
-                elif event.probe == P6_TAKE:
-                    pass
-            if event.probe == P16_DDS_WRITE:
-                self._writer_cb[id(event)] = current_cb.get(pid)
-                key = (event.get("topic"), event.get("src_ts"))
-                self._writes.setdefault(key, []).append(event)
-            elif event.probe == P14_TAKE_TYPE_ERASED:
-                for p13 in pending_p13.pop(pid, []):
-                    self._dispatch_after[id(p13)] = bool(event.get("will_dispatch"))
+    def __init__(
+        self,
+        ros_events: Optional[Sequence[TraceEvent]] = None,
+        trace_index: Optional[TraceIndex] = None,
+    ):
+        if trace_index is None:
+            if ros_events is None:
+                raise ValueError("need ros_events or a trace_index")
+            trace_index = TraceIndex(ros_events)
+        self._index = trace_index
+        #: Cursor per (topic, src_ts) key: two periodic callers can write
+        #: the same request topic at the same nanosecond, so the k-th
+        #: take of a key is matched with the k-th write (FIFO delivery).
+        self._caller_cursor: dict = {}
 
     def find_caller(self, take_request_event: TraceEvent) -> Optional[str]:
         """ID of the caller CB that produced this service request.
@@ -101,21 +97,115 @@ class EventIndex:
         lookups consume successive writes, preserving FIFO order.
         """
         key = (take_request_event.get("topic"), take_request_event.get("src_ts"))
-        writes = [w for w in self._writes.get(key, []) if w.get("kind") == "request"]
+        writes = [
+            index
+            for index, event in self._index.writes.get(key, ())
+            if event.get("kind") == "request"
+        ]
         if not writes:
             return None
         cursor = self._caller_cursor.get(key, 0)
-        write = writes[min(cursor, len(writes) - 1)]
+        write_index = writes[min(cursor, len(writes) - 1)]
         self._caller_cursor[key] = cursor + 1
-        return self._writer_cb.get(id(write))
+        return self._index.writer_cb.get(write_index)
 
     def find_client(self, write_event: TraceEvent) -> Optional[str]:
         """ID of the client CB that will dispatch this service response."""
         key = (write_event.get("topic"), write_event.get("src_ts"))
-        for take in self._take_responses.get(key, []):
-            if self._dispatch_after.get(id(take)):
+        dispatch_after = self._index.dispatch_after
+        for take_index, take in self._index.take_responses.get(key, ()):
+            if dispatch_after.get(take_index):
                 return take.get("cb_id")
         return None
+
+
+def _extract_pid_events(
+    pid: int,
+    events: Sequence[TraceEvent],
+    codes: Sequence[int],
+    sched_index: SchedIndex,
+    index: EventIndex,
+    node_name: str,
+) -> CBList:
+    """Alg. 1's per-node walk over the PID's chronological events.
+
+    ``codes`` holds the pre-computed probe code per event (parallel to
+    ``events``, from :meth:`TraceIndex.walk_for_pid`): the walk branches
+    on one small int per event instead of repeated probe-name tests.
+    """
+    cblist = CBList(pid, node_name)
+    add_values = cblist.add_values
+    exec_time = sched_index.exec_time
+    # Instance state in locals (no CallbackInstance allocation per
+    # execution): ``active`` mirrors "instance is not None".
+    active = False
+    cb_type = ""
+    cb_id: Optional[str] = None
+    intopic: Optional[str] = None
+    outtopics: Optional[List[str]] = None
+    is_sync = False
+    start = 0
+    for event, code in zip(events, codes):
+        if code == CODE_CB_START:
+            active = True
+            cb_type = event.cb_type()
+            start = event[0]  # NamedTuple: ts
+            cb_id = None
+            intopic = None
+            outtopics = None
+            is_sync = False
+        elif not active:
+            # Only the P14 no-dispatch probe acts outside an instance,
+            # and it is a no-op when there is nothing to drop.
+            continue
+        elif code == CODE_TIMER_CALL:
+            cb_id = event[3].get("cb_id")
+        elif code == CODE_TAKE:
+            data = event[3]
+            cb_id = data.get("cb_id")
+            intopic = data.get("topic")
+        elif code == CODE_TAKE_RESPONSE:
+            data = event[3]
+            cb_id = data.get("cb_id")
+            intopic = cat(data.get("topic"), cb_id)
+        elif code == CODE_TAKE_REQUEST:
+            data = event[3]
+            cb_id = data.get("cb_id")
+            intopic = cat(data.get("topic"), index.find_caller(event))
+        elif code == CODE_DDS_WRITE:
+            data = event[3]
+            kind = data.get("kind")
+            if kind == "request":
+                top_out = cat(data.get("topic"), cb_id)
+            elif kind == "response":
+                top_out = cat(data.get("topic"), index.find_client(event))
+            else:
+                top_out = data.get("topic")
+            if outtopics is None:
+                outtopics = [top_out]
+            else:
+                outtopics.append(top_out)
+        elif code == CODE_TAKE_TYPE_ERASED:
+            if not event[3].get("will_dispatch"):
+                # Client CB will not dispatch here: drop the instance.
+                active = False
+        elif code == CODE_SYNC_OP:
+            is_sync = True
+        elif code == CODE_CB_END:
+            if cb_id is not None:
+                end = event[0]
+                add_values(
+                    cb_type,
+                    cb_id,
+                    intopic,
+                    outtopics,
+                    is_sync,
+                    start,
+                    end,
+                    exec_time(start, end, pid),
+                )
+            active = False
+    return cblist
 
 
 def extract_callbacks(
@@ -124,6 +214,7 @@ def extract_callbacks(
     sched_index: SchedIndex,
     node_name: str = "",
     event_index: Optional[EventIndex] = None,
+    pid_events: Optional[Sequence[TraceEvent]] = None,
 ) -> CBList:
     """Alg. 1 for one ROS2 node.
 
@@ -140,58 +231,45 @@ def extract_callbacks(
         Name from the ROS2-INIT trace (cosmetic; PIDs are the identity).
     event_index:
         Pre-built :class:`EventIndex`; built on demand when omitted.
+    pid_events:
+        The PID's chronological events, when the caller already holds a
+        :class:`TraceIndex` view; derived from ``ros_events`` otherwise.
     """
     index = event_index if event_index is not None else EventIndex(ros_events)
-    cblist = CBList(pid, node_name)
-    instance: Optional[CallbackInstance] = None
-
-    for event in sorted((e for e in ros_events if e.pid == pid), key=lambda e: e.ts):
-        if event.is_cb_start():
-            instance = CallbackInstance(cb_type=event.cb_type(), start=event.ts)
-        elif event.probe == P3_TIMER_CALL and instance is not None:
-            instance.cb_id = event.get("cb_id")
-        elif event.is_take() and instance is not None:
-            instance.cb_id = event.get("cb_id")
-            if event.probe == P13_TAKE_RESPONSE:
-                instance.intopic = cat(event.get("topic"), instance.cb_id)
-            elif event.probe == P10_TAKE_REQUEST:
-                instance.intopic = cat(event.get("topic"), index.find_caller(event))
-            else:
-                instance.intopic = event.get("topic")
-        elif event.probe == P16_DDS_WRITE and instance is not None:
-            if event.get("kind") == "request":
-                top_out = cat(event.get("topic"), instance.cb_id)
-            elif event.get("kind") == "response":
-                top_out = cat(event.get("topic"), index.find_client(event))
-            else:
-                top_out = event.get("topic")
-            instance.outtopics.append(top_out)
-        elif event.probe == P14_TAKE_TYPE_ERASED and not event.get("will_dispatch"):
-            # Client CB will not dispatch here: drop the instance.
-            instance = None
-        elif event.probe == P7_SYNC_OP and instance is not None:
-            instance.is_sync_subscriber = True
-        elif event.is_cb_end() and instance is not None:
-            instance.end = event.ts
-            instance.exec_time = sched_index.exec_time(instance.start, event.ts, pid)
-            if instance.cb_id is not None:
-                cblist.add(instance)
-            instance = None
-    return cblist
-
-
-def extract_all(trace: Trace, pids: Optional[Iterable[int]] = None) -> List[CBList]:
-    """Run Alg. 1 for every (or the given) node PIDs of a trace."""
-    sched_index = SchedIndex(trace.sched_events)
-    event_index = EventIndex(trace.ros_events)
-    wanted = sorted(pids) if pids is not None else trace.pids()
-    return [
-        extract_callbacks(
-            pid,
-            trace.ros_events,
-            sched_index,
-            node_name=trace.pid_map.get(pid, ""),
-            event_index=event_index,
+    if pid_events is None:
+        pid_events = sorted(
+            (e for e in ros_events if e.pid == pid), key=lambda e: e.ts
         )
-        for pid in wanted
-    ]
+    code_of = PROBE_CODES.get
+    codes = bytearray(code_of(e.probe, CODE_OTHER) for e in pid_events)
+    return _extract_pid_events(pid, pid_events, codes, sched_index, index, node_name)
+
+
+def extract_all(
+    trace: Trace,
+    pids: Optional[Iterable[int]] = None,
+    trace_index: Optional[TraceIndex] = None,
+) -> List[CBList]:
+    """Run Alg. 1 for every (or the given) node PIDs of a trace.
+
+    One :class:`TraceIndex` finalization pass replaces the per-PID
+    filter-and-sort of the full stream; pass ``trace_index`` to reuse an
+    index built elsewhere.
+    """
+    index = trace_index if trace_index is not None else TraceIndex.from_trace(trace)
+    event_index = EventIndex(trace_index=index)
+    wanted = sorted(pids) if pids is not None else trace.pids()
+    cblists = []
+    for pid in wanted:
+        events, codes = index.walk_for_pid(pid)
+        cblists.append(
+            _extract_pid_events(
+                pid,
+                events,
+                codes,
+                index.sched,
+                event_index,
+                trace.pid_map.get(pid, ""),
+            )
+        )
+    return cblists

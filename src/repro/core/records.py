@@ -101,21 +101,71 @@ class CBList:
 
     def add(self, instance: CallbackInstance) -> CallbackRecord:
         """Alg. 1's ``AddToCallback``: match an existing entry (ID, plus
-        subscribed topic for services) or create a new one."""
+        subscribed topic for services) or create a new one.
+
+        The key is computed directly (mirroring
+        :attr:`CallbackRecord.key`) so the common already-seen case does
+        not construct a throwaway probe record.
+        """
         if instance.cb_id is None:
             raise ValueError("instance has no callback ID")
-        probe = CallbackRecord(
-            pid=self.pid,
-            node=self.node,
-            cb_type=instance.cb_type,
-            cb_id=instance.cb_id,
-            intopic=instance.intopic,
+        key = (
+            self.node,
+            instance.cb_id,
+            instance.intopic if instance.cb_type == "service" else None,
         )
-        record = self._records.get(probe.key)
+        record = self._records.get(key)
         if record is None:
-            record = probe
-            self._records[record.key] = record
+            record = CallbackRecord(
+                pid=self.pid,
+                node=self.node,
+                cb_type=instance.cb_type,
+                cb_id=instance.cb_id,
+                intopic=instance.intopic,
+            )
+            self._records[key] = record
         record.absorb_instance(instance)
+        return record
+
+    def add_values(
+        self,
+        cb_type: str,
+        cb_id: str,
+        intopic: Optional[str],
+        outtopics: Optional[List[str]],
+        is_sync_subscriber: bool,
+        start: int,
+        end: int,
+        exec_time: int,
+    ) -> CallbackRecord:
+        """Allocation-free ``AddToCallback`` used by the Alg. 1 hot walk.
+
+        Semantically identical to building a :class:`CallbackInstance`
+        and calling :meth:`add`, minus the throwaway instance object --
+        one callback execution is folded per probe-bounded window, which
+        makes the instance allocation measurable on large traces.
+        """
+        key = (self.node, cb_id, intopic if cb_type == "service" else None)
+        record = self._records.get(key)
+        if record is None:
+            record = CallbackRecord(
+                pid=self.pid,
+                node=self.node,
+                cb_type=cb_type,
+                cb_id=cb_id,
+                intopic=intopic,
+            )
+            self._records[key] = record
+        record.start_times.append(start)
+        record.exec_times.append(exec_time)
+        record.response_times.append(end - start)
+        if is_sync_subscriber:
+            record.is_sync_subscriber = True
+        if outtopics:
+            recorded = record.outtopics
+            for topic in outtopics:
+                if topic not in recorded:
+                    recorded.append(topic)
         return record
 
     def records(self) -> List[CallbackRecord]:

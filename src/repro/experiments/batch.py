@@ -52,9 +52,12 @@ class BatchConfig:
     dds_latency_ns: int = 50_000
     kernel_filter: bool = True
     segment_every_ns: Optional[int] = None
-    #: Keep every run's trace in the result database (disable for large
-    #: sweeps where only the DAGs matter).
-    collect_traces: bool = True
+    #: Keep every run's trace in the result database.  Off by default:
+    #: most callers (Table II, Fig. 4, the CLI) only need the DAGs, and
+    #: pickling full traces back from worker processes inflates the IPC
+    #: payload by orders of magnitude on 50-run batches.  Enable
+    #: explicitly when the traces themselves are the product.
+    collect_traces: bool = False
     scenario_params: Dict[str, Any] = field(default_factory=dict)
 
     def run_config(self, duration_ns: int, num_cpus: int) -> RunConfig:

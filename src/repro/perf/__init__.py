@@ -1,0 +1,31 @@
+"""Performance harness: the ``repro perf`` benchmarks and CI gate."""
+
+from .bench import (
+    BENCH_SCENARIO,
+    SCALES,
+    BenchScale,
+    bench_jobs_scaling,
+    bench_sim,
+    bench_synthesis,
+    bench_table2_batch,
+    check_regression,
+    format_report,
+    measure_baseline_batch,
+    run_perf_suite,
+    write_payload,
+)
+
+__all__ = [
+    "BENCH_SCENARIO",
+    "SCALES",
+    "BenchScale",
+    "bench_jobs_scaling",
+    "bench_sim",
+    "bench_synthesis",
+    "bench_table2_batch",
+    "check_regression",
+    "format_report",
+    "measure_baseline_batch",
+    "run_perf_suite",
+    "write_payload",
+]

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional
+from functools import partial
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
 
 from .qos import DEFAULT_QOS, QoSProfile
 
@@ -38,9 +39,9 @@ class Msg:
     data: Any = None
 
 
-@dataclass(frozen=True)
-class Sample:
-    """A sample as it travels on the wire."""
+class Sample(NamedTuple):
+    """A sample as it travels on the wire (one built per write: a
+    ``NamedTuple`` keeps hot-loop construction cheap)."""
 
     payload: Any
     src_ts: int
@@ -162,12 +163,12 @@ class DdsBus:
         writer.written += 1
         self.total_writes += 1
         pid = self._current_pid()
-        sample = Sample(payload=payload, src_ts=src_ts, kind=writer.kind, writer_pid=pid)
-        for reader in list(writer.topic.readers):
-            self.world.kernel.schedule_after(
-                self.latency_ns, lambda r=reader: r.deliver(sample)
-            )
+        sample = Sample(payload, src_ts, writer.kind, pid)
+        schedule_after = self.world.kernel.schedule_after
+        latency = self.latency_ns
+        for reader in writer.topic.readers:
+            schedule_after(latency, partial(reader.deliver, sample))
 
     def _current_pid(self) -> int:
-        thread = self.world.scheduler.current_thread
+        thread = self.world.scheduler._advancing
         return thread.pid if thread is not None else 0

@@ -110,18 +110,22 @@ class SingleThreadedExecutor:
                 )
 
     def _pick_ready(self) -> Optional[tuple]:
+        # Hot loop (runs after every dispatch and wakeup): check the
+        # underlying ready state directly -- ``timer.ready`` is a plain
+        # attribute, and the reader queues back the ``.ready``
+        # properties of the other three entity kinds.
         node = self.node
         for timer in node.timers:
             if timer.ready:
                 return ("timer", timer)
         for sub in node.subscriptions:
-            if sub.ready:
+            if sub.reader.queue:
                 return ("subscription", sub)
         for service in node.services:
-            if service.ready:
+            if service.reader.queue:
                 return ("service", service)
         for client in node.clients:
-            if client.ready:
+            if client.reader.queue:
                 return ("client", client)
         return None
 

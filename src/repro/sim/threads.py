@@ -71,13 +71,18 @@ class ThreadState(enum.Enum):
 
     def sched_char(self) -> str:
         """Single-letter state code as shown by ``sched_switch``."""
-        return {
-            ThreadState.READY: "R",
-            ThreadState.RUNNING: "R",
-            ThreadState.BLOCKED: "S",
-            ThreadState.DEAD: "X",
-            ThreadState.NEW: "R",
-        }[self]
+        return _SCHED_CHARS[self]
+
+
+#: Hot-loop lookup for :meth:`ThreadState.sched_char` (one dict, not a
+#: dict literal per call -- sched_char fires on every context switch).
+_SCHED_CHARS = {
+    ThreadState.READY: "R",
+    ThreadState.RUNNING: "R",
+    ThreadState.BLOCKED: "S",
+    ThreadState.DEAD: "X",
+    ThreadState.NEW: "R",
+}
 
 
 class SchedPolicy(enum.Enum):

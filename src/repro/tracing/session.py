@@ -18,13 +18,59 @@ merged trace or run-by-run (DAG-per-trace, then DAG merge).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
+from heapq import merge as _heap_merge
+from operator import attrgetter
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..sim.scheduler import SchedSwitch, SchedWakeup
 from .bpf import Bpf
 from .events import P1_CREATE_NODE, TraceEvent
 from .tracers import KernelTracer, Ros2InitTracer, Ros2RtTracer
+
+
+_BY_TS = attrgetter("ts")
+
+
+def _sort_if_needed(events: List[Any]) -> None:
+    """Stable in-place sort, skipped after an O(N) monotonicity check.
+
+    Traces are sorted by contract, so rotation/persistence round trips
+    hit the check and never pay the re-sort the pre-TraceIndex code
+    performed unconditionally.
+    """
+    previous = None
+    for event in events:
+        ts = event.ts
+        if previous is not None and ts < previous:
+            events.sort(key=_BY_TS)
+            return
+        previous = ts
+
+
+def _merge_sorted(streams: List[List[Any]]) -> List[Any]:
+    """K-way merge of per-trace streams into one chronological list.
+
+    Inputs that honour the sorted-trace contract merge in O(N log k)
+    without re-sorting; ties keep input-stream order, matching what the
+    old extend-then-stable-sort produced byte for byte.  An unsorted
+    input falls back to the stable full sort.
+    """
+    populated = [stream for stream in streams if stream]
+    if not populated:
+        return []
+    if len(populated) == 1:
+        return list(populated[0])
+    if all(
+        all(s[i].ts <= s[i + 1].ts for i in range(len(s) - 1))
+        for s in populated
+    ):
+        return list(_heap_merge(*populated, key=_BY_TS))
+    flat: List[Any] = []
+    for stream in populated:
+        flat.extend(stream)
+    flat.sort(key=_BY_TS)
+    return flat
 
 
 @dataclass
@@ -55,9 +101,9 @@ class Trace:
     stop_ts: int = 0
 
     def sort(self) -> "Trace":
-        self.ros_events.sort(key=lambda e: e.ts)
-        self.sched_events.sort(key=lambda e: e.ts)
-        self.wakeup_events.sort(key=lambda e: e.ts)
+        _sort_if_needed(self.ros_events)
+        _sort_if_needed(self.sched_events)
+        _sort_if_needed(self.wakeup_events)
         return self
 
     def events_for_pid(self, pid: int) -> List[TraceEvent]:
@@ -78,8 +124,8 @@ class Trace:
             "stop_ts": self.stop_ts,
             "pid_map": {str(k): v for k, v in self.pid_map.items()},
             "ros_events": [e.to_dict() for e in self.ros_events],
-            "sched_events": [asdict(e) for e in self.sched_events],
-            "wakeup_events": [asdict(e) for e in self.wakeup_events],
+            "sched_events": [e._asdict() for e in self.sched_events],
+            "wakeup_events": [e._asdict() for e in self.wakeup_events],
         }
 
     @staticmethod
@@ -95,19 +141,25 @@ class Trace:
 
     @staticmethod
     def merge(traces: Iterable["Trace"]) -> "Trace":
-        """Merge traces into one (Fig. 2's "merge traces" path)."""
+        """Merge traces into one (Fig. 2's "merge traces" path).
+
+        Per-trace streams are chronologically sorted by contract, so a
+        k-way merge assembles the combined streams without the full
+        re-sort the pre-TraceIndex implementation performed.
+        """
         traces = list(traces)
         if not traces:
             raise ValueError("nothing to merge")
-        merged = Trace()
+        merged = Trace(
+            ros_events=_merge_sorted([t.ros_events for t in traces]),
+            sched_events=_merge_sorted([t.sched_events for t in traces]),
+            wakeup_events=_merge_sorted([t.wakeup_events for t in traces]),
+        )
         for trace in traces:
-            merged.ros_events.extend(trace.ros_events)
-            merged.sched_events.extend(trace.sched_events)
-            merged.wakeup_events.extend(trace.wakeup_events)
             merged.pid_map.update(trace.pid_map)
         merged.start_ts = min(t.start_ts for t in traces)
         merged.stop_ts = max(t.stop_ts for t in traces)
-        return merged.sort()
+        return merged
 
 
 class TracingSession:

@@ -32,11 +32,17 @@ def small_config(**overrides):
 class TestDeterminism:
     @pytest.fixture(scope="class")
     def serial(self):
-        return run_batch("deep-pipeline", runs=4, jobs=1, config=small_config())
+        return run_batch(
+            "deep-pipeline", runs=4, jobs=1,
+            config=small_config(collect_traces=True),
+        )
 
     @pytest.fixture(scope="class")
     def parallel(self):
-        return run_batch("deep-pipeline", runs=4, jobs=4, config=small_config())
+        return run_batch(
+            "deep-pipeline", runs=4, jobs=4,
+            config=small_config(collect_traces=True),
+        )
 
     def test_merged_dags_identical(self, serial, parallel):
         assert dag_to_json(serial.merged_dag) == dag_to_json(parallel.merged_dag)
@@ -92,13 +98,18 @@ class TestBatchSemantics:
             one.merged_dag.vertex(key).exec_times
         )
 
-    def test_collect_traces_disabled(self):
-        result = run_batch(
-            "deep-pipeline", runs=2, jobs=1,
-            config=small_config(collect_traces=False),
-        )
+    def test_collect_traces_off_by_default(self):
+        """Workers must not pickle traces back when only DAGs are used."""
+        result = run_batch("deep-pipeline", runs=2, jobs=1, config=small_config())
         assert len(result.database) == 0
         assert len(result.per_run_dags) == 2
+
+    def test_collect_traces_opt_in(self):
+        result = run_batch(
+            "deep-pipeline", runs=2, jobs=2,
+            config=small_config(collect_traces=True),
+        )
+        assert result.database.run_ids() == ["run000", "run001"]
 
     def test_scenario_params_forwarded(self):
         result = run_batch(
