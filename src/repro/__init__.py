@@ -61,6 +61,20 @@ merges the per-run DAGs -- results are identical for any job count::
 
 From a shell: ``python -m repro scenarios`` and ``python -m repro batch
 avp --runs 50 --jobs 8`` (see ``examples/batch_scenarios.py``).
+
+For runs too numerous to hold in memory, ``repro.store`` persists every
+run as a compact binary segment (written from a trace or streamed
+during simulation) and synthesizes the model straight from disk with
+PID-sharded multi-process extraction -- byte-identical to the
+in-memory pipeline::
+
+    from repro import record_batch, synthesize_from_store
+
+    record_batch("avp", runs=50, directory="traces/", jobs=8)
+    dag = synthesize_from_store("traces/", jobs=8)
+
+(``python -m repro record`` / ``python -m repro synthesize`` from a
+shell.)
 """
 
 from .core import (
@@ -89,10 +103,16 @@ from .scenarios import (
     scenario_names,
 )
 from .sim import SchedPolicy, ms, us
+from .store import (
+    StoreDatabase,
+    TraceStore,
+    record_batch,
+    synthesize_from_store,
+)
 from .tracing import Trace, TraceDatabase, TracingSession, measure_overhead
 from .world import World
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExecStats",
@@ -123,6 +143,10 @@ __all__ = [
     "SchedPolicy",
     "ms",
     "us",
+    "StoreDatabase",
+    "TraceStore",
+    "record_batch",
+    "synthesize_from_store",
     "Trace",
     "TraceDatabase",
     "TracingSession",

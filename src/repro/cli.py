@@ -11,14 +11,22 @@ Usage::
     python -m repro scenarios
     python -m repro batch <scenario> [--runs 8] [--jobs 4] [--duration 10]
                           [--seed 1000] [--dot out.dot] [--json out.json]
-    python -m repro perf  [--scale smoke|default|full] [--out BENCH_2.json]
+    python -m repro record <scenario> --out DIR [--runs 8] [--jobs 4]
+                          [--duration 10] [--seed 1000] [--segment-every 1.0]
+    python -m repro synthesize DIR [--jobs 4] [--strategy merge-traces]
+                          [--pids 1,2,...] [--dot out.dot] [--json out.json]
+    python -m repro perf  [--scale smoke|default|full] [--out BENCH_3.json]
                           [--baseline-src PATH] [--baseline-ref REF]
-                          [--check BENCH_2.json] [--factor 2.0]
+                          [--check BENCH_3.json] [--factor 2.0]
 
 Durations are in (simulated) seconds.  Every command prints the
 regenerated table/figure in the same shape the paper reports;
 ``scenarios`` lists the registry and ``batch`` runs any entry N times
 across worker processes and reports the merged timing model.
+``record`` stores seeded scenario runs as binary trace segments (the
+Fig. 2 database server) and ``synthesize`` turns a store back into the
+timing model with PID-sharded multi-process extraction -- the two
+halves of the collect-now/synthesize-later workflow.
 """
 
 from __future__ import annotations
@@ -146,6 +154,67 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_record(args) -> int:
+    from .experiments.batch import BatchConfig as _BatchConfig
+    from .store import record_batch
+
+    duration_ns = int(args.duration * SEC) if args.duration is not None else None
+    segment_every = (
+        int(args.segment_every * SEC) if args.segment_every is not None else None
+    )
+    config = _BatchConfig(
+        duration_ns=duration_ns,
+        num_cpus=args.cpus,
+        base_seed=args.seed,
+        segment_every_ns=segment_every,
+    )
+    result = record_batch(
+        args.scenario, runs=args.runs, directory=args.out, jobs=args.jobs,
+        config=config,
+    )
+    print(
+        f"recorded {args.scenario} -- {len(result.runs)} run(s) on "
+        f"{result.jobs} worker(s) -> {result.directory}\n"
+    )
+    print(f"{'run':<10} {'ros events':>10} {'sched events':>12} {'bytes':>10}")
+    for run in result.runs:
+        print(
+            f"{run.run_id:<10} {run.ros_events:>10} "
+            f"{run.sched_events:>12} {run.bytes_written:>10}"
+        )
+    print(
+        f"\ntotal {result.total_events} events, {result.total_bytes} bytes "
+        f"({result.total_bytes / max(1, result.total_events):.1f} B/event)"
+    )
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    from .core.pipeline import STRATEGY_MERGE_DAGS, STRATEGY_MERGE_TRACES
+    from .store import TraceStore, synthesize_from_store
+
+    strategy = {
+        "merge-traces": STRATEGY_MERGE_TRACES,
+        "merge-dags": STRATEGY_MERGE_DAGS,
+    }[args.strategy]
+    pids = None
+    if args.pids:
+        pids = [int(p) for p in args.pids.split(",") if p.strip()]
+    store = TraceStore(args.store)
+    dag = synthesize_from_store(
+        store, pids=pids, jobs=args.jobs, strategy=strategy
+    )
+    print(
+        f"synthesized {len(store)} stored run(s) from {store.directory} "
+        f"({args.strategy}, {args.jobs} job(s))\n"
+    )
+    print(format_edges(dag))
+    print()
+    print(format_exec_table(dag))
+    _write_artifacts(dag, args)
+    return 0
+
+
 def _cmd_perf(args) -> int:
     import json
 
@@ -244,6 +313,40 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--dot", help="write the merged DAG as Graphviz DOT")
     batch.add_argument("--json", help="write the merged DAG as JSON")
 
+    record = sub.add_parser(
+        "record",
+        help="store seeded scenario runs as binary trace segments",
+    )
+    record.add_argument("scenario", help="registry name (see `repro scenarios`)")
+    record.add_argument("--out", required=True,
+                        help="store directory (created if missing)")
+    record.add_argument("--runs", type=int, default=8)
+    record.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (store identical for any value)")
+    record.add_argument("--duration", type=float, default=None,
+                        help="seconds per run (default: the scenario's own)")
+    record.add_argument("--seed", type=int, default=1000)
+    record.add_argument("--cpus", type=int, default=None,
+                        help="simulated CPUs (default: the scenario's own)")
+    record.add_argument("--segment-every", type=float, default=None,
+                        help="spool rotation interval in simulated seconds "
+                             "(default 1.0)")
+
+    synthesize = sub.add_parser(
+        "synthesize",
+        help="trace store -> timing model (PID-sharded across processes)",
+    )
+    synthesize.add_argument("store", help="directory written by `repro record`")
+    synthesize.add_argument("--jobs", type=int, default=1,
+                            help="worker processes (results identical for "
+                                 "any value)")
+    synthesize.add_argument("--strategy", default="merge-traces",
+                            choices=["merge-traces", "merge-dags"])
+    synthesize.add_argument("--pids", default=None,
+                            help="comma-separated PID filter")
+    synthesize.add_argument("--dot", help="write Graphviz DOT to this path")
+    synthesize.add_argument("--json", help="write the model JSON to this path")
+
     perf = sub.add_parser(
         "perf", help="run the perf harness; write/check BENCH_*.json"
     )
@@ -274,6 +377,8 @@ COMMANDS = {
     "overhead": _cmd_overhead,
     "scenarios": _cmd_scenarios,
     "batch": _cmd_batch,
+    "record": _cmd_record,
+    "synthesize": _cmd_synthesize,
     "perf": _cmd_perf,
 }
 

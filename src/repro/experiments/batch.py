@@ -118,7 +118,12 @@ def _execute_shard(
 
 
 def _shard(run_indices: List[int], jobs: int) -> List[List[int]]:
-    """Round-robin split, so long batches balance across workers."""
+    """Round-robin split, so long batches balance across workers.
+
+    Also the single balancing rule for the store subsystem's sharded
+    recording and synthesis (``repro.store``) -- one implementation
+    backs every jobs-determinism guarantee.
+    """
     shards: List[List[int]] = [[] for _ in range(jobs)]
     for position, run_index in enumerate(run_indices):
         shards[position % jobs].append(run_index)

@@ -6,6 +6,7 @@ from .bench import (
     BenchScale,
     bench_jobs_scaling,
     bench_sim,
+    bench_store,
     bench_synthesis,
     bench_table2_batch,
     check_regression,
@@ -21,6 +22,7 @@ __all__ = [
     "BenchScale",
     "bench_jobs_scaling",
     "bench_sim",
+    "bench_store",
     "bench_synthesis",
     "bench_table2_batch",
     "check_regression",

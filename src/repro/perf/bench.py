@@ -1,6 +1,6 @@
 """Micro + macro performance benchmarks behind ``repro perf``.
 
-Four benchmarks, each reporting wall-clock and a derived throughput:
+Five benchmarks, each reporting wall-clock and a derived throughput:
 
 * **synthesis micro** -- trace -> DAG synthesis on a merged multi-run
   trace (Sec. V strategy 1, the O(P·N) pathology the ``TraceIndex``
@@ -15,7 +15,11 @@ Four benchmarks, each reporting wall-clock and a derived throughput:
   at a pre-change checkout's ``src`` directory, the identical workload
   is timed in a subprocess against that tree -- the honest
   pre-change-code comparison recorded in ``BENCH_2.json``;
-* **jobs scaling macro** -- ``run_batch --jobs`` parallel efficiency.
+* **jobs scaling macro** -- ``run_batch --jobs`` parallel efficiency;
+* **store** -- the binary trace store: segment encode/decode MB and
+  Mev/s against the legacy gzip-JSON storage, plus store-backed
+  synthesis (``synthesize_from_store``) inline overhead and PID-sharded
+  scaling.
 
 Speedup ratios (new vs frozen legacy, measured in the same process) are
 machine-independent and are what the CI regression gate compares;
@@ -310,6 +314,103 @@ def bench_jobs_scaling(scale: BenchScale) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Store: binary segments vs gzip-JSON + sharded synthesis
+# ---------------------------------------------------------------------------
+
+def bench_store(scale: BenchScale) -> Dict[str, Any]:
+    """Trace-store throughput: encode/decode vs the legacy gzip-JSON
+    storage, and store-backed synthesis inline + sharded."""
+    import tempfile
+
+    from ..store import SegmentReader, TraceStore, synthesize_from_store, write_segment
+    from ..tracing.storage import TRACE_SUFFIX, load_trace, save_trace
+
+    duration_ns = scale.batch_duration_s * SEC
+    runs = scale.batch_runs
+    traces = [_simulate(i, duration_ns) for i in range(runs)]
+    events = sum(
+        len(t.ros_events) + len(t.sched_events) + len(t.wakeup_events)
+        for t in traces
+    )
+    merged = Trace.merge(traces)
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        bin_dir = os.path.join(tmp, "bin")
+        json_dir = os.path.join(tmp, "json")
+        os.makedirs(bin_dir)
+        os.makedirs(json_dir)
+        bin_paths = [
+            os.path.join(bin_dir, f"run{i:03d}.trace.bin") for i in range(runs)
+        ]
+        json_paths = [
+            os.path.join(json_dir, f"run{i:03d}{TRACE_SUFFIX}") for i in range(runs)
+        ]
+
+        def encode_binary() -> None:
+            for trace, path in zip(traces, bin_paths):
+                write_segment(trace, path)
+
+        def encode_json() -> None:
+            for trace, path in zip(traces, json_paths):
+                save_trace(trace, path)
+
+        encode_bin_s = _best_of(encode_binary, scale.reps)
+        encode_json_s = _best_of(encode_json, scale.reps)
+        bin_bytes = sum(os.path.getsize(p) for p in bin_paths)
+        json_bytes = sum(os.path.getsize(p) for p in json_paths)
+
+        decode_bin_s = _best_of(
+            lambda: [SegmentReader.open(p).to_trace() for p in bin_paths],
+            scale.reps,
+        )
+        decode_json_s = _best_of(
+            lambda: [load_trace(p) for p in json_paths], scale.reps
+        )
+
+        store = TraceStore(bin_dir)
+        inline_s = _best_of(lambda: synthesize_from_trace(merged), scale.reps)
+        store_serial_s = _best_of(
+            lambda: synthesize_from_store(store, jobs=1), scale.reps
+        )
+        jobs = scale.scaling_jobs
+        store_sharded_s = _best_of(
+            lambda: synthesize_from_store(store, jobs=jobs), scale.reps
+        )
+
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    return {
+        "runs": runs,
+        "duration_s": scale.batch_duration_s,
+        "events": events,
+        "encode": {
+            "binary_s": round(encode_bin_s, 6),
+            "json_s": round(encode_json_s, 6),
+            "binary_bytes": bin_bytes,
+            "json_bytes": json_bytes,
+            "binary_mb_per_s": round(bin_bytes / encode_bin_s / 1e6, 3),
+            "bytes_per_event": round(bin_bytes / max(1, events), 2),
+            "speedup_vs_json": round(encode_json_s / encode_bin_s, 3),
+        },
+        "decode": {
+            "binary_s": round(decode_bin_s, 6),
+            "json_s": round(decode_json_s, 6),
+            "binary_mb_per_s": round(bin_bytes / decode_bin_s / 1e6, 3),
+            "events_per_sec": round(events / decode_bin_s),
+            "speedup_vs_json": round(decode_json_s / decode_bin_s, 3),
+        },
+        "synthesis": {
+            "inline_s": round(inline_s, 6),
+            "store_serial_s": round(store_serial_s, 6),
+            "store_overhead": round(store_serial_s / inline_s, 3),
+            "store_sharded_s": round(store_sharded_s, 6),
+            "jobs": jobs,
+            "available_cpus": cpus,
+            "sharded_speedup": round(store_serial_s / store_sharded_s, 3),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite + regression gate
 # ---------------------------------------------------------------------------
 
@@ -336,6 +437,7 @@ def run_perf_suite(
             "table2_batch": bench_table2_batch(scale, baseline_src=baseline_src),
             "jobs_scaling": bench_jobs_scaling(scale),
         },
+        "store": bench_store(scale),
     }
     if baseline_ref is not None:
         payload["meta"]["baseline_ref"] = baseline_ref
@@ -349,6 +451,8 @@ REGRESSION_METRICS = (
     ("micro.synthesis.merged.speedup", "merged-trace synthesis speedup"),
     ("micro.synthesis.single.speedup", "single-trace synthesis speedup"),
     ("micro.sim.speedup", "sim stack speedup"),
+    ("store.encode.speedup_vs_json", "binary store encode speedup"),
+    ("store.decode.speedup_vs_json", "binary store decode speedup"),
 )
 
 
@@ -423,6 +527,23 @@ def format_report(payload: Dict[str, Any]) -> str:
         f"{scaling['speedup']:.2f}x speedup, "
         f"{scaling['efficiency'] * 100:.0f}% efficiency",
     ]
+    store = payload.get("store")
+    if store:
+        encode, decode, synth = store["encode"], store["decode"], store["synthesis"]
+        lines += [
+            f"store encode      ({store['runs']} runs, {store['events']} events): "
+            f"{encode['binary_s'] * 1000:.1f} ms, "
+            f"{encode['binary_mb_per_s']:.1f} MB/s, "
+            f"{encode['bytes_per_event']:.1f} B/event, "
+            f"{encode['speedup_vs_json']:.2f}x vs gzip-JSON",
+            f"store decode      : {decode['binary_s'] * 1000:.1f} ms, "
+            f"{decode['events_per_sec'] / 1e6:.2f} Mev/s, "
+            f"{decode['speedup_vs_json']:.2f}x vs gzip-JSON",
+            f"store synthesis   (jobs={synth['jobs']}, "
+            f"{synth['available_cpus']} usable CPU(s)): "
+            f"{synth['store_overhead']:.2f}x inline overhead, "
+            f"{synth['sharded_speedup']:.2f}x sharded speedup",
+        ]
     return "\n".join(lines)
 
 

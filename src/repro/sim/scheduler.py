@@ -82,7 +82,10 @@ class SchedWakeup(NamedTuple):
 
 
 class _Cpu:
-    __slots__ = ("id", "current", "dispatch_time", "completion", "slice_handle", "busy_time")
+    __slots__ = (
+        "id", "current", "dispatch_time", "completion", "slice_handle",
+        "busy_time", "dirty",
+    )
 
     def __init__(self, cpu_id: int):
         self.id = cpu_id
@@ -91,6 +94,10 @@ class _Cpu:
         self.completion: Optional[EventHandle] = None
         self.slice_handle: Optional[EventHandle] = None
         self.busy_time = 0
+        #: Touched by a placement during the current ``_resched`` call
+        #: (see there); only dirty CPUs can newly accept a thread that
+        #: already failed to place in the same call.
+        self.dirty = False
 
 
 class Scheduler:
@@ -288,7 +295,25 @@ class Scheduler:
             self.kernel.schedule_after(0, self._resched)
 
     def _resched(self) -> None:
+        """Place ready threads, one ladder sweep per placement.
+
+        Within one call only a placement (and the activity code it lets
+        run) can change a CPU's occupancy, and the only CPU it touches
+        is its own -- marked ``dirty``.  A thread that already failed to
+        find a CPU this call therefore needs re-checking against dirty
+        CPUs only: every clean CPU is still in the exact state that
+        rejected it.  The re-scan after each placement keeps the
+        pre-dirty-flag placement order (highest priority first, deque
+        order within a priority) byte-for-byte, but previously-failed
+        threads now cost a dirty-subset probe instead of a full CPU
+        scan -- the win under wakeup storms, where one pass fails many
+        threads and each placement used to re-scan all of them against
+        all CPUs.
+        """
         self._resched_pending = False
+        for cpu in self.cpus:
+            cpu.dirty = False
+        failed: Dict[SimThread, None] = {}
         placed = True
         while placed:
             placed = False
@@ -297,25 +322,40 @@ class Scheduler:
                 if prio not in self._ready:
                     continue
                 for thread in list(self._ready[prio]):
-                    cpu = self._find_cpu_for(thread)
+                    retry = thread in failed
+                    cpu = self._find_cpu_for(thread, dirty_only=retry)
                     if cpu is None:
+                        if not retry:
+                            failed[thread] = None
                         continue
                     self._remove_ready(thread)
+                    failed.pop(thread, None)
                     prev = cpu.current
                     if prev is not None:
                         self._deschedule_current(cpu, requeue_front=True)
                     self._emit_switch(cpu, prev, "R", thread)
                     self._install(cpu, thread)
+                    cpu.dirty = True
                     placed = True
                     break
                 if placed:
                     break
 
-    def _find_cpu_for(self, thread: SimThread) -> Optional[_Cpu]:
+    def _find_cpu_for(
+        self, thread: SimThread, dirty_only: bool = False
+    ) -> Optional[_Cpu]:
         """Pick an idle allowed CPU, else the allowed CPU running the
-        lowest-priority thread strictly below ``thread``'s priority."""
+        lowest-priority thread strictly below ``thread``'s priority.
+
+        ``dirty_only`` restricts the scan to CPUs touched since the
+        thread last failed to place (see :meth:`_resched`): clean CPUs
+        rejected it in an identical state, so filtering them preserves
+        the full scan's pick exactly.
+        """
         victim: Optional[_Cpu] = None
         for cpu in self.cpus:
+            if dirty_only and not cpu.dirty:
+                continue
             if not thread.can_run_on(cpu.id):
                 continue
             if cpu.current is None:

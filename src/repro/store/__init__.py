@@ -1,0 +1,76 @@
+"""``repro.store``: binary trace store + out-of-core sharded synthesis.
+
+The scalable back end of the paper's Fig. 2 "database server": per-run
+struct-packed columnar segment files (``.trace.bin``), written from
+in-memory traces or streamed during simulation, read back lazily with
+PID selection and k-way merging, and synthesized into timing DAGs with
+Alg. 1 extraction sharded by PID across worker processes -- all
+byte-identical to the in-memory pipeline.
+
+Quickstart::
+
+    from repro.store import record_batch, synthesize_from_store
+
+    record_batch("avp", runs=16, directory="traces/", jobs=4)
+    dag = synthesize_from_store("traces/", jobs=4)
+
+or from a shell: ``python -m repro record avp --runs 16 --out traces/``
+then ``python -m repro synthesize traces/ --jobs 4``.
+"""
+
+from .database import (
+    StoreDatabase,
+    StoreError,
+    TraceStore,
+    as_store,
+    convert_database,
+    save_database_binary,
+)
+from .format import NONE_CPU, NONE_ID, SEGMENT_SUFFIX, StoreFormatError
+from .reader import (
+    InMemorySegment,
+    SegmentReader,
+    merge_ros_streams,
+    merge_sched_streams,
+    merge_wakeup_streams,
+)
+from .record import (
+    DEFAULT_SPOOL_NS,
+    RecordResult,
+    RecordedRun,
+    record_batch,
+    record_run,
+    run_id_for,
+)
+from .synthesis import merged_trace_index, synthesize_from_store
+from .writer import SegmentSpool, encode_trace, segment_path, write_segment
+
+__all__ = [
+    "StoreDatabase",
+    "StoreError",
+    "TraceStore",
+    "as_store",
+    "convert_database",
+    "save_database_binary",
+    "NONE_CPU",
+    "NONE_ID",
+    "SEGMENT_SUFFIX",
+    "StoreFormatError",
+    "InMemorySegment",
+    "SegmentReader",
+    "merge_ros_streams",
+    "merge_sched_streams",
+    "merge_wakeup_streams",
+    "DEFAULT_SPOOL_NS",
+    "RecordResult",
+    "RecordedRun",
+    "record_batch",
+    "record_run",
+    "run_id_for",
+    "merged_trace_index",
+    "synthesize_from_store",
+    "SegmentSpool",
+    "encode_trace",
+    "segment_path",
+    "write_segment",
+]

@@ -1,0 +1,215 @@
+"""The on-disk trace store: a directory of per-run segments.
+
+A store directory holds one file per run -- binary ``.trace.bin``
+segments (this subsystem's format) and/or legacy ``.trace.json.gz``
+files (the pre-store gzip-JSON database) side by side.  The run id is
+the file stem; a run stored in both formats resolves to the binary
+segment.
+
+:class:`TraceStore` is the directory handle (list, open readers,
+write, convert).  :class:`StoreDatabase` is the store-backed mode of
+:class:`~repro.tracing.session.TraceDatabase`: the same interface the
+synthesis pipeline consumes, but runs are materialized lazily from
+disk on access and ``add`` writes through to a binary segment, so a
+database of hundreds of runs costs directory metadata until a trace is
+actually needed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from ..tracing.session import Trace, TraceDatabase
+from ..tracing.storage import TRACE_SUFFIX, load_trace
+from .format import SEGMENT_SUFFIX
+from .reader import InMemorySegment, SegmentReader, read_pid_map
+from .writer import write_segment
+
+StoreLike = Union[str, "TraceStore"]
+
+
+class StoreError(ValueError):
+    """Raised for unusable store directories."""
+
+
+def as_store(store: StoreLike) -> "TraceStore":
+    return store if isinstance(store, TraceStore) else TraceStore(store)
+
+
+class TraceStore:
+    """Directory of stored runs (binary segments + legacy JSON)."""
+
+    def __init__(self, directory: str, allow_empty: bool = False):
+        self.directory = os.fspath(directory)
+        if not os.path.isdir(self.directory):
+            raise FileNotFoundError(f"no such trace store: {self.directory!r}")
+        self._files: Dict[str, str] = {}
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(SEGMENT_SUFFIX):
+                run_id = name[: -len(SEGMENT_SUFFIX)]
+            elif name.endswith(TRACE_SUFFIX):
+                run_id = name[: -len(TRACE_SUFFIX)]
+                if run_id in self._files:
+                    continue  # binary segment shadows the legacy copy
+            else:
+                continue
+            self._files[run_id] = name
+        if not self._files and not allow_empty:
+            raise StoreError(
+                f"trace store {self.directory!r} contains no "
+                f"*{SEGMENT_SUFFIX} or *{TRACE_SUFFIX} runs "
+                "(pass allow_empty=True to open it anyway)"
+            )
+
+    # -- listing -----------------------------------------------------------
+
+    def run_ids(self) -> List[str]:
+        return sorted(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __contains__(self, run_id: str) -> bool:
+        return run_id in self._files
+
+    def path_of(self, run_id: str) -> str:
+        return os.path.join(self.directory, self._files[run_id])
+
+    def is_binary(self, run_id: str) -> bool:
+        return self._files[run_id].endswith(SEGMENT_SUFFIX)
+
+    # -- reading -----------------------------------------------------------
+
+    def open(self, run_id: str):
+        """A reader for one run (lazy for binary segments; legacy JSON
+        loads eagerly behind the same interface)."""
+        path = self.path_of(run_id)
+        if self.is_binary(run_id):
+            return SegmentReader.open(path)
+        return InMemorySegment(load_trace(path), path=path)
+
+    def readers(self) -> List[object]:
+        """Readers for every run, in run-id order (the merge order)."""
+        return [self.open(run_id) for run_id in self.run_ids()]
+
+    def load(self, run_id: str) -> Trace:
+        return self.open(run_id).to_trace()
+
+    def union_pid_map(self) -> Dict[int, Optional[str]]:
+        """PID -> node name over all runs, in run-id order (later runs
+        win ties, like ``Trace.merge``).  Binary runs decode only their
+        pid_map prefix; legacy JSON runs must load fully."""
+        pid_map: Dict[int, Optional[str]] = {}
+        for run_id in self.run_ids():
+            if self.is_binary(run_id):
+                pid_map.update(read_pid_map(self.path_of(run_id)))
+            else:
+                pid_map.update(self.open(run_id).pid_map)
+        return pid_map
+
+    def merged_trace(self) -> Trace:
+        """All runs merged chronologically (Fig. 2's merge-traces path)."""
+        return Trace.merge([self.load(run_id) for run_id in self.run_ids()])
+
+    def to_database(self) -> TraceDatabase:
+        """Materialize everything into an in-memory database."""
+        database = TraceDatabase()
+        for run_id in self.run_ids():
+            database.add(run_id, self.load(run_id))
+        return database
+
+    # -- writing -----------------------------------------------------------
+
+    def add_trace(self, run_id: str, trace: Trace) -> str:
+        """Write one run as a binary segment; returns the path."""
+        if run_id in self._files and self.is_binary(run_id):
+            raise ValueError(f"run {run_id!r} already stored")
+        name = f"{run_id}{SEGMENT_SUFFIX}"
+        write_segment(trace, os.path.join(self.directory, name))
+        self._files[run_id] = name
+        return os.path.join(self.directory, name)
+
+    @classmethod
+    def create(cls, directory: str) -> "TraceStore":
+        os.makedirs(directory, exist_ok=True)
+        return cls(directory, allow_empty=True)
+
+    # -- conversion --------------------------------------------------------
+
+    def convert_legacy(self, remove: bool = False) -> List[str]:
+        """Re-encode every legacy ``.trace.json.gz`` run as a binary
+        segment (idempotent); returns the written paths.
+
+        ``remove=True`` deletes the JSON originals after conversion.
+        """
+        written: List[str] = []
+        for run_id in self.run_ids():
+            if self.is_binary(run_id):
+                continue
+            legacy_path = self.path_of(run_id)
+            trace = load_trace(legacy_path)
+            name = f"{run_id}{SEGMENT_SUFFIX}"
+            write_segment(trace, os.path.join(self.directory, name))
+            self._files[run_id] = name
+            written.append(os.path.join(self.directory, name))
+            if remove:
+                os.remove(legacy_path)
+        return written
+
+
+def convert_database(directory: str, remove: bool = False) -> List[str]:
+    """Convert a legacy gzip-JSON trace directory in place."""
+    return TraceStore(directory).convert_legacy(remove=remove)
+
+
+def save_database_binary(database: TraceDatabase, directory: str) -> List[str]:
+    """Write every run of an in-memory database as binary segments."""
+    store = TraceStore.create(directory)
+    return [
+        store.add_trace(run_id, database.get(run_id))
+        for run_id in database.run_ids()
+    ]
+
+
+class StoreDatabase(TraceDatabase):
+    """Store-backed :class:`TraceDatabase`: lazy reads, write-through adds.
+
+    ``get``/``traces``/``merged`` materialize runs from the store on
+    first use (optionally caching them); ``add`` writes a binary segment
+    and keeps nothing in memory unless caching is on.
+    """
+
+    def __init__(self, store: StoreLike, cache: bool = True):
+        super().__init__()
+        self.store = as_store(store)
+        self._cache = cache
+
+    def run_ids(self) -> List[str]:
+        ids = set(self.store.run_ids())
+        ids.update(self._traces)
+        return sorted(ids)
+
+    def add(self, run_id: str, trace: Trace) -> None:
+        if run_id in self.store:
+            raise ValueError(f"run {run_id!r} already stored")
+        self.store.add_trace(run_id, trace)
+        if self._cache:
+            self._traces[run_id] = trace
+
+    def get(self, run_id: str) -> Trace:
+        trace = self._traces.get(run_id)
+        if trace is None:
+            trace = self.store.load(run_id)
+            if self._cache:
+                self._traces[run_id] = trace
+        return trace
+
+    def traces(self) -> List[Trace]:
+        return [self.get(run_id) for run_id in self.run_ids()]
+
+    def __len__(self) -> int:
+        return len(self.run_ids())
+
+    def to_dict(self) -> Dict[str, dict]:
+        return {run_id: self.get(run_id).to_dict() for run_id in self.run_ids()}

@@ -1,0 +1,268 @@
+"""Reading binary trace segments without materializing events.
+
+:class:`SegmentReader` parses a ``.trace.bin`` file into column *views*
+(`memoryview.cast` on little-endian hosts -- no copy of the event
+sections) plus the decoded string table.  Event objects are constructed
+lazily, per iteration, and only for the rows a consumer asks for:
+``iter_ros(pids=...)`` scans the int32 PID column and skips everything
+else, so selecting one node out of a 50-run merged store never builds
+the other nodes' events.
+
+:func:`merge_ros_streams` / :func:`merge_sched_streams` k-way merge
+many stored runs chronologically (ties keep run order, exactly like
+:meth:`repro.tracing.session.Trace.merge`), again yielding events one
+at a time.  :class:`InMemorySegment` adapts an already-loaded
+:class:`~repro.tracing.session.Trace` to the same interface so legacy
+gzip-JSON runs participate in mixed-directory merges.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from heapq import merge as _heap_merge
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..sim.scheduler import SchedSwitch, SchedWakeup
+from ..tracing.events import TraceEvent
+from ..tracing.session import Trace
+from .format import (
+    FLAG_ZLIB_BODY,
+    HEADER,
+    IncompletePrefix,
+    NONE_CPU,
+    NONE_ID,
+    ROS_COLUMNS,
+    SCHED_COLUMNS,
+    StoreFormatError,
+    WAKEUP_COLUMNS,
+    column_from_bytes,
+    unpack_header,
+    unpack_pid_map,
+    unpack_strings,
+)
+
+_BIG_ENDIAN = sys.byteorder == "big"
+_ITEMSIZE = {"q": 8, "i": 4, "I": 4}
+
+_TS_KEY = lambda event: event[0]  # noqa: E731 - ts field of every record
+
+
+class SegmentReader:
+    """One stored run, decoded lazily from its packed columns."""
+
+    def __init__(self, data: bytes, path: Optional[str] = None):
+        self.path = path
+        self.size_bytes = len(data)
+        flags, n_strings, n_pids, n_ros, n_sched, n_wakeup, start, stop = (
+            unpack_header(data)
+        )
+        if flags & FLAG_ZLIB_BODY:
+            import zlib
+
+            body: bytes = zlib.decompress(data[HEADER.size:])
+        else:
+            body = memoryview(data)[HEADER.size:]
+        self._body = body
+        self.start_ts = start
+        self.stop_ts = stop
+        self.num_ros_events = n_ros
+        self.num_sched_events = n_sched
+        self.num_wakeup_events = n_wakeup
+        try:
+            self.pid_map, offset = unpack_pid_map(body, 0, n_pids)
+            self._strings, offset = unpack_strings(body, offset, n_strings)
+            self._ros = self._read_section(ROS_COLUMNS, n_ros, offset)
+            offset += sum(_ITEMSIZE[c] for c in ROS_COLUMNS) * n_ros
+            self._sched = self._read_section(SCHED_COLUMNS, n_sched, offset)
+            offset += sum(_ITEMSIZE[c] for c in SCHED_COLUMNS) * n_sched
+            self._wakeup = self._read_section(WAKEUP_COLUMNS, n_wakeup, offset)
+            offset += sum(_ITEMSIZE[c] for c in WAKEUP_COLUMNS) * n_wakeup
+            if offset > len(body):
+                raise StoreFormatError(
+                    f"truncated segment body: need {offset} bytes, have {len(body)}"
+                )
+        except StoreFormatError:
+            raise
+        except (ValueError, TypeError, struct.error, IndexError) as error:
+            # A cut anywhere (string table, column cast) surfaces as the
+            # same clear diagnosis instead of a low-level parse error.
+            raise StoreFormatError(f"corrupt or truncated segment: {error}")
+        #: payload string id -> decoded mapping, shared across events
+        #: (payloads are immutable by the TraceEvent contract).
+        self._payload_cache: Dict[int, Dict[str, Any]] = {}
+
+    @classmethod
+    def open(cls, path: str) -> "SegmentReader":
+        with open(path, "rb") as handle:
+            return cls(handle.read(), path=path)
+
+    def _read_section(
+        self, typecodes: Sequence[str], count: int, offset: int
+    ) -> List[Sequence[int]]:
+        """Column views for one section (zero-copy casts on LE hosts)."""
+        columns: List[Sequence[int]] = []
+        view = memoryview(self._body)
+        for code in typecodes:
+            size = _ITEMSIZE[code] * count
+            raw = view[offset:offset + size]
+            if _BIG_ENDIAN:  # pragma: no cover - LE containers
+                columns.append(column_from_bytes(code, bytes(raw)))
+            else:
+                columns.append(raw.cast(code))
+            offset += size
+        return columns
+
+    # -- decoding ----------------------------------------------------------
+
+    def _payload(self, data_id: int) -> Dict[str, Any]:
+        if data_id == NONE_ID:
+            return {}
+        payload = self._payload_cache.get(data_id)
+        if payload is None:
+            import json
+
+            payload = json.loads(self._strings[data_id])
+            self._payload_cache[data_id] = payload
+        return payload
+
+    def iter_ros(self, pids: Optional[Iterable[int]] = None) -> Iterator[TraceEvent]:
+        """The run's ROS events, chronological; ``pids`` selects rows by
+        scanning the PID column only."""
+        ts_col, pid_col, probe_col, data_col = self._ros
+        strings = self._strings
+        payload = self._payload
+        if pids is None:
+            for i in range(self.num_ros_events):
+                yield TraceEvent(
+                    ts_col[i], pid_col[i], strings[probe_col[i]], payload(data_col[i])
+                )
+        else:
+            wanted = frozenset(pids)
+            for i in range(self.num_ros_events):
+                if pid_col[i] in wanted:
+                    yield TraceEvent(
+                        ts_col[i], pid_col[i], strings[probe_col[i]],
+                        payload(data_col[i]),
+                    )
+
+    def iter_sched(self) -> Iterator[SchedSwitch]:
+        ts, cpu, prev_pid, prev_comm, prev_prio, prev_state, next_pid, next_comm, next_prio = self._sched
+        strings = self._strings
+        for i in range(self.num_sched_events):
+            yield SchedSwitch(
+                ts[i], cpu[i], prev_pid[i], strings[prev_comm[i]], prev_prio[i],
+                strings[prev_state[i]], next_pid[i], strings[next_comm[i]],
+                next_prio[i],
+            )
+
+    def iter_wakeups(self) -> Iterator[SchedWakeup]:
+        ts, cpu, pid, comm, prio = self._wakeup
+        strings = self._strings
+        for i in range(self.num_wakeup_events):
+            cpu_value = cpu[i]
+            yield SchedWakeup(
+                ts[i], None if cpu_value == NONE_CPU else cpu_value, pid[i],
+                strings[comm[i]], prio[i],
+            )
+
+    # -- aggregate views ---------------------------------------------------
+
+    def ros_pids(self) -> List[int]:
+        """Distinct PIDs appearing in the ROS stream (column scan --
+        no events are materialized)."""
+        return sorted(set(self._ros[1]))
+
+    def pids(self) -> List[int]:
+        """PIDs of the run's PID map (the traced nodes)."""
+        return sorted(self.pid_map)
+
+    def to_trace(self) -> Trace:
+        """Materialize the full run (lossless round trip)."""
+        return Trace(
+            ros_events=list(self.iter_ros()),
+            sched_events=list(self.iter_sched()),
+            wakeup_events=list(self.iter_wakeups()),
+            pid_map=dict(self.pid_map),
+            start_ts=self.start_ts,
+            stop_ts=self.stop_ts,
+        )
+
+
+def read_pid_map(path: str) -> Dict[int, Optional[str]]:
+    """The PID -> node-name map of a segment, from a file prefix.
+
+    The pid_map section leads the body, so planning a sharded synthesis
+    over a large store decodes a few KB per run (one inflate window for
+    compressed segments) instead of every event column.
+    """
+    import zlib
+
+    with open(path, "rb") as handle:
+        head = handle.read(HEADER.size)
+        flags, _, n_pids, _, _, _, _, _ = unpack_header(head)
+        inflater = zlib.decompressobj() if flags & FLAG_ZLIB_BODY else None
+        buffer = b""
+        while True:
+            try:
+                pid_map, _ = unpack_pid_map(buffer, 0, n_pids)
+                return pid_map
+            except IncompletePrefix:
+                pass
+            chunk = handle.read(1 << 16)
+            if not chunk:
+                raise StoreFormatError(f"truncated segment {path!r}: pid_map cut off")
+            buffer += inflater.decompress(chunk) if inflater else chunk
+
+
+class InMemorySegment:
+    """A loaded :class:`Trace` behind the reader interface (legacy runs)."""
+
+    def __init__(self, trace: Trace, path: Optional[str] = None):
+        self._trace = trace
+        self.path = path
+        self.pid_map = trace.pid_map
+        self.start_ts = trace.start_ts
+        self.stop_ts = trace.stop_ts
+        self.num_ros_events = len(trace.ros_events)
+        self.num_sched_events = len(trace.sched_events)
+        self.num_wakeup_events = len(trace.wakeup_events)
+
+    def iter_ros(self, pids: Optional[Iterable[int]] = None) -> Iterator[TraceEvent]:
+        if pids is None:
+            return iter(self._trace.ros_events)
+        wanted = frozenset(pids)
+        return (e for e in self._trace.ros_events if e.pid in wanted)
+
+    def iter_sched(self) -> Iterator[SchedSwitch]:
+        return iter(self._trace.sched_events)
+
+    def iter_wakeups(self) -> Iterator[SchedWakeup]:
+        return iter(self._trace.wakeup_events)
+
+    def pids(self) -> List[int]:
+        return sorted(self.pid_map)
+
+    def to_trace(self) -> Trace:
+        return self._trace
+
+
+def merge_ros_streams(
+    readers: Sequence[Any], pids: Optional[Iterable[int]] = None
+) -> Iterator[TraceEvent]:
+    """Chronological k-way merge of many runs' ROS streams.
+
+    Stored streams are sorted by the trace contract, so the heap merge
+    yields the exact sequence ``Trace.merge`` would produce (ties keep
+    reader order), one event at a time.
+    """
+    wanted = None if pids is None else frozenset(pids)
+    return _heap_merge(*(r.iter_ros(pids=wanted) for r in readers), key=_TS_KEY)
+
+
+def merge_sched_streams(readers: Sequence[Any]) -> Iterator[SchedSwitch]:
+    return _heap_merge(*(r.iter_sched() for r in readers), key=_TS_KEY)
+
+
+def merge_wakeup_streams(readers: Sequence[Any]) -> Iterator[SchedWakeup]:
+    return _heap_merge(*(r.iter_wakeups() for r in readers), key=_TS_KEY)

@@ -1,0 +1,205 @@
+"""Record scenario runs straight into a trace store (``repro record``).
+
+The Fig. 2 collection workflow, ending at the database server: run a
+registered scenario N times with per-run seeds and write every run as a
+binary segment.  Each run streams through a
+:class:`~repro.store.writer.SegmentSpool` -- the tracing session is
+rotated every ``segment_every_ns`` (default one simulated second) and
+each drained rotation is packed immediately, so the recorder's
+footprint is one rotation window of event objects plus the growing
+columns, never the whole trace.
+
+Determinism mirrors :mod:`repro.experiments.batch`: a run's seed,
+clock base and PID base derive only from its ``run_index``; workers
+rebuild the scenario spec from ``(name, params, run_index)`` and write
+disjoint files, so the store contents are byte-identical for any
+``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..experiments.batch import BatchConfig, _shard
+from ..scenarios.registry import build_scenario_spec
+from ..sim.kernel import SEC
+from ..tracing.session import TracingSession
+from ..world import World
+from .writer import SegmentSpool, segment_path, spool_session_segment
+
+#: Default rotation interval for spooled recording.
+DEFAULT_SPOOL_NS = 1 * SEC
+
+
+def run_id_for(run_index: int) -> str:
+    return f"run{run_index:03d}"
+
+
+@dataclass
+class RecordedRun:
+    """Metadata of one stored run (the trace itself stays on disk)."""
+
+    run_index: int
+    run_id: str
+    path: str
+    ros_events: int
+    sched_events: int
+    bytes_written: int
+
+
+@dataclass
+class RecordResult:
+    """Everything ``record_batch`` produced."""
+
+    scenario: str
+    directory: str
+    runs: List[RecordedRun]
+    jobs: int
+
+    @property
+    def run_ids(self) -> List[str]:
+        return [run.run_id for run in self.runs]
+
+    @property
+    def total_events(self) -> int:
+        return sum(run.ros_events + run.sched_events for run in self.runs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(run.bytes_written for run in self.runs)
+
+
+def record_run(
+    scenario: str,
+    run_index: int,
+    runs: int,
+    config: BatchConfig,
+    directory: str,
+) -> RecordedRun:
+    """One seeded, traced, spooled scenario run -> one binary segment."""
+    spec = build_scenario_spec(
+        scenario,
+        run_index=run_index,
+        runs=runs,
+        duration_ns=config.duration_ns,
+        **config.scenario_params,
+    )
+    duration = config.duration_ns if config.duration_ns is not None else spec.duration_ns
+    num_cpus = config.num_cpus if config.num_cpus is not None else spec.num_cpus
+    run_config = config.run_config(duration, num_cpus)
+    world = World(
+        num_cpus=run_config.num_cpus,
+        seed=run_config.seed_for(run_index),
+        timeslice=run_config.timeslice_ns,
+        dds_latency_ns=run_config.dds_latency_ns,
+        start_time_ns=run_config.time_base_for(run_index),
+        first_pid=run_config.pid_base_for(run_index),
+    )
+    spec.build(world)
+    session = TracingSession(world, kernel_filter=run_config.kernel_filter)
+    session.start_init()
+    world.launch()
+    world.run(for_ns=run_config.warmup_ns)
+    session.stop_init()
+
+    spool = SegmentSpool()
+    # Init events (P1 discovery) precede every runtime segment
+    # chronologically, so spooling them first keeps the stored stream
+    # sorted -- the same order session.trace() would produce.
+    for event in session.init_events():
+        spool.append_ros(event)
+
+    session.start_runtime()
+    start_ts = world.now
+    spool_every = config.segment_every_ns or DEFAULT_SPOOL_NS
+    if spool_every <= 0:
+        raise ValueError("segment_every_ns must be positive")
+    remaining = duration
+    while remaining > 0:
+        step = min(spool_every, remaining)
+        world.run(for_ns=step)
+        spool_session_segment(spool, session)
+        remaining -= step
+    session.stop_runtime()
+    for segment in session.segments:  # final rotation from stop_runtime
+        spool.add_segment(segment)
+    session.segments.clear()
+    stop_ts = world.now
+
+    run_id = run_id_for(run_index)
+    os.makedirs(directory, exist_ok=True)
+    path = segment_path(directory, run_id)
+    ros_events = spool.num_ros
+    sched_events = spool.num_sched
+    written = spool.finish_path(path, session.pid_map(), start_ts, stop_ts)
+    return RecordedRun(
+        run_index=run_index,
+        run_id=run_id,
+        path=path,
+        ros_events=ros_events,
+        sched_events=sched_events,
+        bytes_written=written,
+    )
+
+
+def _record_shard(
+    args: Tuple[str, Tuple[int, ...], int, BatchConfig, str],
+) -> List[RecordedRun]:
+    """Record a shard of run indices (module-level for pickling)."""
+    scenario, run_indices, runs, config, directory = args
+    return [
+        record_run(scenario, run_index, runs, config, directory)
+        for run_index in run_indices
+    ]
+
+
+def record_batch(
+    scenario: str,
+    runs: int,
+    directory: str,
+    jobs: int = 1,
+    config: Optional[BatchConfig] = None,
+) -> RecordResult:
+    """Record ``runs`` seeded runs of ``scenario`` into ``directory``.
+
+    Store contents are identical for any ``jobs`` value; workers write
+    disjoint segment files, so nothing is pickled back but metadata.
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    if jobs < 1:
+        raise ValueError("need at least one job")
+    config = config if config is not None else BatchConfig()
+    if config.duration_ns is not None and config.duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    if config.segment_every_ns is not None and config.segment_every_ns <= 0:
+        raise ValueError("segment_every_ns must be positive")
+    build_scenario_spec(  # validate name/params before forking
+        scenario,
+        run_index=0,
+        runs=runs,
+        duration_ns=config.duration_ns,
+        **config.scenario_params,
+    )
+    os.makedirs(directory, exist_ok=True)
+
+    run_indices = list(range(runs))
+    jobs = min(jobs, runs)
+    if jobs == 1:
+        recorded = _record_shard((scenario, tuple(run_indices), runs, config, directory))
+    else:
+        shards = _shard(run_indices, jobs)
+        recorded = []
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            for shard_result in pool.map(
+                _record_shard,
+                [(scenario, tuple(shard), runs, config, directory) for shard in shards],
+            ):
+                recorded.extend(shard_result)
+    recorded.sort(key=lambda run: run.run_index)
+    return RecordResult(
+        scenario=scenario, directory=directory, runs=recorded, jobs=jobs
+    )

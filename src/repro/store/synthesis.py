@@ -1,0 +1,205 @@
+"""Out-of-core model synthesis straight from a trace store.
+
+``synthesize_from_store`` reproduces the two multi-run strategies of
+Sec. V without an in-memory :class:`TraceDatabase`:
+
+* **merge_traces** (default): the stored runs' event streams k-way
+  merge into one chronological stream feeding a single
+  :class:`~repro.core.index.TraceIndex`; Alg. 1 extraction then
+  partitions the traced PIDs into shards and fans out over a
+  ``ProcessPoolExecutor``.  Workers re-open the store themselves (the
+  task payload is ``(directory, pid shard)``, never pickled traces) and
+  return per-PID CBlists, which reduce in sorted-PID order into the
+  same DAG the in-memory pipeline synthesizes -- **byte-identical for
+  any ``jobs`` value**, the same determinism discipline as
+  :mod:`repro.experiments.batch`.
+* **merge_dags**: one DAG per stored run (sharded by run), merged with
+  :func:`~repro.core.merge.merge_dags`.
+
+Sharding discipline: per-PID extraction only shares the *immutable*
+``TraceIndex`` tables; the single mutable piece of extraction state --
+the FIFO caller cursors of :class:`~repro.core.extraction.EventIndex`
+-- is keyed by ``(topic, src_ts)``, and every take of such a key
+happens in the one PID hosting that service, so per-shard cursors see
+exactly the lookup sequence the sequential pass saw.  The equivalence
+suite pins this byte-for-byte against ``synthesize_from_trace`` for
+every registry scenario at several job counts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.dag import TimingDag
+from ..core.extraction import EventIndex, _extract_pid_events
+from ..experiments.batch import _shard
+from ..core.index import TraceIndex
+from ..core.merge import merge_dags
+from ..core.pipeline import (
+    STRATEGY_MERGE_DAGS,
+    STRATEGY_MERGE_TRACES,
+    synthesize_from_trace,
+)
+from ..core.records import CBList
+from ..core.synthesis import synthesize_dag
+from .database import StoreLike, as_store
+from .reader import merge_ros_streams, merge_sched_streams
+
+
+def _index_from_readers(readers: Sequence) -> TraceIndex:
+    pid_map: Dict[int, Optional[str]] = {}
+    for reader in readers:
+        pid_map.update(reader.pid_map)
+    return TraceIndex(
+        list(merge_ros_streams(readers)),
+        merge_sched_streams(readers),
+        pid_map=pid_map,
+    )
+
+
+def merged_trace_index(store: StoreLike) -> TraceIndex:
+    """One :class:`TraceIndex` over all stored runs, streamed.
+
+    Events decode once, directly into the index's merged chronological
+    list; per-run ``Trace`` objects are never materialized and sched
+    events flow straight into the columnar ``SchedIndex``.
+    """
+    return _index_from_readers(as_store(store).readers())
+
+
+def _extract_cblists(index: TraceIndex, wanted: Sequence[int]) -> List[CBList]:
+    """Alg. 1 over ``wanted`` PIDs of a prebuilt merged index (the exact
+    loop of :func:`repro.core.extraction.extract_all`)."""
+    event_index = EventIndex(trace_index=index)
+    pid_map = index.pid_map
+    cblists = []
+    for pid in wanted:
+        events, codes = index.walk_for_pid(pid)
+        cblists.append(
+            _extract_pid_events(
+                pid, events, codes, index.sched, event_index, pid_map.get(pid, "")
+            )
+        )
+    return cblists
+
+
+def _extract_shard(args: Tuple[str, Tuple[int, ...]]) -> List[CBList]:
+    """Worker body: open the store, rebuild the merged index, extract
+    this shard's PIDs (module-level for pickling)."""
+    directory, shard = args
+    index = merged_trace_index(directory)
+    return _extract_cblists(index, list(shard))
+
+
+def _synthesize_run_shard(
+    args: Tuple[str, Tuple[str, ...], Optional[Tuple[int, ...]], bool, bool],
+) -> List[TimingDag]:
+    """Worker body for the merge_dags strategy: one DAG per stored run."""
+    directory, run_ids, pids, split_services, model_sync = args
+    store = as_store(directory)
+    return [
+        synthesize_from_trace(
+            store.load(run_id),
+            pids=pids,
+            split_services=split_services,
+            model_sync=model_sync,
+        )
+        for run_id in run_ids
+    ]
+
+
+def synthesize_from_store(
+    store: StoreLike,
+    pids: Optional[Iterable[int]] = None,
+    jobs: int = 1,
+    split_services: bool = True,
+    model_sync: bool = True,
+    strategy: str = STRATEGY_MERGE_TRACES,
+) -> TimingDag:
+    """Trace store -> timing DAG, optionally sharded across processes.
+
+    ``jobs=1`` stays in-process.  Results are byte-identical for any
+    ``jobs`` value; only wall-clock changes.
+    """
+    if jobs < 1:
+        raise ValueError("need at least one job")
+    store = as_store(store)
+
+    if strategy == STRATEGY_MERGE_DAGS:
+        return _synthesize_merge_dags(store, pids, jobs, split_services, model_sync)
+    if strategy != STRATEGY_MERGE_TRACES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected "
+            f"{STRATEGY_MERGE_TRACES!r} or {STRATEGY_MERGE_DAGS!r}"
+        )
+
+    if jobs == 1:
+        # Serial: decode every segment exactly once -- the index carries
+        # the union pid_map, so no planning prefix-read is needed.
+        index = merged_trace_index(store)
+        wanted = sorted(pids) if pids is not None else sorted(index.pid_map)
+        cblists = _extract_cblists(index, wanted)
+        return synthesize_dag(
+            cblists, split_services=split_services, model_sync=model_sync
+        )
+
+    # Sharded: plan from the cheap pid_map prefixes, decode in workers.
+    if pids is not None:
+        wanted = sorted(pids)
+    else:
+        wanted = sorted(store.union_pid_map())
+    jobs = min(jobs, len(wanted)) if wanted else 1
+    if jobs == 1:
+        index = merged_trace_index(store)
+        cblists = _extract_cblists(index, wanted)
+    else:
+        shards = _shard(wanted, jobs)
+        by_pid: Dict[int, CBList] = {}
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            for shard_lists in pool.map(
+                _extract_shard,
+                [(store.directory, tuple(shard)) for shard in shards],
+            ):
+                for cblist in shard_lists:
+                    by_pid[cblist.pid] = cblist
+        cblists = [by_pid[pid] for pid in wanted]
+    return synthesize_dag(
+        cblists, split_services=split_services, model_sync=model_sync
+    )
+
+
+def _synthesize_merge_dags(
+    store,
+    pids: Optional[Iterable[int]],
+    jobs: int,
+    split_services: bool,
+    model_sync: bool,
+) -> TimingDag:
+    run_ids = store.run_ids()
+    if not run_ids:
+        raise ValueError(f"trace store {store.directory!r} holds no runs")
+    pids_key = tuple(sorted(pids)) if pids is not None else None
+    jobs = min(jobs, len(run_ids))
+    if jobs == 1:
+        dags = _synthesize_run_shard(
+            (store.directory, tuple(run_ids), pids_key, split_services, model_sync)
+        )
+    else:
+        shards = _shard(run_ids, jobs)
+        by_run: Dict[str, TimingDag] = {}
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            for shard, shard_dags in zip(
+                shards,
+                pool.map(
+                    _synthesize_run_shard,
+                    [
+                        (store.directory, tuple(shard), pids_key,
+                         split_services, model_sync)
+                        for shard in shards
+                    ],
+                ),
+            ):
+                by_run.update(zip(shard, shard_dags))
+        dags = [by_run[run_id] for run_id in run_ids]
+    return merge_dags(dags)

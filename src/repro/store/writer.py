@@ -1,0 +1,255 @@
+"""Writing binary trace segments: in-memory traces and spooled runs.
+
+Two producers share the same encoder core (:class:`SegmentSpool`):
+
+* :func:`write_segment` / :func:`encode_trace` pack an in-memory
+  :class:`~repro.tracing.session.Trace` in one shot;
+* a :class:`SegmentSpool` fed incrementally -- one
+  :class:`~repro.tracing.session.TraceSegment` per buffer rotation --
+  is the *spooling tracepoint sink*: events leave Python-object form at
+  every rotation (their lists are dropped after packing), so a long
+  simulation never holds more than one rotation window of event objects
+  plus the compact columns.  :mod:`repro.store.record` drives this
+  against live scenario runs.
+
+Payloads are canonical compact JSON interned in the string table; the
+empty payload is a reserved ``NONE_ID`` so the dominant payload-less
+sched events and bare probes cost four bytes, not a table entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from array import array
+from typing import IO, Any, Dict, List, Mapping, Optional
+
+from ..sim.scheduler import SchedSwitch, SchedWakeup
+from ..tracing.events import TraceEvent
+from ..tracing.session import Trace, TraceSegment
+from .format import (
+    FLAG_ZLIB_BODY,
+    NONE_CPU,
+    NONE_ID,
+    ROS_COLUMNS,
+    SCHED_COLUMNS,
+    WAKEUP_COLUMNS,
+    ZLIB_LEVEL,
+    column_bytes,
+    pack_header,
+    pack_pid_map,
+    pack_strings,
+)
+
+
+def _encode_payload(data: Mapping[str, Any]) -> str:
+    """Canonical compact JSON for a ``TraceEvent.data`` mapping."""
+    return json.dumps(dict(data), separators=(",", ":"), ensure_ascii=False)
+
+
+class StringTable:
+    """Interning writer-side string table (id = first-seen order)."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self.strings: List[str] = []
+
+    def intern(self, text: str) -> int:
+        table_id = self._ids.get(text)
+        if table_id is None:
+            table_id = self._ids[text] = len(self.strings)
+            self.strings.append(text)
+        return table_id
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+
+class SegmentSpool:
+    """Columnar accumulator for one run's trace.
+
+    Append events (individually or a whole rotation segment at a time),
+    then :meth:`finish` to emit the packed bytes.  Between appends the
+    spool holds only native-typed arrays and the string table -- no
+    event objects -- which is what bounds memory for streamed
+    collection.
+    """
+
+    def __init__(self) -> None:
+        self.strings = StringTable()
+        self._ros = tuple(array(code) for code in ROS_COLUMNS)
+        self._sched = tuple(array(code) for code in SCHED_COLUMNS)
+        self._wakeup = tuple(array(code) for code in WAKEUP_COLUMNS)
+
+    # -- appending --------------------------------------------------------
+
+    def append_ros(self, event: TraceEvent) -> None:
+        ts_col, pid_col, probe_col, data_col = self._ros
+        ts_col.append(event[0])
+        pid_col.append(event[1])
+        probe_col.append(self.strings.intern(event[2]))
+        data = event[3]
+        if not data:
+            data_col.append(NONE_ID)
+        else:
+            # Identical payloads dedupe through the intern table keyed
+            # by their canonical JSON (no identity tricks: spooled
+            # segments drop their event objects, so ids would be
+            # unstable across rotations).
+            data_col.append(self.strings.intern(_encode_payload(data)))
+
+    def append_sched(self, event: SchedSwitch) -> None:
+        cols = self._sched
+        intern = self.strings.intern
+        cols[0].append(event.ts)
+        cols[1].append(event.cpu)
+        cols[2].append(event.prev_pid)
+        cols[3].append(intern(event.prev_comm))
+        cols[4].append(event.prev_prio)
+        cols[5].append(intern(event.prev_state))
+        cols[6].append(event.next_pid)
+        cols[7].append(intern(event.next_comm))
+        cols[8].append(event.next_prio)
+
+    def append_wakeup(self, event: SchedWakeup) -> None:
+        cols = self._wakeup
+        cols[0].append(event.ts)
+        cols[1].append(NONE_CPU if event.cpu is None else event.cpu)
+        cols[2].append(event.pid)
+        cols[3].append(self.strings.intern(event.comm))
+        cols[4].append(event.prio)
+
+    def add_segment(self, segment: TraceSegment) -> None:
+        """Spool one buffer rotation (the streaming entry point)."""
+        for event in segment.ros_events:
+            self.append_ros(event)
+        for sched in segment.sched_events:
+            self.append_sched(sched)
+        for wakeup in segment.wakeup_events:
+            self.append_wakeup(wakeup)
+
+    def add_trace(self, trace: Trace) -> None:
+        for event in trace.ros_events:
+            self.append_ros(event)
+        for sched in trace.sched_events:
+            self.append_sched(sched)
+        for wakeup in trace.wakeup_events:
+            self.append_wakeup(wakeup)
+
+    @property
+    def num_ros(self) -> int:
+        return len(self._ros[0])
+
+    @property
+    def num_sched(self) -> int:
+        return len(self._sched[0])
+
+    @property
+    def num_wakeups(self) -> int:
+        return len(self._wakeup[0])
+
+    @property
+    def num_events(self) -> int:
+        return self.num_ros + self.num_sched + self.num_wakeups
+
+    # -- finishing --------------------------------------------------------
+
+    def finish(
+        self,
+        handle: IO[bytes],
+        pid_map: Mapping[int, Optional[str]],
+        start_ts: int,
+        stop_ts: int,
+        compress: bool = True,
+    ) -> int:
+        """Write the packed segment to ``handle``; returns bytes written.
+
+        ``compress`` deflates the body (default; ~gzip-JSON file size);
+        ``False`` keeps raw columns for zero-copy readers.
+        """
+        body_parts: List[bytes] = [
+            pack_pid_map(pid_map),
+            pack_strings(self.strings.strings),
+        ]
+        for section in (self._ros, self._sched, self._wakeup):
+            for column in section:
+                body_parts.append(column_bytes(column))
+        body = b"".join(body_parts)
+        flags = 0
+        if compress:
+            body = zlib.compress(body, ZLIB_LEVEL)
+            flags |= FLAG_ZLIB_BODY
+        written = handle.write(
+            pack_header(
+                len(self.strings),
+                len(pid_map),
+                len(self._ros[0]),
+                len(self._sched[0]),
+                len(self._wakeup[0]),
+                start_ts,
+                stop_ts,
+                flags=flags,
+            )
+        )
+        written += handle.write(body)
+        return written
+
+    def finish_path(
+        self,
+        path: str,
+        pid_map: Mapping[int, Optional[str]],
+        start_ts: int,
+        stop_ts: int,
+        compress: bool = True,
+    ) -> int:
+        with open(path, "wb") as handle:
+            return self.finish(handle, pid_map, start_ts, stop_ts, compress=compress)
+
+
+def write_segment(trace: Trace, path: str, compress: bool = True) -> int:
+    """Pack one in-memory trace into ``path``; returns bytes written."""
+    spool = SegmentSpool()
+    spool.add_trace(trace)
+    return spool.finish_path(
+        path, trace.pid_map, trace.start_ts, trace.stop_ts, compress=compress
+    )
+
+
+def encode_trace(trace: Trace, compress: bool = True) -> bytes:
+    """The segment bytes for one trace (in-memory variant)."""
+    import io
+
+    spool = SegmentSpool()
+    spool.add_trace(trace)
+    buffer = io.BytesIO()
+    spool.finish(
+        buffer, trace.pid_map, trace.start_ts, trace.stop_ts, compress=compress
+    )
+    return buffer.getvalue()
+
+
+def spool_session_segment(spool: SegmentSpool, session) -> TraceSegment:
+    """Rotate ``session`` and spool the drained segment out-of-core.
+
+    The rotated segment is packed into ``spool`` and *removed* from the
+    session's segment list, dropping the event objects -- the step that
+    keeps a streamed recording's footprint bounded by one rotation
+    window.  Returns the (already spooled) segment for inspection.
+    """
+    segment = session.rotate()
+    spool.add_segment(segment)
+    # The session accumulates rotated segments for Trace assembly; a
+    # spooled run never calls session.trace(), so release them.
+    if session.segments and session.segments[-1] is segment:
+        session.segments.pop()
+    segment.ros_events = []
+    segment.sched_events = []
+    segment.wakeup_events = []
+    return segment
+
+
+def segment_path(directory: str, run_id: str) -> str:
+    from .format import SEGMENT_SUFFIX
+
+    return os.path.join(directory, f"{run_id}{SEGMENT_SUFFIX}")

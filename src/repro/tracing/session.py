@@ -231,6 +231,13 @@ class TracingSession:
 
     # -- results ----------------------------------------------------------
 
+    def init_events(self) -> List[TraceEvent]:
+        """TR-IN's collected events (chronologically first in a trace);
+        consumers that stream segments out-of-core spool these before
+        the runtime rotations."""
+        self._init_events.extend(self.init_tracer.poll())
+        return list(self._init_events)
+
     def pid_map(self) -> Dict[int, str]:
         self._init_events.extend(self.init_tracer.poll())
         return {

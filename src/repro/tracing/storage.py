@@ -48,14 +48,32 @@ def save_database(database: TraceDatabase, directory: str) -> List[str]:
     return paths
 
 
-def load_database(directory: str) -> TraceDatabase:
-    """Rebuild a database from every stored trace in ``directory``."""
+def load_database(directory: str, allow_empty: bool = False) -> TraceDatabase:
+    """Rebuild a database from every stored trace in ``directory``.
+
+    A directory without a single ``*.trace.json.gz`` file raises (an
+    empty database silently swallowing a mistyped path hid real data
+    loss); pass ``allow_empty=True`` when an empty result is expected.
+    """
     database = TraceDatabase()
     if not os.path.isdir(directory):
         raise FileNotFoundError(f"no such trace directory: {directory!r}")
-    for name in sorted(os.listdir(directory)):
+    names = sorted(os.listdir(directory))
+    for name in names:
         if not name.endswith(TRACE_SUFFIX):
             continue
         run_id = name[: -len(TRACE_SUFFIX)]
         database.add(run_id, load_trace(os.path.join(directory, name)))
+    if not len(database) and not allow_empty:
+        binary = [n for n in names if n.endswith(".trace.bin")]
+        hint = (
+            f" (found {len(binary)} binary .trace.bin segment(s): "
+            "open them with repro.store.TraceStore)"
+            if binary
+            else ""
+        )
+        raise ValueError(
+            f"no *{TRACE_SUFFIX} traces in {directory!r}{hint}; "
+            "pass allow_empty=True if an empty database is expected"
+        )
     return database

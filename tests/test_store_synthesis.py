@@ -1,0 +1,159 @@
+"""Store-backed synthesis equivalence: the PR's acceptance pins.
+
+For every registry scenario, ``synthesize_from_store`` over recorded
+binary segments must be byte-identical (DAG JSON, exec tables, DOT) to
+``synthesize_from_trace`` over the merged in-memory traces -- and
+independent of the worker count, for both multi-run strategies.  Also
+drives the record -> synthesize CLI end to end against the in-memory
+golden DOT.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import (
+    dag_to_json,
+    format_exec_table,
+    synthesize_from_database,
+    synthesize_from_trace,
+    to_dot,
+)
+from repro.core.pipeline import STRATEGY_MERGE_DAGS
+from repro.experiments.batch import BatchConfig
+from repro.experiments.runner import run_once
+from repro.scenarios import build_scenario_spec, scenario_names
+from repro.sim.kernel import SEC
+from repro.store import TraceStore, record_batch, synthesize_from_store
+from repro.tracing.session import Trace, TraceDatabase
+
+DURATION_NS = int(1.0 * SEC)
+RUNS = 2
+
+
+def _reference_traces(name):
+    """The in-memory traces the store contents must reproduce (specs
+    built exactly as the batch/record workers build them -- duration
+    forwarded to factories that take it)."""
+    config = BatchConfig(duration_ns=DURATION_NS)
+    traces = []
+    for run_index in range(RUNS):
+        spec = build_scenario_spec(
+            name, run_index=run_index, runs=RUNS, duration_ns=DURATION_NS
+        )
+        run_config = config.run_config(DURATION_NS, spec.num_cpus)
+        traces.append(
+            run_once(
+                lambda world, i, spec=spec: spec.build(world),
+                run_config,
+                run_index=run_index,
+            ).trace
+        )
+    return traces
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    """One recorded store + reference traces per registry scenario."""
+    root = tmp_path_factory.mktemp("stores")
+    result = {}
+    for name in scenario_names():
+        directory = str(root / name)
+        record_batch(
+            name, runs=RUNS, directory=directory,
+            config=BatchConfig(duration_ns=DURATION_NS),
+        )
+        result[name] = (TraceStore(directory), _reference_traces(name))
+    return result
+
+
+class TestStoreSynthesisEquivalence:
+    """Store path == in-memory path, byte for byte, every scenario."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_recorded_traces_match_in_memory(self, stores, name):
+        store, traces = stores[name]
+        for run_index, trace in enumerate(traces):
+            stored = store.load(f"run{run_index:03d}")
+            assert stored.to_dict() == trace.to_dict(), (name, run_index)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_merge_traces_strategy_identical(self, stores, name):
+        store, traces = stores[name]
+        expected = synthesize_from_trace(Trace.merge(traces))
+        actual = synthesize_from_store(store, jobs=1)
+        assert dag_to_json(actual) == dag_to_json(expected), name
+        assert format_exec_table(actual) == format_exec_table(expected), name
+        assert to_dot(actual) == to_dot(expected), name
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_merge_dags_strategy_identical(self, stores, name):
+        store, traces = stores[name]
+        database = TraceDatabase()
+        for run_index, trace in enumerate(traces):
+            database.add(f"run{run_index:03d}", trace)
+        expected = synthesize_from_database(database, strategy=STRATEGY_MERGE_DAGS)
+        actual = synthesize_from_store(store, jobs=1, strategy=STRATEGY_MERGE_DAGS)
+        assert dag_to_json(actual) == dag_to_json(expected), name
+
+
+class TestShardingDeterminism:
+    """``--jobs`` must never change a byte of the model."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_pid_sharded_jobs_identical(self, stores, name):
+        store, _ = stores[name]
+        serial = synthesize_from_store(store, jobs=1)
+        sharded = synthesize_from_store(store, jobs=3)
+        assert dag_to_json(serial) == dag_to_json(sharded), name
+        assert to_dot(serial) == to_dot(sharded), name
+
+    def test_run_sharded_jobs_identical(self, stores):
+        store, _ = stores["avp-interference"]
+        serial = synthesize_from_store(store, jobs=1, strategy=STRATEGY_MERGE_DAGS)
+        sharded = synthesize_from_store(store, jobs=2, strategy=STRATEGY_MERGE_DAGS)
+        assert dag_to_json(serial) == dag_to_json(sharded)
+
+    def test_recording_jobs_do_not_change_store(self, tmp_path):
+        config = BatchConfig(duration_ns=DURATION_NS)
+        serial_dir = str(tmp_path / "serial")
+        parallel_dir = str(tmp_path / "parallel")
+        record_batch("sensor-fusion", runs=3, directory=serial_dir, jobs=1,
+                     config=config)
+        record_batch("sensor-fusion", runs=3, directory=parallel_dir, jobs=3,
+                     config=config)
+        serial = TraceStore(serial_dir)
+        parallel = TraceStore(parallel_dir)
+        assert serial.run_ids() == parallel.run_ids()
+        for run_id in serial.run_ids():
+            assert serial.load(run_id).to_dict() == parallel.load(run_id).to_dict()
+
+    def test_pid_filter_matches_in_memory(self, stores):
+        store, traces = stores["avp-interference"]
+        merged = Trace.merge(traces)
+        pids = merged.pids()[: len(merged.pids()) // 2]
+        expected = synthesize_from_trace(merged, pids=pids)
+        for jobs in (1, 2):
+            actual = synthesize_from_store(store, pids=pids, jobs=jobs)
+            assert dag_to_json(actual) == dag_to_json(expected), jobs
+
+
+class TestCliRecordSynthesize:
+    def test_cli_round_trip_matches_in_memory_dot(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        dot_path = str(tmp_path / "store.dot")
+        env_cmd = [sys.executable, "-m", "repro"]
+        subprocess.run(
+            env_cmd + ["record", "syn", "--runs", str(RUNS), "--out", store_dir,
+                       "--duration", "1", "--jobs", "2"],
+            check=True, capture_output=True,
+        )
+        subprocess.run(
+            env_cmd + ["synthesize", store_dir, "--jobs", "2",
+                       "--dot", dot_path],
+            check=True, capture_output=True,
+        )
+        expected = to_dot(synthesize_from_trace(Trace.merge(_reference_traces("syn"))))
+        with open(dot_path) as handle:
+            assert handle.read() == expected
