@@ -1,10 +1,10 @@
 """Perf harness smoke run: the benchmarks behind ``repro perf``.
 
 Runs the full suite at the reduced ``smoke`` scale (a couple of
-seconds), prints the report next to the committed ``BENCH_2.json``
-trajectory baseline, and sanity-checks the machine-independent speedup
-ratios.  CI's perf-smoke job additionally runs
-``repro perf --check BENCH_3.json`` to fail on >2x regressions.
+seconds), prints the report for comparison with the committed
+``BENCH_4.smoke.json`` baseline, and sanity-checks the
+machine-independent speedup ratios.  CI's perf-smoke job additionally runs
+``repro perf --check BENCH_4.smoke.json`` to fail on >2x regressions.
 
 Set ``REPRO_FULL=1`` to run at the ``full`` scale instead.
 """
@@ -22,7 +22,7 @@ SCALE = "full" if os.environ.get("REPRO_FULL", "") == "1" else "smoke"
 
 #: Baselines are per-scale: speedup ratios shrink with trace size, so a
 #: smoke run is only comparable to the committed smoke-scale baseline.
-BASELINE_PATH = REPO_ROOT / ("BENCH_3.smoke.json" if SCALE == "smoke" else "BENCH_3.json")
+BASELINE_PATH = REPO_ROOT / ("BENCH_4.smoke.json" if SCALE == "smoke" else "BENCH_4.json")
 
 
 @pytest.fixture(scope="module")
@@ -60,16 +60,16 @@ def test_store_reports_sane_values(suite):
     assert store["decode"]["speedup_vs_json"] > 1.0, "binary decode slower than gzip-JSON"
     assert store["encode"]["binary_bytes"] > 0
     # Store-backed serial synthesis re-reads segments from disk, so it
-    # costs a few x the in-memory pipeline at smoke scale (decode
-    # dominates the tiny synthesis workload); the bound only catches
-    # pathological blowups.
-    assert store["synthesis"]["store_overhead"] < 6.0
+    # costs more than the in-memory pipeline at smoke scale (decode
+    # dominates the tiny synthesis workload); the columnar walk keeps
+    # even that within a small factor.
+    assert store["synthesis"]["store_overhead"] < 4.0
 
 
 def test_no_regression_vs_committed_baseline(suite):
     """The >2x gate CI enforces, exercised in-process as well."""
     if not BASELINE_PATH.exists():
-        pytest.skip("no committed BENCH_3.json")
+        pytest.skip("no committed BENCH_4 baseline")
     committed = json.loads(BASELINE_PATH.read_text())
     failures = check_regression(suite, committed, factor=2.0)
     assert failures == [], "\n".join(failures)

@@ -13,11 +13,12 @@ Usage::
                           [--seed 1000] [--dot out.dot] [--json out.json]
     python -m repro record <scenario> --out DIR [--runs 8] [--jobs 4]
                           [--duration 10] [--seed 1000] [--segment-every 1.0]
+                          [--force]
     python -m repro synthesize DIR [--jobs 4] [--strategy merge-traces]
                           [--pids 1,2,...] [--dot out.dot] [--json out.json]
-    python -m repro perf  [--scale smoke|default|full] [--out BENCH_3.json]
+    python -m repro perf  [--scale smoke|default|full] [--out BENCH_4.json]
                           [--baseline-src PATH] [--baseline-ref REF]
-                          [--check BENCH_3.json] [--factor 2.0]
+                          [--check BENCH_4.json] [--factor 2.0]
 
 Durations are in (simulated) seconds.  Every command prints the
 regenerated table/figure in the same shape the paper reports;
@@ -168,10 +169,16 @@ def _cmd_record(args) -> int:
         base_seed=args.seed,
         segment_every_ns=segment_every,
     )
-    result = record_batch(
-        args.scenario, runs=args.runs, directory=args.out, jobs=args.jobs,
-        config=config,
-    )
+    try:
+        result = record_batch(
+            args.scenario, runs=args.runs, directory=args.out, jobs=args.jobs,
+            config=config, force=args.force,
+        )
+    except ValueError as error:
+        # E.g. recording over a store that already holds the run ids:
+        # a clear refusal, not a traceback (--force overrides).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(
         f"recorded {args.scenario} -- {len(result.runs)} run(s) on "
         f"{result.jobs} worker(s) -> {result.directory}\n"
@@ -189,17 +196,39 @@ def _cmd_record(args) -> int:
     return 0
 
 
+def _parse_pids(text: str) -> List[int]:
+    """argparse type for ``--pids``: malformed input becomes a clean
+    usage error (exit code 2), not a ValueError traceback."""
+    pids = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            pids.append(int(part))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid PID {part!r} in {text!r} "
+                "(expected comma-separated integers)"
+            )
+    if not pids:
+        raise argparse.ArgumentTypeError(
+            f"no PIDs in {text!r} (expected comma-separated integers)"
+        )
+    return pids
+
+
 def _cmd_synthesize(args) -> int:
     from .core.pipeline import STRATEGY_MERGE_DAGS, STRATEGY_MERGE_TRACES
     from .store import TraceStore, synthesize_from_store
 
+    # ``choices=`` already rejects unknown names at parse time (exit
+    # code 2); this maps the validated CLI spelling to the API constant.
     strategy = {
         "merge-traces": STRATEGY_MERGE_TRACES,
         "merge-dags": STRATEGY_MERGE_DAGS,
     }[args.strategy]
-    pids = None
-    if args.pids:
-        pids = [int(p) for p in args.pids.split(",") if p.strip()]
+    pids = args.pids
     store = TraceStore(args.store)
     dag = synthesize_from_store(
         store, pids=pids, jobs=args.jobs, strategy=strategy
@@ -331,6 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--segment-every", type=float, default=None,
                         help="spool rotation interval in simulated seconds "
                              "(default 1.0)")
+    record.add_argument("--force", action="store_true",
+                        help="overwrite colliding run ids an earlier "
+                             "recording left in --out (refused by default; "
+                             "non-colliding stored runs stay and will merge "
+                             "into later synthesis)")
 
     synthesize = sub.add_parser(
         "synthesize",
@@ -342,7 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "any value)")
     synthesize.add_argument("--strategy", default="merge-traces",
                             choices=["merge-traces", "merge-dags"])
-    synthesize.add_argument("--pids", default=None,
+    synthesize.add_argument("--pids", default=None, type=_parse_pids,
                             help="comma-separated PID filter")
     synthesize.add_argument("--dot", help="write Graphviz DOT to this path")
     synthesize.add_argument("--json", help="write the model JSON to this path")

@@ -145,6 +145,26 @@ class SchedIndex:
                 flags = bytearray(flags[i] for i in order)
             self._buckets[pid] = (times, flags)
 
+    @classmethod
+    def from_buckets(
+        cls,
+        buckets: Dict[int, Tuple[array, bytearray]],
+        events: Iterable[SchedSwitch] = (),
+    ) -> "SchedIndex":
+        """Wrap pre-built columnar buckets without an event pass.
+
+        The caller guarantees the invariant ``__init__`` establishes:
+        every bucket's timestamps are nondecreasing and same-timestamp
+        entries appear in merged-stream order.  ``events`` backs
+        :meth:`events_for` only; the store-backed index passes none, so
+        object reconstruction is unavailable there (the columnar fast
+        path never needs it).
+        """
+        index = cls.__new__(cls)
+        index._events = list(events)
+        index._buckets = dict(buckets)
+        return index
+
     def pids(self) -> List[int]:
         return sorted(self._buckets)
 

@@ -208,6 +208,93 @@ def _extract_pid_events(
     return cblist
 
 
+def _extract_pid_walk(
+    pid: int,
+    timestamps: Sequence[int],
+    codes: Sequence[int],
+    aux: Sequence[object],
+    sched_index: SchedIndex,
+    index: EventIndex,
+    node_name: str,
+) -> CBList:
+    """Alg. 1's per-node walk over *columns* instead of event objects.
+
+    The exact state machine of :func:`_extract_pid_events`, consuming
+    three parallel per-PID columns: timestamps, probe codes, and an
+    ``aux`` slot per row -- the callback-type label for CB-start rows,
+    the decoded payload mapping for the ID-carrying rows Alg. 1
+    dereferences (see :data:`~repro.core.index.PAYLOAD_CODES`), ``None``
+    for everything else.  This is the store-backed fast path: rows never
+    materialize a :class:`TraceEvent`, and payload JSON is only decoded
+    where an ``aux`` entry exists.  Byte-for-byte equivalence with the
+    event-object walk is pinned by the store equivalence suites.
+    """
+    cblist = CBList(pid, node_name)
+    add_values = cblist.add_values
+    exec_time = sched_index.exec_time
+    active = False
+    cb_type = ""
+    cb_id: Optional[str] = None
+    intopic: Optional[str] = None
+    outtopics: Optional[List[str]] = None
+    is_sync = False
+    start = 0
+    for ts, code, data in zip(timestamps, codes, aux):
+        if code == CODE_CB_START:
+            active = True
+            cb_type = data
+            start = ts
+            cb_id = None
+            intopic = None
+            outtopics = None
+            is_sync = False
+        elif not active:
+            continue
+        elif code == CODE_TIMER_CALL:
+            cb_id = data.get("cb_id")
+        elif code == CODE_TAKE:
+            cb_id = data.get("cb_id")
+            intopic = data.get("topic")
+        elif code == CODE_TAKE_RESPONSE:
+            cb_id = data.get("cb_id")
+            intopic = cat(data.get("topic"), cb_id)
+        elif code == CODE_TAKE_REQUEST:
+            cb_id = data.get("cb_id")
+            intopic = cat(data.get("topic"), index.find_caller(data))
+        elif code == CODE_DDS_WRITE:
+            kind = data.get("kind")
+            if kind == "request":
+                top_out = cat(data.get("topic"), cb_id)
+            elif kind == "response":
+                top_out = cat(data.get("topic"), index.find_client(data))
+            else:
+                top_out = data.get("topic")
+            if outtopics is None:
+                outtopics = [top_out]
+            else:
+                outtopics.append(top_out)
+        elif code == CODE_TAKE_TYPE_ERASED:
+            if not data.get("will_dispatch"):
+                active = False
+        elif code == CODE_SYNC_OP:
+            is_sync = True
+        elif code == CODE_CB_END:
+            if cb_id is not None:
+                end = ts
+                add_values(
+                    cb_type,
+                    cb_id,
+                    intopic,
+                    outtopics,
+                    is_sync,
+                    start,
+                    end,
+                    exec_time(start, end, pid),
+                )
+            active = False
+    return cblist
+
+
 def extract_callbacks(
     pid: int,
     ros_events: Sequence[TraceEvent],

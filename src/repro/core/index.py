@@ -86,6 +86,40 @@ PROBE_CODES[P16_DDS_WRITE] = CODE_DDS_WRITE
 PROBE_CODES[P14_TAKE_TYPE_ERASED] = CODE_TAKE_TYPE_ERASED
 PROBE_CODES[P7_SYNC_OP] = CODE_SYNC_OP
 
+#: Codes whose payload Alg. 1 (or the cross-node table build)
+#: dereferences.  They are contiguous -- ``CODE_TIMER_CALL <= code <=
+#: CODE_TAKE_TYPE_ERASED`` is the hot-path test -- so a columnar walk
+#: can skip payload JSON decode for every other row.
+PAYLOAD_CODES = frozenset(
+    {
+        CODE_TIMER_CALL,
+        CODE_TAKE,
+        CODE_TAKE_REQUEST,
+        CODE_TAKE_RESPONSE,
+        CODE_DDS_WRITE,
+        CODE_TAKE_TYPE_ERASED,
+    }
+)
+
+
+def probe_code_table(strings: Sequence[str]) -> bytearray:
+    """Probe code per string-table id (``CODE_OTHER`` for non-probes).
+
+    A stored segment references probe names by string id, so resolving
+    the code once per *table entry* replaces a per-event dict lookup on
+    the probe string with a bytearray index on the stored id.
+    """
+    code_of = PROBE_CODES.get
+    return bytearray(code_of(text, CODE_OTHER) for text in strings)
+
+
+def cb_start_type_table(strings: Sequence[str]) -> List[Optional[str]]:
+    """Callback-type label per string-table id (None for non-start
+    probes) -- the columnar counterpart of :meth:`TraceEvent.cb_type`."""
+    from ..tracing.events import CB_TYPE_BY_START
+
+    return [CB_TYPE_BY_START.get(text) for text in strings]
+
 
 def is_sorted_by_ts(events: Sequence[Any]) -> bool:
     """O(N) monotonicity check backing the single-sort invariant."""

@@ -402,6 +402,10 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
             "inline_s": round(inline_s, 6),
             "store_serial_s": round(store_serial_s, 6),
             "store_overhead": round(store_serial_s / inline_s, 3),
+            # The gate-friendly inverse (higher is better, like every
+            # other REGRESSION_METRICS ratio): how close store-backed
+            # synthesis runs to the in-memory pipeline.
+            "speedup_vs_inline": round(inline_s / store_serial_s, 3),
             "store_sharded_s": round(store_sharded_s, 6),
             "jobs": jobs,
             "available_cpus": cpus,
@@ -453,6 +457,7 @@ REGRESSION_METRICS = (
     ("micro.sim.speedup", "sim stack speedup"),
     ("store.encode.speedup_vs_json", "binary store encode speedup"),
     ("store.decode.speedup_vs_json", "binary store decode speedup"),
+    ("store.synthesis.speedup_vs_inline", "store synthesis vs inline ratio"),
 )
 
 

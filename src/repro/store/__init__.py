@@ -42,6 +42,7 @@ from .record import (
     record_run,
     run_id_for,
 )
+from .index import StoreTraceIndex
 from .synthesis import merged_trace_index, synthesize_from_store
 from .writer import SegmentSpool, encode_trace, segment_path, write_segment
 
@@ -67,6 +68,7 @@ __all__ = [
     "record_batch",
     "record_run",
     "run_id_for",
+    "StoreTraceIndex",
     "merged_trace_index",
     "synthesize_from_store",
     "SegmentSpool",

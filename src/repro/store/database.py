@@ -61,6 +61,12 @@ class TraceStore:
                 f"*{SEGMENT_SUFFIX} or *{TRACE_SUFFIX} runs "
                 "(pass allow_empty=True to open it anyway)"
             )
+        #: run id -> loaded legacy reader.  Legacy gzip-JSON runs decode
+        #: fully on every open, so planning passes (``union_pid_map``)
+        #: followed by synthesis would load each legacy trace twice;
+        #: binary segments stay uncached (their planning reads are
+        #: cheap file-prefix decodes).
+        self._legacy_readers: Dict[str, InMemorySegment] = {}
 
     # -- listing -----------------------------------------------------------
 
@@ -83,11 +89,16 @@ class TraceStore:
 
     def open(self, run_id: str):
         """A reader for one run (lazy for binary segments; legacy JSON
-        loads eagerly behind the same interface)."""
+        loads eagerly -- and is cached on this handle -- behind the
+        same interface)."""
         path = self.path_of(run_id)
         if self.is_binary(run_id):
             return SegmentReader.open(path)
-        return InMemorySegment(load_trace(path), path=path)
+        reader = self._legacy_readers.get(run_id)
+        if reader is None:
+            reader = InMemorySegment(load_trace(path), path=path)
+            self._legacy_readers[run_id] = reader
+        return reader
 
     def readers(self) -> List[object]:
         """Readers for every run, in run-id order (the merge order)."""
@@ -99,7 +110,9 @@ class TraceStore:
     def union_pid_map(self) -> Dict[int, Optional[str]]:
         """PID -> node name over all runs, in run-id order (later runs
         win ties, like ``Trace.merge``).  Binary runs decode only their
-        pid_map prefix; legacy JSON runs must load fully."""
+        pid_map prefix; legacy JSON runs must load fully but the loaded
+        reader is cached, so a planning pass followed by synthesis
+        decodes each legacy run once, not twice."""
         pid_map: Dict[int, Optional[str]] = {}
         for run_id in self.run_ids():
             if self.is_binary(run_id):
@@ -122,9 +135,17 @@ class TraceStore:
     # -- writing -----------------------------------------------------------
 
     def add_trace(self, run_id: str, trace: Trace) -> str:
-        """Write one run as a binary segment; returns the path."""
-        if run_id in self._files and self.is_binary(run_id):
-            raise ValueError(f"run {run_id!r} already stored")
+        """Write one run as a binary segment; returns the path.
+
+        Refuses *any* existing run id: writing a binary segment over a
+        legacy-only ``.trace.json.gz`` run would silently shadow it with
+        different content (the binary file wins name resolution), which
+        is data loss in all but name.
+        """
+        if run_id in self._files:
+            raise ValueError(
+                f"run {run_id!r} already stored as {self._files[run_id]!r}"
+            )
         name = f"{run_id}{SEGMENT_SUFFIX}"
         write_segment(trace, os.path.join(self.directory, name))
         self._files[run_id] = name
@@ -152,6 +173,7 @@ class TraceStore:
             name = f"{run_id}{SEGMENT_SUFFIX}"
             write_segment(trace, os.path.join(self.directory, name))
             self._files[run_id] = name
+            self._legacy_readers.pop(run_id, None)
             written.append(os.path.join(self.directory, name))
             if remove:
                 os.remove(legacy_path)

@@ -1,0 +1,348 @@
+"""Columnar Alg. 1 indexing straight over stored segments.
+
+:class:`StoreTraceIndex` is the store-native sibling of
+:class:`~repro.core.index.TraceIndex`: the same per-PID walk views and
+cross-node association tables, built by consuming
+:class:`~repro.store.reader.SegmentReader` columns directly instead of
+a merged list of :class:`~repro.tracing.events.TraceEvent` objects.
+
+What makes it cheap:
+
+* probe codes resolve through a per-segment table keyed by the stored
+  probe-string id (one bytearray index per row, no string hashing);
+* payload JSON is decoded only for the ID-carrying rows Alg. 1
+  dereferences (publish / take / response keys --
+  :data:`~repro.core.index.PAYLOAD_CODES`); CB start/end and kernel
+  probe rows -- the bulk of a trace -- never touch ``json.loads`` and
+  never construct an event object;
+* the k-way merge across runs orders ``(ts, run, row)`` int prefixes,
+  so ties keep run order (exactly like ``Trace.merge``) without a heap
+  key function;
+* ``sched_switch`` rows feed shard-local
+  :class:`~repro.core.exec_time.SchedIndex` buckets built from three
+  int columns -- only the ``wanted_pids`` a worker will actually query
+  get buckets, so a sharded worker no longer indexes the full merged
+  sched stream.
+
+Equivalence with the in-memory pipeline is byte-exact and pinned by
+``tests/test_store_synthesis.py``: all orderings are the stable
+chronological merges ``TraceIndex`` sees, per-PID walk columns carry the
+same values the event objects would, and bucket contents match because a
+PID's bucket in the merged stream equals the stable ts-merge of its
+per-run buckets.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import merge as _heap_merge
+from operator import itemgetter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.exec_time import _CLOSES, _OPENS, SchedIndex
+from ..core.index import (
+    CODE_CB_START,
+    CODE_DDS_WRITE,
+    CODE_TAKE_RESPONSE,
+    CODE_TAKE_TYPE_ERASED,
+    CODE_TIMER_CALL,
+    TopicKey,
+)
+
+#: One PID's walk columns: timestamps, probe codes, and the per-row aux
+#: slot (CB-type label / decoded payload / None) -- parallel sequences
+#: consumed by :func:`~repro.core.extraction._extract_pid_walk`.
+WalkColumns = Tuple[List[int], bytearray, List[Any]]
+
+_EMPTY_WALK: WalkColumns = ([], bytearray(), [])
+
+
+def _runs_are_time_ordered(readers: Sequence[Any]) -> bool:
+    """True when the runs' ROS streams are time-disjoint in reader
+    order, i.e. chronological merge == concatenation.  A shared
+    boundary timestamp stays ordered: merge ties keep run order, which
+    is concatenation order."""
+    last: Optional[int] = None
+    for reader in readers:
+        span = reader.ros_ts_range()
+        if span is None:
+            continue
+        if last is not None and span[0] < last:
+            return False
+        last = span[1]
+    return True
+
+
+class StoreTraceIndex:
+    """Alg. 1 lookup structures built from stored segment columns.
+
+    Parameters
+    ----------
+    readers:
+        Segment readers in run-id order (the merge order), from
+        :meth:`~repro.store.database.TraceStore.readers`.
+    wanted_pids:
+        PIDs whose walk columns and sched buckets to build (a worker's
+        shard); the cross-node tables always cover the full stream --
+        FindCaller/FindClient reach across shards by design.  ``None``
+        builds every PID (the serial path).
+
+    The attribute surface matches what
+    :class:`~repro.core.extraction.EventIndex` consumes from
+    :class:`~repro.core.index.TraceIndex` (``writes`` / ``writer_cb`` /
+    ``take_responses`` / ``dispatch_after``), with payload mappings in
+    the table slots where ``TraceIndex`` stores events -- both expose
+    ``.get``, which is all the lookups use.
+    """
+
+    __slots__ = (
+        "pid_map",
+        "sched",
+        "_by_pid",
+        "writes",
+        "writer_cb",
+        "take_responses",
+        "dispatch_after",
+    )
+
+    def __init__(
+        self,
+        readers: Sequence[Any],
+        wanted_pids: Optional[Iterable[int]] = None,
+    ):
+        pid_map: Dict[int, Optional[str]] = {}
+        for reader in readers:
+            pid_map.update(reader.pid_map)
+        self.pid_map = pid_map
+        wanted = None if wanted_pids is None else frozenset(wanted_pids)
+        self._build_ros(readers, wanted)
+        self.sched = self._build_sched(readers, wanted)
+
+    # -- ROS stream: walk columns + cross-node tables ----------------------
+
+    def _build_ros(
+        self, readers: Sequence[Any], wanted: Optional[frozenset]
+    ) -> None:
+        self._by_pid: Dict[int, WalkColumns] = {}
+        self.writes: Dict[TopicKey, List[Tuple[int, Any]]] = {}
+        self.writer_cb: Dict[int, Optional[str]] = {}
+        self.take_responses: Dict[TopicKey, List[Tuple[int, Any]]] = {}
+        self.dispatch_after: Dict[int, bool] = {}
+        if not readers:
+            return
+
+        current_cb: Dict[int, Optional[str]] = {}
+        pending_p13: Dict[int, List[int]] = {}
+        #: pid -> bound (ts, code, aux) append methods of the pid's walk
+        #: columns, so the per-row hot loops skip attribute lookups.
+        appenders: Dict[int, tuple] = {}
+        if _runs_are_time_ordered(readers):
+            # The common case: seeded batch runs stagger their clock
+            # bases, so run streams are time-disjoint in run-id order
+            # and the chronological merge is plain concatenation --
+            # each segment's columns feed one tight index loop with no
+            # heap and no per-row generator frames or tuples.
+            index = 0
+            for reader in readers:
+                columns = getattr(reader, "ros_walk_columns", None)
+                if columns is not None:
+                    index = self._consume_columns(
+                        columns(), wanted, index, current_cb, pending_p13,
+                        appenders,
+                    )
+                else:
+                    index = self._consume_rows(
+                        reader.walk_rows(0), wanted, index, current_cb,
+                        pending_p13, appenders,
+                    )
+        else:
+            # Overlapping runs: k-way merge of per-reader row streams.
+            # The (ts, order, row) int prefixes are unique, so plain
+            # tuple comparison merges chronologically with ties in run
+            # order and the aux slot is never compared.
+            streams = [
+                reader.walk_rows(order) for order, reader in enumerate(readers)
+            ]
+            rows = streams[0] if len(streams) == 1 else _heap_merge(*streams)
+            self._consume_rows(rows, wanted, 0, current_cb, pending_p13, appenders)
+
+    # The two _consume_* bodies are the same association state machine
+    # as TraceIndex._build (positional indices of the merged stream),
+    # duplicated only for the per-row access pattern: direct column
+    # indexing vs pre-assembled row tuples.  The store equivalence
+    # suites pin both against the in-memory pipeline.
+
+    def _walk_appender(self, appenders: Dict[int, tuple], pid: int) -> tuple:
+        """First-row setup of a PID's walk columns + bound appends."""
+        walk = self._by_pid[pid] = ([], bytearray(), [])
+        bound = appenders[pid] = (
+            walk[0].append, walk[1].append, walk[2].append,
+        )
+        return bound
+
+    def _consume_columns(
+        self,
+        columns: Tuple,
+        wanted: Optional[frozenset],
+        index: int,
+        current_cb: Dict[int, Optional[str]],
+        pending_p13: Dict[int, List[int]],
+        appenders: Dict[int, tuple],
+    ) -> int:
+        (
+            ts_col, pid_col, probe_col, data_col,
+            codes, start_types, payload_cache, payload,
+        ) = columns
+        cached_payload = payload_cache.get
+        writes = self.writes
+        writer_cb = self.writer_cb
+        take_responses = self.take_responses
+        dispatch_after = self.dispatch_after
+        all_wanted = wanted is None
+        for ts, pid, string_id, data_id in zip(
+            ts_col, pid_col, probe_col, data_col
+        ):
+            code = codes[string_id]
+            aux: Any = None
+            if code >= CODE_TIMER_CALL:
+                if code <= CODE_TAKE_TYPE_ERASED:
+                    aux = cached_payload(data_id)
+                    if aux is None:
+                        aux = payload(data_id)
+                    if code <= CODE_TAKE_RESPONSE:
+                        current_cb[pid] = aux.get("cb_id")
+                        if code == CODE_TAKE_RESPONSE:
+                            pending_p13.setdefault(pid, []).append(index)
+                            key = (aux.get("topic"), aux.get("src_ts"))
+                            take_responses.setdefault(key, []).append((index, aux))
+                    elif code == CODE_DDS_WRITE:
+                        writer_cb[index] = current_cb.get(pid)
+                        key = (aux.get("topic"), aux.get("src_ts"))
+                        writes.setdefault(key, []).append((index, aux))
+                    else:
+                        will_dispatch = bool(aux.get("will_dispatch"))
+                        for p13_index in pending_p13.pop(pid, ()):
+                            dispatch_after[p13_index] = will_dispatch
+            elif code == CODE_CB_START:
+                current_cb[pid] = None
+                aux = start_types[string_id]
+            if all_wanted or pid in wanted:
+                try:
+                    append_ts, append_code, append_aux = appenders[pid]
+                except KeyError:
+                    append_ts, append_code, append_aux = self._walk_appender(
+                        appenders, pid
+                    )
+                append_ts(ts)
+                append_code(code)
+                append_aux(aux)
+            index += 1
+        return index
+
+    def _consume_rows(
+        self,
+        rows: Iterable[tuple],
+        wanted: Optional[frozenset],
+        index: int,
+        current_cb: Dict[int, Optional[str]],
+        pending_p13: Dict[int, List[int]],
+        appenders: Dict[int, tuple],
+    ) -> int:
+        writes = self.writes
+        writer_cb = self.writer_cb
+        take_responses = self.take_responses
+        dispatch_after = self.dispatch_after
+        all_wanted = wanted is None
+        for ts, _order, _row, pid, code, aux in rows:
+            if all_wanted or pid in wanted:
+                try:
+                    append_ts, append_code, append_aux = appenders[pid]
+                except KeyError:
+                    append_ts, append_code, append_aux = self._walk_appender(
+                        appenders, pid
+                    )
+                append_ts(ts)
+                append_code(code)
+                append_aux(aux)
+            if code >= CODE_TIMER_CALL:
+                if code <= CODE_TAKE_RESPONSE:
+                    current_cb[pid] = aux.get("cb_id")
+                    if code == CODE_TAKE_RESPONSE:
+                        pending_p13.setdefault(pid, []).append(index)
+                        key = (aux.get("topic"), aux.get("src_ts"))
+                        take_responses.setdefault(key, []).append((index, aux))
+                elif code == CODE_DDS_WRITE:
+                    writer_cb[index] = current_cb.get(pid)
+                    key = (aux.get("topic"), aux.get("src_ts"))
+                    writes.setdefault(key, []).append((index, aux))
+                elif code == CODE_TAKE_TYPE_ERASED:
+                    will_dispatch = bool(aux.get("will_dispatch"))
+                    for p13_index in pending_p13.pop(pid, ()):
+                        dispatch_after[p13_index] = will_dispatch
+            elif code == CODE_CB_START:
+                current_cb[pid] = None
+            index += 1
+        return index
+
+    # -- sched stream: shard-local columnar buckets ------------------------
+
+    @staticmethod
+    def _build_sched(
+        readers: Sequence[Any], wanted: Optional[frozenset]
+    ) -> SchedIndex:
+        """Per-PID (timestamps, flags) buckets from the int columns.
+
+        Bucketing per reader then stably ts-merging per PID yields the
+        exact buckets :class:`SchedIndex` builds from the merged event
+        stream, because a PID's merged-stream subsequence is ordered by
+        the same ``(ts, run order, row order)`` comparator.
+        """
+        partials: Dict[int, List[Tuple[array, bytearray]]] = {}
+        for reader in readers:
+            local: Dict[int, Tuple[array, bytearray]] = {}
+            for ts, prev_pid, next_pid in reader.sched_pid_rows():
+                if prev_pid != 0 and (wanted is None or prev_pid in wanted):
+                    bucket = local.get(prev_pid)
+                    if bucket is None:
+                        bucket = local[prev_pid] = (array("q"), bytearray())
+                    bucket[0].append(ts)
+                    bucket[1].append(
+                        _CLOSES | _OPENS if next_pid == prev_pid else _CLOSES
+                    )
+                if (
+                    next_pid != 0
+                    and next_pid != prev_pid
+                    and (wanted is None or next_pid in wanted)
+                ):
+                    bucket = local.get(next_pid)
+                    if bucket is None:
+                        bucket = local[next_pid] = (array("q"), bytearray())
+                    bucket[0].append(ts)
+                    bucket[1].append(_OPENS)
+            for pid, bucket in local.items():
+                partials.setdefault(pid, []).append(bucket)
+
+        buckets: Dict[int, Tuple[array, bytearray]] = {}
+        for pid, parts in partials.items():
+            if len(parts) == 1:
+                buckets[pid] = parts[0]
+            else:
+                times = array("q")
+                flags = bytearray()
+                for ts, flag in _heap_merge(
+                    *(zip(*part) for part in parts), key=itemgetter(0)
+                ):
+                    times.append(ts)
+                    flags.append(flag)
+                buckets[pid] = (times, flags)
+        return SchedIndex.from_buckets(buckets)
+
+    # -- views -------------------------------------------------------------
+
+    def pids(self) -> List[int]:
+        """PIDs with walk columns (the wanted subset), ascending."""
+        return sorted(self._by_pid)
+
+    def walk_for_pid(self, pid: int) -> WalkColumns:
+        """The PID's parallel (timestamps, codes, aux) walk columns."""
+        return self._by_pid.get(pid, _EMPTY_WALK)

@@ -28,6 +28,7 @@ from ..scenarios.registry import build_scenario_spec
 from ..sim.kernel import SEC
 from ..tracing.session import TracingSession
 from ..world import World
+from .database import TraceStore
 from .writer import SegmentSpool, segment_path, spool_session_segment
 
 #: Default rotation interval for spooled recording.
@@ -162,16 +163,37 @@ def record_batch(
     directory: str,
     jobs: int = 1,
     config: Optional[BatchConfig] = None,
+    force: bool = False,
 ) -> RecordResult:
     """Record ``runs`` seeded runs of ``scenario`` into ``directory``.
 
     Store contents are identical for any ``jobs`` value; workers write
     disjoint segment files, so nothing is pickled back but metadata.
+
+    Recording refuses to overwrite runs an earlier recording left in
+    ``directory`` (the error names the colliding run ids).  ``force``
+    overwrites exactly the colliding run ids and nothing else: stored
+    runs outside ``run000..runNNN`` (e.g. the tail of an earlier,
+    larger recording) are left in place and will merge into any later
+    synthesis over the directory -- delete the directory first when a
+    fresh store is wanted.
     """
     if runs < 1:
         raise ValueError("need at least one run")
     if jobs < 1:
         raise ValueError("need at least one job")
+    if not force and os.path.isdir(directory):
+        existing = TraceStore(directory, allow_empty=True)
+        colliding = sorted(
+            run_id for run_id in (run_id_for(i) for i in range(runs))
+            if run_id in existing
+        )
+        if colliding:
+            raise ValueError(
+                f"store {directory!r} already holds run(s) "
+                f"{', '.join(colliding)}; recording would overwrite them "
+                "(pass force=True / --force to do so)"
+            )
     config = config if config is not None else BatchConfig()
     if config.duration_ns is not None and config.duration_ns <= 0:
         raise ValueError("duration must be positive")

@@ -3,13 +3,16 @@
 ``synthesize_from_store`` reproduces the two multi-run strategies of
 Sec. V without an in-memory :class:`TraceDatabase`:
 
-* **merge_traces** (default): the stored runs' event streams k-way
-  merge into one chronological stream feeding a single
-  :class:`~repro.core.index.TraceIndex`; Alg. 1 extraction then
+* **merge_traces** (default): the stored runs' columns k-way merge into
+  one chronological row stream feeding a
+  :class:`~repro.store.index.StoreTraceIndex` -- the columnar Alg. 1
+  walk that resolves probe codes from per-segment string-id tables and
+  decodes payload JSON only for ID-carrying rows; extraction then
   partitions the traced PIDs into shards and fans out over a
   ``ProcessPoolExecutor``.  Workers re-open the store themselves (the
-  task payload is ``(directory, pid shard)``, never pickled traces) and
-  return per-PID CBlists, which reduce in sorted-PID order into the
+  task payload is ``(directory, pid shard)``, never pickled traces),
+  build walk columns and sched buckets *for their shard's PIDs only*,
+  and return per-PID CBlists, which reduce in sorted-PID order into the
   same DAG the in-memory pipeline synthesizes -- **byte-identical for
   any ``jobs`` value**, the same determinism discipline as
   :mod:`repro.experiments.batch`.
@@ -32,7 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.dag import TimingDag
-from ..core.extraction import EventIndex, _extract_pid_events
+from ..core.extraction import EventIndex, _extract_pid_walk
 from ..experiments.batch import _shard
 from ..core.index import TraceIndex
 from ..core.merge import merge_dags
@@ -44,6 +47,7 @@ from ..core.pipeline import (
 from ..core.records import CBList
 from ..core.synthesis import synthesize_dag
 from .database import StoreLike, as_store
+from .index import StoreTraceIndex
 from .reader import merge_ros_streams, merge_sched_streams
 
 
@@ -68,28 +72,39 @@ def merged_trace_index(store: StoreLike) -> TraceIndex:
     return _index_from_readers(as_store(store).readers())
 
 
-def _extract_cblists(index: TraceIndex, wanted: Sequence[int]) -> List[CBList]:
-    """Alg. 1 over ``wanted`` PIDs of a prebuilt merged index (the exact
-    loop of :func:`repro.core.extraction.extract_all`)."""
+def _extract_store_cblists(
+    readers: Sequence, wanted: Sequence[int], build_all: bool = False
+) -> List[CBList]:
+    """Alg. 1 over ``wanted`` PIDs straight from segment columns.
+
+    One :class:`StoreTraceIndex` pass builds walk columns and sched
+    buckets for ``wanted`` only (the cross-node tables still span the
+    whole stream), then the columnar walk extracts per PID -- no merged
+    event list, no :class:`TraceEvent` construction for non-ID rows.
+    ``build_all`` skips the per-row PID filter when ``wanted`` is known
+    to cover every traced PID (the serial unfiltered path).
+    """
+    index = StoreTraceIndex(readers, wanted_pids=None if build_all else wanted)
     event_index = EventIndex(trace_index=index)
     pid_map = index.pid_map
     cblists = []
     for pid in wanted:
-        events, codes = index.walk_for_pid(pid)
+        timestamps, codes, aux = index.walk_for_pid(pid)
         cblists.append(
-            _extract_pid_events(
-                pid, events, codes, index.sched, event_index, pid_map.get(pid, "")
+            _extract_pid_walk(
+                pid, timestamps, codes, aux, index.sched, event_index,
+                pid_map.get(pid, ""),
             )
         )
     return cblists
 
 
 def _extract_shard(args: Tuple[str, Tuple[int, ...]]) -> List[CBList]:
-    """Worker body: open the store, rebuild the merged index, extract
-    this shard's PIDs (module-level for pickling)."""
+    """Worker body: open the store, extract this shard's PIDs with the
+    columnar walk -- shard-local walk columns and sched buckets, never
+    the full merged index (module-level for pickling)."""
     directory, shard = args
-    index = merged_trace_index(directory)
-    return _extract_cblists(index, list(shard))
+    return _extract_store_cblists(as_store(directory).readers(), list(shard))
 
 
 def _synthesize_run_shard(
@@ -135,11 +150,18 @@ def synthesize_from_store(
         )
 
     if jobs == 1:
-        # Serial: decode every segment exactly once -- the index carries
-        # the union pid_map, so no planning prefix-read is needed.
-        index = merged_trace_index(store)
-        wanted = sorted(pids) if pids is not None else sorted(index.pid_map)
-        cblists = _extract_cblists(index, wanted)
+        # Serial: decode every segment exactly once -- the open readers
+        # carry the union pid_map, so no planning prefix-read is needed.
+        readers = store.readers()
+        if pids is not None:
+            wanted = sorted(pids)
+            cblists = _extract_store_cblists(readers, wanted)
+        else:
+            union: Dict[int, Optional[str]] = {}
+            for reader in readers:
+                union.update(reader.pid_map)
+            wanted = sorted(union)
+            cblists = _extract_store_cblists(readers, wanted, build_all=True)
         return synthesize_dag(
             cblists, split_services=split_services, model_sync=model_sync
         )
@@ -151,8 +173,7 @@ def synthesize_from_store(
         wanted = sorted(store.union_pid_map())
     jobs = min(jobs, len(wanted)) if wanted else 1
     if jobs == 1:
-        index = merged_trace_index(store)
-        cblists = _extract_cblists(index, wanted)
+        cblists = _extract_store_cblists(store.readers(), wanted)
     else:
         shards = _shard(wanted, jobs)
         by_pid: Dict[int, CBList] = {}

@@ -119,3 +119,47 @@ class TestBatchCommand:
                      "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "paper mWCET" in out
+
+
+class TestSynthesizeUsageErrors:
+    """Unknown --strategy / malformed --pids are argparse-level usage
+    errors (exit code 2), not raw KeyError/ValueError tracebacks."""
+
+    def test_unknown_strategy_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synthesize", str(tmp_path), "--strategy", "merge-everything"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "merge-traces" in err and "merge-dags" in err
+
+    def test_malformed_pids_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synthesize", str(tmp_path), "--pids", "1,x"])
+        assert excinfo.value.code == 2
+        assert "invalid PID 'x'" in capsys.readouterr().err
+
+    def test_empty_pids_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synthesize", str(tmp_path), "--pids", " , "])
+        assert excinfo.value.code == 2
+        assert "no PIDs" in capsys.readouterr().err
+
+    def test_valid_pids_parse_with_whitespace_and_blanks(self):
+        args = build_parser().parse_args(
+            ["synthesize", "store", "--pids", "1, 2,,3"]
+        )
+        assert args.pids == [1, 2, 3]
+
+
+class TestRecordOverwriteProtection:
+    def test_record_collision_refused_then_forced(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        args = ["record", "syn", "--runs", "1", "--out", store_dir,
+                "--duration", "1"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "run000" in err and "--force" in err
+        assert main(args + ["--force"]) == 0
+        assert "run000" in capsys.readouterr().out

@@ -26,6 +26,7 @@ from repro.store import (
     merge_ros_streams,
     merge_sched_streams,
     merge_wakeup_streams,
+    record_batch,
     record_run,
     save_database_binary,
     write_segment,
@@ -402,3 +403,101 @@ class TestLoadDatabaseEmptySatellite:
         database.add("run000", sample_traces["syn"])
         save_database(database, directory)
         assert len(load_database(directory)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Run-shadowing satellites: add_trace / record overwrite protection
+# ---------------------------------------------------------------------------
+
+
+class TestRunShadowing:
+    def test_add_trace_refuses_existing_binary_run(self, sample_traces, tmp_path):
+        store = TraceStore.create(str(tmp_path))
+        store.add_trace("run000", sample_traces["syn"])
+        with pytest.raises(ValueError, match="run000.*already stored"):
+            store.add_trace("run000", sample_traces["sensor-fusion"])
+
+    def test_add_trace_refuses_legacy_only_run(self, sample_traces, tmp_path):
+        """A binary add over a legacy-only run would silently shadow the
+        JSON content (binary wins name resolution) -- it must raise."""
+        save_trace(sample_traces["syn"], str(tmp_path / f"run000{TRACE_SUFFIX}"))
+        store = TraceStore(str(tmp_path))
+        with pytest.raises(ValueError, match="run000.*already stored"):
+            store.add_trace("run000", sample_traces["sensor-fusion"])
+        # The legacy content is untouched and still resolves.
+        assert store.load("run000").to_dict() == sample_traces["syn"].to_dict()
+        assert not (tmp_path / f"run000{SEGMENT_SUFFIX}").exists()
+
+    def test_record_batch_refuses_existing_runs(self, tmp_path):
+        directory = str(tmp_path / "store")
+        config = BatchConfig(duration_ns=DURATION_NS)
+        record_batch("syn", runs=2, directory=directory, config=config)
+        before = {
+            run_id: TraceStore(directory).load(run_id).to_dict()
+            for run_id in TraceStore(directory).run_ids()
+        }
+        with pytest.raises(ValueError, match="run000, run001"):
+            record_batch(
+                "syn", runs=2, directory=directory,
+                config=BatchConfig(duration_ns=DURATION_NS, base_seed=999),
+            )
+        after = TraceStore(directory)
+        assert {
+            run_id: after.load(run_id).to_dict() for run_id in after.run_ids()
+        } == before
+
+    def test_record_batch_force_overwrites(self, tmp_path):
+        directory = str(tmp_path / "store")
+        record_batch(
+            "syn", runs=1, directory=directory,
+            config=BatchConfig(duration_ns=DURATION_NS),
+        )
+        result = record_batch(
+            "syn", runs=2, directory=directory,
+            config=BatchConfig(duration_ns=DURATION_NS), force=True,
+        )
+        assert result.run_ids == ["run000", "run001"]
+        assert TraceStore(directory).run_ids() == ["run000", "run001"]
+
+    def test_record_batch_into_disjoint_ids_is_allowed(self, sample_traces, tmp_path):
+        """Only *colliding* run ids refuse; unrelated stored runs are
+        left alone and the store grows."""
+        directory = str(tmp_path / "store")
+        store = TraceStore.create(directory)
+        store.add_trace("run999", sample_traces["service-mesh"])
+        record_batch(
+            "syn", runs=1, directory=directory,
+            config=BatchConfig(duration_ns=DURATION_NS),
+        )
+        assert TraceStore(directory).run_ids() == ["run000", "run999"]
+
+
+class TestLegacyReaderCache:
+    def test_legacy_open_is_cached_per_handle(self, sample_traces, tmp_path):
+        save_trace(sample_traces["syn"], str(tmp_path / f"run000{TRACE_SUFFIX}"))
+        store = TraceStore(str(tmp_path))
+        assert store.open("run000") is store.open("run000")
+
+    def test_union_pid_map_reuses_cached_legacy_reader(self, sample_traces, tmp_path):
+        save_trace(sample_traces["syn"], str(tmp_path / f"run000{TRACE_SUFFIX}"))
+        write_segment(
+            sample_traces["sensor-fusion"],
+            str(tmp_path / f"run001{SEGMENT_SUFFIX}"),
+        )
+        store = TraceStore(str(tmp_path))
+        union = store.union_pid_map()
+        expected = dict(sample_traces["syn"].pid_map)
+        expected.update(sample_traces["sensor-fusion"].pid_map)
+        assert union == expected
+        # The planning pass loaded the legacy run; synthesis readers
+        # reuse that instance instead of re-decoding the JSON.
+        assert store.open("run000") is store.open("run000")
+
+    def test_convert_legacy_drops_cached_reader(self, sample_traces, tmp_path):
+        save_trace(sample_traces["syn"], str(tmp_path / f"run000{TRACE_SUFFIX}"))
+        store = TraceStore(str(tmp_path))
+        cached = store.open("run000")
+        store.convert_legacy()
+        reader = store.open("run000")
+        assert reader is not cached
+        assert isinstance(reader, SegmentReader)

@@ -8,6 +8,7 @@ drives the record -> synthesize CLI end to end against the in-memory
 golden DOT.
 """
 
+import os
 import subprocess
 import sys
 
@@ -137,6 +138,92 @@ class TestShardingDeterminism:
         for jobs in (1, 2):
             actual = synthesize_from_store(store, pids=pids, jobs=jobs)
             assert dag_to_json(actual) == dag_to_json(expected), jobs
+
+
+class TestColumnarWalkEquivalence:
+    """The columnar Alg. 1 walk (store-native index, lazy payloads,
+    shard-local sched buckets) vs the in-memory pipeline: property-style
+    coverage over every registry scenario at jobs in {1, 2, 4}, plus an
+    explicit --pids subset and a PID absent from the store."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_every_scenario_every_jobs(self, stores, name, jobs):
+        store, traces = stores[name]
+        expected = synthesize_from_trace(Trace.merge(traces))
+        actual = synthesize_from_store(store, jobs=jobs)
+        assert dag_to_json(actual) == dag_to_json(expected), (name, jobs)
+        assert to_dot(actual) == to_dot(expected), (name, jobs)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_pid_subset_and_absent_pid(self, stores, jobs):
+        store, traces = stores["service-mesh"]
+        merged = Trace.merge(traces)
+        absent = max(merged.pids()) + 1000
+        pids = merged.pids()[::2] + [absent]
+        expected = synthesize_from_trace(merged, pids=pids)
+        actual = synthesize_from_store(store, pids=pids, jobs=jobs)
+        assert dag_to_json(actual) == dag_to_json(expected), jobs
+        assert format_exec_table(actual) == format_exec_table(expected), jobs
+
+    def test_only_absent_pids_yield_empty_model(self, stores):
+        store, traces = stores["syn"]
+        absent = [max(Trace.merge(traces).pids()) + 1000]
+        expected = synthesize_from_trace(Trace.merge(traces), pids=absent)
+        for jobs in (1, 2):
+            actual = synthesize_from_store(store, pids=absent, jobs=jobs)
+            assert dag_to_json(actual) == dag_to_json(expected), jobs
+
+    def test_overlapping_run_clocks_use_the_merge_path(self, tmp_path):
+        """Runs sharing a clock base (time-overlapping streams) must
+        take the k-way merge path and still match ``Trace.merge``."""
+        from repro.store import write_segment
+
+        store_dir = tmp_path / "overlap"
+        store_dir.mkdir()
+        traces = _reference_traces("sensor-fusion")
+        overlapping = [
+            Trace(
+                ros_events=[e._replace(ts=e.ts - t.start_ts) for e in t.ros_events],
+                sched_events=[e._replace(ts=e.ts - t.start_ts) for e in t.sched_events],
+                wakeup_events=[e._replace(ts=e.ts - t.start_ts) for e in t.wakeup_events],
+                pid_map=t.pid_map,
+                start_ts=0,
+                stop_ts=t.stop_ts - t.start_ts,
+            )
+            for t in traces
+        ]
+        for run_index, trace in enumerate(overlapping):
+            write_segment(trace, str(store_dir / f"run{run_index:03d}.trace.bin"))
+        store = TraceStore(str(store_dir))
+        expected = synthesize_from_trace(Trace.merge(overlapping))
+        for jobs in (1, 2):
+            actual = synthesize_from_store(store, jobs=jobs)
+            assert dag_to_json(actual) == dag_to_json(expected), jobs
+
+    def test_mixed_binary_and_legacy_store_sharded(self, tmp_path):
+        """Sharded synthesis over a mixed store: planning reads the
+        legacy run once (cached reader) and every jobs value matches the
+        in-memory pipeline."""
+        from repro.tracing.storage import TRACE_SUFFIX, save_trace
+
+        store_dir = str(tmp_path / "mixed")
+        record_batch(
+            "sensor-fusion", runs=3, directory=store_dir,
+            config=BatchConfig(duration_ns=DURATION_NS),
+        )
+        store = TraceStore(store_dir)
+        traces = [store.load(run_id) for run_id in store.run_ids()]
+        # Demote run001 to legacy-only gzip-JSON.
+        os.remove(store.path_of("run001"))
+        save_trace(traces[1], os.path.join(store_dir, f"run001{TRACE_SUFFIX}"))
+        mixed = TraceStore(store_dir)
+        assert not mixed.is_binary("run001")
+        expected = synthesize_from_trace(Trace.merge(traces))
+        for jobs in (1, 2, 4):
+            actual = synthesize_from_store(mixed, jobs=jobs)
+            assert dag_to_json(actual) == dag_to_json(expected), jobs
+            assert to_dot(actual) == to_dot(expected), jobs
 
 
 class TestCliRecordSynthesize:
