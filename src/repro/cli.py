@@ -13,12 +13,14 @@ Usage::
                           [--seed 1000] [--dot out.dot] [--json out.json]
     python -m repro record <scenario> --out DIR [--runs 8] [--jobs 4]
                           [--duration 10] [--seed 1000] [--segment-every 1.0]
-                          [--force]
+                          [--force] [--format-version 2]
     python -m repro synthesize DIR [--jobs 4] [--strategy merge-traces]
                           [--pids 1,2,...] [--dot out.dot] [--json out.json]
-    python -m repro perf  [--scale smoke|default|full] [--out BENCH_4.json]
+    python -m repro store-info DIR
+    python -m repro convert DIR [--remove] [--upgrade] [--format-version 2]
+    python -m repro perf  [--scale smoke|default|full] [--out BENCH_5.json]
                           [--baseline-src PATH] [--baseline-ref REF]
-                          [--check BENCH_4.json] [--factor 2.0]
+                          [--check BENCH_5.json] [--factor 2.0]
 
 Durations are in (simulated) seconds.  Every command prints the
 regenerated table/figure in the same shape the paper reports;
@@ -27,7 +29,10 @@ across worker processes and reports the merged timing model.
 ``record`` stores seeded scenario runs as binary trace segments (the
 Fig. 2 database server) and ``synthesize`` turns a store back into the
 timing model with PID-sharded multi-process extraction -- the two
-halves of the collect-now/synthesize-later workflow.
+halves of the collect-now/synthesize-later workflow.  ``store-info``
+summarizes what a (possibly mixed-format) store directory contains and
+``convert`` re-encodes legacy gzip-JSON runs -- and, with ``--upgrade``,
+older binary segments -- into the current segment format.
 """
 
 from __future__ import annotations
@@ -155,6 +160,20 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: zero/negative worker counts become
+    a clean usage error (exit code 2), not a deep ValueError traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {text!r} (need at least 1 worker)"
+        )
+    return value
+
+
 def _cmd_record(args) -> int:
     from .experiments.batch import BatchConfig as _BatchConfig
     from .store import record_batch
@@ -173,6 +192,7 @@ def _cmd_record(args) -> int:
         result = record_batch(
             args.scenario, runs=args.runs, directory=args.out, jobs=args.jobs,
             config=config, force=args.force,
+            format_version=args.format_version,
         )
     except ValueError as error:
         # E.g. recording over a store that already holds the run ids:
@@ -241,6 +261,70 @@ def _cmd_synthesize(args) -> int:
     print()
     print(format_exec_table(dag))
     _write_artifacts(dag, args)
+    return 0
+
+
+def _cmd_store_info(args) -> int:
+    from .store import StoreError, StoreFormatError, TraceStore
+
+    try:
+        store = TraceStore(args.store, allow_empty=True, strict=args.strict)
+        infos = store.run_infos()
+    except (FileNotFoundError, StoreError, StoreFormatError) as error:
+        # An unreadable run fails the listing under the default strict
+        # mode; --no-strict downgrades it to a warning + skip.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"trace store {store.directory} -- {len(infos)} run(s)\n")
+    print(
+        f"{'run':<12} {'format':>8} {'events':>9} {'ros':>9} {'sched':>9} "
+        f"{'pids':>5} {'bytes':>10} {'B/event':>8}"
+    )
+    totals = {"events": 0, "bytes": 0}
+    versions = set()
+    for info in infos:
+        label = "json" if info.format_version is None else f"v{info.format_version}"
+        versions.add(label)
+        totals["events"] += info.events
+        totals["bytes"] += info.size_bytes
+        print(
+            f"{info.run_id:<12} {label:>8} {info.events:>9} "
+            f"{info.ros_events:>9} {info.sched_events:>9} {info.pids:>5} "
+            f"{info.size_bytes:>10} {info.bytes_per_event:>8.1f}"
+        )
+    if infos:
+        print(
+            f"\ntotal {totals['events']} events, {totals['bytes']} bytes "
+            f"({totals['bytes'] / max(1, totals['events']):.1f} B/event), "
+            f"formats: {', '.join(sorted(versions))}"
+        )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from .store import StoreError, StoreFormatError, TraceStore
+
+    try:
+        store = TraceStore(args.store)
+        written = store.convert_legacy(
+            remove=args.remove,
+            format_version=args.format_version,
+            upgrade=args.upgrade,
+        )
+    except (FileNotFoundError, StoreError, StoreFormatError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not written:
+        print(
+            f"nothing to convert in {store.directory} "
+            f"(all runs already v{args.format_version}"
+            + ("" if args.upgrade else " or binary; --upgrade lifts old segments")
+            + ")"
+        )
+        return 0
+    for path in written:
+        print(f"converted {path}")
+    print(f"\n{len(written)} run(s) -> format v{args.format_version}")
     return 0
 
 
@@ -350,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--out", required=True,
                         help="store directory (created if missing)")
     record.add_argument("--runs", type=int, default=8)
-    record.add_argument("--jobs", type=int, default=1,
+    record.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes (store identical for any value)")
     record.add_argument("--duration", type=float, default=None,
                         help="seconds per run (default: the scenario's own)")
@@ -365,13 +449,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "recording left in --out (refused by default; "
                              "non-colliding stored runs stay and will merge "
                              "into later synthesis)")
+    record.add_argument("--format-version", type=int, default=2,
+                        choices=[1, 2],
+                        help="segment format to write (2 = typed payload "
+                             "columns, the default; 1 = JSON-interned "
+                             "payloads, the pre-v2 escape hatch)")
 
     synthesize = sub.add_parser(
         "synthesize",
         help="trace store -> timing model (PID-sharded across processes)",
     )
     synthesize.add_argument("store", help="directory written by `repro record`")
-    synthesize.add_argument("--jobs", type=int, default=1,
+    synthesize.add_argument("--jobs", type=_positive_int, default=1,
                             help="worker processes (results identical for "
                                  "any value)")
     synthesize.add_argument("--strategy", default="merge-traces",
@@ -380,6 +469,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="comma-separated PID filter")
     synthesize.add_argument("--dot", help="write Graphviz DOT to this path")
     synthesize.add_argument("--json", help="write the model JSON to this path")
+
+    store_info = sub.add_parser(
+        "store-info",
+        help="summarize a trace store: per-run format version, events, "
+             "bytes, PIDs",
+    )
+    store_info.add_argument("store", help="store directory to inspect")
+    store_info.add_argument("--no-strict", dest="strict", action="store_false",
+                            help="skip unreadable runs with a warning "
+                                 "instead of failing the listing")
+
+    convert = sub.add_parser(
+        "convert",
+        help="re-encode legacy gzip-JSON runs (and, with --upgrade, old "
+             "binary segments) into the current segment format",
+    )
+    convert.add_argument("store", help="store directory to convert in place")
+    convert.add_argument("--remove", action="store_true",
+                         help="delete legacy JSON originals after conversion")
+    convert.add_argument("--upgrade", action="store_true",
+                         help="also rewrite binary segments older than "
+                              "--format-version (the v1 -> v2 upgrade path)")
+    convert.add_argument("--format-version", type=int, default=2,
+                         choices=[1, 2],
+                         help="target segment format (default 2)")
 
     perf = sub.add_parser(
         "perf", help="run the perf harness; write/check BENCH_*.json"
@@ -413,6 +527,8 @@ COMMANDS = {
     "batch": _cmd_batch,
     "record": _cmd_record,
     "synthesize": _cmd_synthesize,
+    "store-info": _cmd_store_info,
+    "convert": _cmd_convert,
     "perf": _cmd_perf,
 }
 

@@ -19,7 +19,10 @@ Five benchmarks, each reporting wall-clock and a derived throughput:
 * **store** -- the binary trace store: segment encode/decode MB and
   Mev/s against the legacy gzip-JSON storage, plus store-backed
   synthesis (``synthesize_from_store``) inline overhead and PID-sharded
-  scaling.
+  scaling.  Segments are written in the current format (v2, typed
+  payload columns); a ``format_v1`` sub-section re-measures the same
+  workload against v1 (JSON-interned payloads) so the v2 gains stay
+  visible run over run.
 
 Speedup ratios (new vs frozen legacy, measured in the same process) are
 machine-independent and are what the CI regression gate compares;
@@ -336,11 +339,16 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
 
     with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
         bin_dir = os.path.join(tmp, "bin")
+        v1_dir = os.path.join(tmp, "v1")
         json_dir = os.path.join(tmp, "json")
         os.makedirs(bin_dir)
+        os.makedirs(v1_dir)
         os.makedirs(json_dir)
         bin_paths = [
             os.path.join(bin_dir, f"run{i:03d}.trace.bin") for i in range(runs)
+        ]
+        v1_paths = [
+            os.path.join(v1_dir, f"run{i:03d}.trace.bin") for i in range(runs)
         ]
         json_paths = [
             os.path.join(json_dir, f"run{i:03d}{TRACE_SUFFIX}") for i in range(runs)
@@ -350,17 +358,27 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
             for trace, path in zip(traces, bin_paths):
                 write_segment(trace, path)
 
+        def encode_v1() -> None:
+            for trace, path in zip(traces, v1_paths):
+                write_segment(trace, path, format_version=1)
+
         def encode_json() -> None:
             for trace, path in zip(traces, json_paths):
                 save_trace(trace, path)
 
         encode_bin_s = _best_of(encode_binary, scale.reps)
+        encode_v1_s = _best_of(encode_v1, scale.reps)
         encode_json_s = _best_of(encode_json, scale.reps)
         bin_bytes = sum(os.path.getsize(p) for p in bin_paths)
+        v1_bytes = sum(os.path.getsize(p) for p in v1_paths)
         json_bytes = sum(os.path.getsize(p) for p in json_paths)
 
         decode_bin_s = _best_of(
             lambda: [SegmentReader.open(p).to_trace() for p in bin_paths],
+            scale.reps,
+        )
+        decode_v1_s = _best_of(
+            lambda: [SegmentReader.open(p).to_trace() for p in v1_paths],
             scale.reps,
         )
         decode_json_s = _best_of(
@@ -368,9 +386,13 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
         )
 
         store = TraceStore(bin_dir)
+        v1_store = TraceStore(v1_dir)
         inline_s = _best_of(lambda: synthesize_from_trace(merged), scale.reps)
         store_serial_s = _best_of(
             lambda: synthesize_from_store(store, jobs=1), scale.reps
+        )
+        store_v1_serial_s = _best_of(
+            lambda: synthesize_from_store(v1_store, jobs=1), scale.reps
         )
         jobs = scale.scaling_jobs
         store_sharded_s = _best_of(
@@ -382,6 +404,21 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
         "runs": runs,
         "duration_s": scale.batch_duration_s,
         "events": events,
+        "format_version": 2,
+        # The previous segment format on the identical workload: how
+        # much the typed payload columns buy over JSON-interned
+        # payloads, re-measured every run.
+        "format_v1": {
+            "encode_s": round(encode_v1_s, 6),
+            "decode_s": round(decode_v1_s, 6),
+            "bytes": v1_bytes,
+            "synthesis_serial_s": round(store_v1_serial_s, 6),
+            "v2_bytes_ratio": round(bin_bytes / max(1, v1_bytes), 3),
+            "v2_decode_speedup": round(decode_v1_s / decode_bin_s, 3),
+            "v2_synthesis_speedup": round(
+                store_v1_serial_s / store_serial_s, 3
+            ),
+        },
         "encode": {
             "binary_s": round(encode_bin_s, 6),
             "json_s": round(encode_json_s, 6),
@@ -549,6 +586,13 @@ def format_report(payload: Dict[str, Any]) -> str:
             f"{synth['store_overhead']:.2f}x inline overhead, "
             f"{synth['sharded_speedup']:.2f}x sharded speedup",
         ]
+        v1 = store.get("format_v1")
+        if v1:
+            lines.append(
+                f"store v2 vs v1    : {v1['v2_decode_speedup']:.2f}x decode, "
+                f"{v1['v2_synthesis_speedup']:.2f}x serial synthesis, "
+                f"{v1['v2_bytes_ratio']:.2f}x bytes"
+            )
     return "\n".join(lines)
 
 

@@ -19,6 +19,7 @@ then ``python -m repro synthesize traces/ --jobs 4``.
 """
 
 from .database import (
+    RunInfo,
     StoreDatabase,
     StoreError,
     TraceStore,
@@ -26,13 +27,22 @@ from .database import (
     convert_database,
     save_database_binary,
 )
-from .format import NONE_CPU, NONE_ID, SEGMENT_SUFFIX, StoreFormatError
+from .format import (
+    NONE_CPU,
+    NONE_ID,
+    SEGMENT_SUFFIX,
+    SUPPORTED_VERSIONS,
+    VERSION,
+    VERSION_V1,
+    StoreFormatError,
+)
 from .reader import (
     InMemorySegment,
     SegmentReader,
     merge_ros_streams,
     merge_sched_streams,
     merge_wakeup_streams,
+    peek_header,
 )
 from .record import (
     DEFAULT_SPOOL_NS,
@@ -47,6 +57,7 @@ from .synthesis import merged_trace_index, synthesize_from_store
 from .writer import SegmentSpool, encode_trace, segment_path, write_segment
 
 __all__ = [
+    "RunInfo",
     "StoreDatabase",
     "StoreError",
     "TraceStore",
@@ -56,7 +67,11 @@ __all__ = [
     "NONE_CPU",
     "NONE_ID",
     "SEGMENT_SUFFIX",
+    "SUPPORTED_VERSIONS",
+    "VERSION",
+    "VERSION_V1",
     "StoreFormatError",
+    "peek_header",
     "InMemorySegment",
     "SegmentReader",
     "merge_ros_streams",

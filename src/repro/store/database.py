@@ -1,13 +1,19 @@
 """The on-disk trace store: a directory of per-run segments.
 
 A store directory holds one file per run -- binary ``.trace.bin``
-segments (this subsystem's format) and/or legacy ``.trace.json.gz``
-files (the pre-store gzip-JSON database) side by side.  The run id is
-the file stem; a run stored in both formats resolves to the binary
-segment.
+segments (this subsystem's format, version 1 or 2) and/or legacy
+``.trace.json.gz`` files (the pre-store gzip-JSON database) side by
+side.  The run id is the file stem; a run stored in both formats
+resolves to the binary segment.
 
 :class:`TraceStore` is the directory handle (list, open readers,
-write, convert).  :class:`StoreDatabase` is the store-backed mode of
+write, convert, inspect).  ``strict=False`` makes the aggregate paths
+(:meth:`TraceStore.readers`, :meth:`TraceStore.union_pid_map`,
+:meth:`TraceStore.run_infos`) skip unreadable runs with a warning
+instead of raising, so one truncated segment does not strand an
+otherwise healthy store; per-run :meth:`TraceStore.open` always raises.
+
+:class:`StoreDatabase` is the store-backed mode of
 :class:`~repro.tracing.session.TraceDatabase`: the same interface the
 synthesis pipeline consumes, but runs are materialized lazily from
 disk on access and ``add`` writes through to a binary segment, so a
@@ -18,12 +24,14 @@ actually needed.
 from __future__ import annotations
 
 import os
+import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from ..tracing.session import Trace, TraceDatabase
 from ..tracing.storage import TRACE_SUFFIX, load_trace
-from .format import SEGMENT_SUFFIX
-from .reader import InMemorySegment, SegmentReader, read_pid_map
+from .format import SEGMENT_SUFFIX, StoreFormatError, VERSION
+from .reader import InMemorySegment, SegmentReader, peek_header, read_pid_map
 from .writer import write_segment
 
 StoreLike = Union[str, "TraceStore"]
@@ -37,11 +45,60 @@ def as_store(store: StoreLike) -> "TraceStore":
     return store if isinstance(store, TraceStore) else TraceStore(store)
 
 
+def _load_legacy(path: str):
+    """``load_trace`` with storage-layer diagnostics: a corrupt
+    ``.trace.json.gz`` (bad gzip stream, cut file, malformed JSON)
+    surfaces as :class:`StoreFormatError` with the path, like a corrupt
+    binary segment -- so the strict/skip machinery treats both formats
+    uniformly."""
+    try:
+        return load_trace(path)
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError, KeyError, TypeError, ValueError) as error:
+        raise StoreFormatError(
+            f"{path}: unreadable legacy trace: {error}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Cheap per-run metadata (``repro store-info``).
+
+    Binary runs decode only their fixed-size header; legacy gzip-JSON
+    runs must load fully (the loaded reader is cached on the store
+    handle).  ``format_version`` is ``None`` for legacy JSON runs.
+    """
+
+    run_id: str
+    path: str
+    format_version: Optional[int]
+    size_bytes: int
+    ros_events: int
+    sched_events: int
+    wakeup_events: int
+    pids: int
+
+    @property
+    def events(self) -> int:
+        return self.ros_events + self.sched_events + self.wakeup_events
+
+    @property
+    def bytes_per_event(self) -> float:
+        return self.size_bytes / max(1, self.events)
+
+
 class TraceStore:
     """Directory of stored runs (binary segments + legacy JSON)."""
 
-    def __init__(self, directory: str, allow_empty: bool = False):
+    def __init__(
+        self,
+        directory: str,
+        allow_empty: bool = False,
+        strict: bool = True,
+    ):
         self.directory = os.fspath(directory)
+        self.strict = strict
         if not os.path.isdir(self.directory):
             raise FileNotFoundError(f"no such trace store: {self.directory!r}")
         self._files: Dict[str, str] = {}
@@ -85,6 +142,63 @@ class TraceStore:
     def is_binary(self, run_id: str) -> bool:
         return self._files[run_id].endswith(SEGMENT_SUFFIX)
 
+    def format_version(self, run_id: str) -> Optional[int]:
+        """The run's segment format-version byte (header peek), or
+        ``None`` for a legacy gzip-JSON run."""
+        if not self.is_binary(run_id):
+            return None
+        return peek_header(self.path_of(run_id))[0]
+
+    def _skip_unreadable(self, run_id: str, error: StoreFormatError) -> None:
+        warnings.warn(
+            f"skipping unreadable run {run_id!r}: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # -- inspection --------------------------------------------------------
+
+    def run_info(self, run_id: str) -> RunInfo:
+        """Per-run metadata; binary runs read only the segment header."""
+        path = self.path_of(run_id)
+        size = os.path.getsize(path)
+        if self.is_binary(run_id):
+            version, _, _, n_pids, n_ros, n_sched, n_wakeup, _, _ = peek_header(path)
+            return RunInfo(
+                run_id=run_id,
+                path=path,
+                format_version=version,
+                size_bytes=size,
+                ros_events=n_ros,
+                sched_events=n_sched,
+                wakeup_events=n_wakeup,
+                pids=n_pids,
+            )
+        reader = self.open(run_id)
+        return RunInfo(
+            run_id=run_id,
+            path=path,
+            format_version=None,
+            size_bytes=size,
+            ros_events=reader.num_ros_events,
+            sched_events=reader.num_sched_events,
+            wakeup_events=reader.num_wakeup_events,
+            pids=len(reader.pid_map),
+        )
+
+    def run_infos(self) -> List[RunInfo]:
+        """Metadata for every run (``strict=False`` skips unreadable
+        runs with a warning)."""
+        infos: List[RunInfo] = []
+        for run_id in self.run_ids():
+            try:
+                infos.append(self.run_info(run_id))
+            except StoreFormatError as error:
+                if self.strict:
+                    raise
+                self._skip_unreadable(run_id, error)
+        return infos
+
     # -- reading -----------------------------------------------------------
 
     def open(self, run_id: str):
@@ -96,13 +210,26 @@ class TraceStore:
             return SegmentReader.open(path)
         reader = self._legacy_readers.get(run_id)
         if reader is None:
-            reader = InMemorySegment(load_trace(path), path=path)
+            reader = InMemorySegment(_load_legacy(path), path=path)
             self._legacy_readers[run_id] = reader
         return reader
 
     def readers(self) -> List[object]:
-        """Readers for every run, in run-id order (the merge order)."""
-        return [self.open(run_id) for run_id in self.run_ids()]
+        """Readers for every run, in run-id order (the merge order).
+
+        ``strict=False`` skips runs whose files fail to parse
+        (truncated, corrupt, unknown version) with a warning instead of
+        raising, so the rest of the store stays synthesizable.
+        """
+        readers: List[object] = []
+        for run_id in self.run_ids():
+            try:
+                readers.append(self.open(run_id))
+            except StoreFormatError as error:
+                if self.strict:
+                    raise
+                self._skip_unreadable(run_id, error)
+        return readers
 
     def load(self, run_id: str) -> Trace:
         return self.open(run_id).to_trace()
@@ -115,10 +242,15 @@ class TraceStore:
         decodes each legacy run once, not twice."""
         pid_map: Dict[int, Optional[str]] = {}
         for run_id in self.run_ids():
-            if self.is_binary(run_id):
-                pid_map.update(read_pid_map(self.path_of(run_id)))
-            else:
-                pid_map.update(self.open(run_id).pid_map)
+            try:
+                if self.is_binary(run_id):
+                    pid_map.update(read_pid_map(self.path_of(run_id)))
+                else:
+                    pid_map.update(self.open(run_id).pid_map)
+            except StoreFormatError as error:
+                if self.strict:
+                    raise
+                self._skip_unreadable(run_id, error)
         return pid_map
 
     def merged_trace(self) -> Trace:
@@ -134,7 +266,9 @@ class TraceStore:
 
     # -- writing -----------------------------------------------------------
 
-    def add_trace(self, run_id: str, trace: Trace) -> str:
+    def add_trace(
+        self, run_id: str, trace: Trace, format_version: int = VERSION
+    ) -> str:
         """Write one run as a binary segment; returns the path.
 
         Refuses *any* existing run id: writing a binary segment over a
@@ -147,7 +281,10 @@ class TraceStore:
                 f"run {run_id!r} already stored as {self._files[run_id]!r}"
             )
         name = f"{run_id}{SEGMENT_SUFFIX}"
-        write_segment(trace, os.path.join(self.directory, name))
+        write_segment(
+            trace, os.path.join(self.directory, name),
+            format_version=format_version,
+        )
         self._files[run_id] = name
         return os.path.join(self.directory, name)
 
@@ -158,20 +295,46 @@ class TraceStore:
 
     # -- conversion --------------------------------------------------------
 
-    def convert_legacy(self, remove: bool = False) -> List[str]:
-        """Re-encode every legacy ``.trace.json.gz`` run as a binary
-        segment (idempotent); returns the written paths.
+    def convert_legacy(
+        self,
+        remove: bool = False,
+        format_version: int = VERSION,
+        upgrade: bool = False,
+    ) -> List[str]:
+        """Re-encode stored runs into ``format_version`` binary segments
+        (idempotent); returns the written paths.
 
-        ``remove=True`` deletes the JSON originals after conversion.
+        By default only legacy ``.trace.json.gz`` runs convert.
+        ``upgrade=True`` additionally re-encodes binary segments whose
+        format version is *older* than ``format_version`` -- the v1 ->
+        v2 upgrade path (newer-or-equal segments are left untouched, so
+        re-running is a no-op).  ``remove=True`` deletes the legacy JSON
+        originals after conversion; upgraded binary segments are
+        rewritten in place.
         """
         written: List[str] = []
         for run_id in self.run_ids():
             if self.is_binary(run_id):
+                if not upgrade:
+                    continue
+                path = self.path_of(run_id)
+                if peek_header(path)[0] >= format_version:
+                    continue
+                trace = self.load(run_id)
+                # Write-then-replace: an interrupted upgrade must never
+                # truncate the only copy of the run.
+                staging = f"{path}.tmp"
+                write_segment(trace, staging, format_version=format_version)
+                os.replace(staging, path)
+                written.append(path)
                 continue
             legacy_path = self.path_of(run_id)
-            trace = load_trace(legacy_path)
+            trace = _load_legacy(legacy_path)
             name = f"{run_id}{SEGMENT_SUFFIX}"
-            write_segment(trace, os.path.join(self.directory, name))
+            write_segment(
+                trace, os.path.join(self.directory, name),
+                format_version=format_version,
+            )
             self._files[run_id] = name
             self._legacy_readers.pop(run_id, None)
             written.append(os.path.join(self.directory, name))
@@ -180,16 +343,27 @@ class TraceStore:
         return written
 
 
-def convert_database(directory: str, remove: bool = False) -> List[str]:
-    """Convert a legacy gzip-JSON trace directory in place."""
-    return TraceStore(directory).convert_legacy(remove=remove)
+def convert_database(
+    directory: str,
+    remove: bool = False,
+    format_version: int = VERSION,
+    upgrade: bool = False,
+) -> List[str]:
+    """Convert a legacy gzip-JSON trace directory in place (and with
+    ``upgrade=True`` also lift older binary segments to
+    ``format_version``)."""
+    return TraceStore(directory).convert_legacy(
+        remove=remove, format_version=format_version, upgrade=upgrade
+    )
 
 
-def save_database_binary(database: TraceDatabase, directory: str) -> List[str]:
+def save_database_binary(
+    database: TraceDatabase, directory: str, format_version: int = VERSION
+) -> List[str]:
     """Write every run of an in-memory database as binary segments."""
     store = TraceStore.create(directory)
     return [
-        store.add_trace(run_id, database.get(run_id))
+        store.add_trace(run_id, database.get(run_id), format_version=format_version)
         for run_id in database.run_ids()
     ]
 

@@ -1,14 +1,14 @@
-"""The binary trace-segment format (``.trace.bin``).
+"""The binary trace-segment format (``.trace.bin``), versions 1 and 2.
 
 One file stores one run's complete trace in a struct-packed *columnar*
 layout: a fixed header, a string table (probe names, process names,
-topic payloads), the PID map, then one section per event stream where
+payload strings), the PID map, then one section per event stream where
 every field lives in its own contiguous fixed-width column.  Columnar
 storage is what makes the readers cheap: selecting a PID range scans a
 single ``int32`` column, and a consumer that only needs timestamps
 never touches anything else.
 
-Layout (all integers little-endian)::
+Common layout (all integers little-endian)::
 
     header     magic "RPROSEG1", version u16, flags u16,
                n_strings u32, n_pids u32,
@@ -19,25 +19,62 @@ Layout (all integers little-endian)::
                needing only the traced PIDs (shard planning) decode a
                short body prefix instead of the whole segment
     strings    n_strings x (u32 byte-length + UTF-8 bytes), id = position
-    ros        columns  ts i64 | pid i32 | probe u32 | data u32
+    ...        per-version payload sections (below)
+    ros        per-version columns (below)
     sched      columns  ts i64 | cpu i32 | prev_pid i32 | prev_comm u32
                | prev_prio i32 | prev_state u32 | next_pid i32
                | next_comm u32 | next_prio i32
     wakeup     columns  ts i64 | cpu i32 | pid i32 | comm u32 | prio i32
 
-Strings are deduplicated; event payloads (``TraceEvent.data``) are
-stored as canonical compact JSON *in the string table* and referenced
-by id, so the per-event record stays fixed-width while arbitrary
-payloads round-trip losslessly (the same JSON-value domain the legacy
-gzip-JSON storage already imposes).  ``NONE_ID`` marks absent strings;
-``NONE_CPU`` marks a wakeup without a CPU.  On big-endian hosts columns are byteswapped on the way in/out;
-the on-disk format is always little-endian.
+**Version 1** stores event payloads (``TraceEvent.data``) as canonical
+compact JSON interned in the string table::
+
+    ros        columns  ts i64 | pid i32 | probe u32 | data u32
+
+where ``data`` is the string id of the payload JSON (``NONE_ID`` for the
+empty payload).  Every payload read costs a JSON parse, and a segment
+full of distinct payloads (per-message ``src_ts``) stores one JSON
+string per event.
+
+**Version 2** (the writer default) stores payloads whose values fit the
+closed schema the domain actually uses -- ints, floats, bools, strings,
+``None`` -- as *typed per-field columns*, grouped by **shape**.  A shape
+is the ordered tuple of ``(field name, field type)`` pairs of a payload
+dict; every payload of the same shape appends one value per field to
+that shape's columns.  Between the string table and the ros section v2
+adds::
+
+    shapes     n_shapes u32; per shape:
+                   n_rows u64, n_fields u32,
+                   n_fields x (name string-id u32, type u8)
+    columns    per shape (id order), per non-NONE field (shape order):
+                   one column of n_rows values
+    ros        columns  ts i64 | pid i32 | probe u32 | shape u32 | vidx u32
+
+Field types: ``FIELD_INT`` (i64), ``FIELD_FLOAT`` (f64), ``FIELD_STR``
+(u32 interned string id), ``FIELD_BOOL`` (i8), ``FIELD_NONE`` (the
+value is always ``None``; no column is stored).  A row's ``shape``
+column holds its shape id, ``vidx`` its position in that shape's
+columns.  ``shape == NONE_ID`` marks the empty payload; ``shape ==
+SHAPE_JSON`` marks a row whose payload does not fit the schema (nested
+containers, out-of-range ints, non-string keys) -- ``vidx`` is then the
+string id of its canonical-JSON encoding, exactly the v1
+representation, so arbitrary payloads still round-trip losslessly.
+
+Because a shape pins the type of every field, columns never need
+null sentinels, dict reconstruction preserves the original key order,
+and the Alg. 1 hot path resolves ``cb_id``/``topic``/``src_ts``
+straight from int/string-id columns with no JSON scan.
+
+Strings are deduplicated; ``NONE_ID`` marks absent strings; ``NONE_CPU``
+marks a wakeup without a CPU.  On big-endian hosts columns are
+byteswapped on the way in/out; the on-disk format is always
+little-endian.
 
 With ``FLAG_ZLIB_BODY`` set (the writer default) everything after the
 header is one zlib stream: segment files then land at gzip-JSON size
-while decoding still skips the JSON parse entirely (the inflate is
-~5% of the decode).  Uncompressed segments (``compress=False``) trade
-bytes for zero-copy column views.
+while decoding still skips the JSON parse entirely.  Uncompressed
+segments (``compress=False``) trade bytes for zero-copy column views.
 """
 
 from __future__ import annotations
@@ -52,7 +89,12 @@ from typing import List, Sequence, Tuple
 SEGMENT_SUFFIX = ".trace.bin"
 
 MAGIC = b"RPROSEG1"
-VERSION = 1
+#: Current writer default (field-columnar payloads).
+VERSION = 2
+#: Version byte of the JSON-interned-payload format.
+VERSION_V1 = 1
+#: Versions this tree can read.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Header flag: the body (everything after the header) is one zlib stream.
 FLAG_ZLIB_BODY = 1
@@ -60,10 +102,31 @@ FLAG_ZLIB_BODY = 1
 #: sub-millisecond inflate on evaluation-sized segments).
 ZLIB_LEVEL = 3
 
-#: String id marking "no string" (``None``).
+#: String id marking "no string" (``None``); also the shape id of the
+#: empty payload in v2 segments.
 NONE_ID = 0xFFFFFFFF
+#: v2 shape-column sentinel: the row's payload is stored as interned
+#: canonical JSON (the v1 representation); ``vidx`` is the string id.
+SHAPE_JSON = 0xFFFFFFFE
+#: Largest usable shape id (everything above is a sentinel).
+MAX_SHAPES = SHAPE_JSON
 #: CPU column sentinel for ``SchedWakeup.cpu is None``.
 NONE_CPU = -(1 << 31)
+
+#: v2 payload field types (the closed ``TraceEvent.data`` value schema).
+FIELD_NONE = 0
+FIELD_INT = 1
+FIELD_FLOAT = 2
+FIELD_STR = 3
+FIELD_BOOL = 4
+
+#: array typecode per field type (``FIELD_NONE`` stores no column).
+FIELD_TYPECODES = {
+    FIELD_INT: "q",
+    FIELD_FLOAT: "d",
+    FIELD_STR: "I",
+    FIELD_BOOL: "b",
+}
 
 #: Header: magic, version, flags, n_strings, n_pids, n_ros, n_sched,
 #: n_wakeup, start_ts, stop_ts.
@@ -72,9 +135,15 @@ HEADER = struct.Struct("<8sHHIIQQQqq")
 #: One pid_map entry prefix: pid, name byte length (-1 = None).
 PID_ENTRY = struct.Struct("<ii")
 
+#: One shape-directory prefix: n_rows, n_fields.
+SHAPE_ENTRY = struct.Struct("<QI")
+#: One shape field: name string id, field type.
+SHAPE_FIELD = struct.Struct("<IB")
+
 #: (array typecode, itemsize) per column, section by section.  ``q`` is
 #: i64, ``i`` is i32, ``I`` is u32.
 ROS_COLUMNS: Tuple[str, ...] = ("q", "i", "I", "I")
+ROS_COLUMNS_V2: Tuple[str, ...] = ("q", "i", "I", "I", "I")
 SCHED_COLUMNS: Tuple[str, ...] = ("q", "i", "i", "I", "i", "I", "i", "I", "i")
 WAKEUP_COLUMNS: Tuple[str, ...] = ("q", "i", "i", "I", "i")
 
@@ -165,6 +234,52 @@ def unpack_strings(raw, offset: int, count: int) -> Tuple[List[str], int]:
     return strings, offset
 
 
+def pack_shape_dir(
+    shapes: Sequence[Tuple[Sequence[Tuple[int, int]], int]]
+) -> bytes:
+    """Serialize the v2 shape directory.
+
+    ``shapes`` holds ``(fields, n_rows)`` per shape in id order, where
+    ``fields`` is the ordered ``(name string id, field type)`` tuple.
+    """
+    parts: List[bytes] = [struct.pack("<I", len(shapes))]
+    for fields, n_rows in shapes:
+        parts.append(SHAPE_ENTRY.pack(n_rows, len(fields)))
+        for name_id, field_type in fields:
+            parts.append(SHAPE_FIELD.pack(name_id, field_type))
+    return b"".join(parts)
+
+
+def unpack_shape_dir(
+    raw, offset: int
+) -> Tuple[List[Tuple[List[Tuple[int, int]], int]], int]:
+    """Decode the v2 shape directory; returns (shapes, next offset) with
+    the same ``(fields, n_rows)`` structure :func:`pack_shape_dir` takes."""
+    if offset + 4 > len(raw):
+        raise StoreFormatError("truncated shape directory (count cut off)")
+    (n_shapes,) = struct.unpack_from("<I", raw, offset)
+    offset += 4
+    if n_shapes >= MAX_SHAPES:
+        raise StoreFormatError(f"implausible shape count {n_shapes}")
+    shapes: List[Tuple[List[Tuple[int, int]], int]] = []
+    for _ in range(n_shapes):
+        if offset + SHAPE_ENTRY.size > len(raw):
+            raise StoreFormatError("truncated shape directory (entry cut off)")
+        n_rows, n_fields = SHAPE_ENTRY.unpack_from(raw, offset)
+        offset += SHAPE_ENTRY.size
+        fields: List[Tuple[int, int]] = []
+        for _ in range(n_fields):
+            if offset + SHAPE_FIELD.size > len(raw):
+                raise StoreFormatError("truncated shape directory (field cut off)")
+            name_id, field_type = SHAPE_FIELD.unpack_from(raw, offset)
+            if field_type != FIELD_NONE and field_type not in FIELD_TYPECODES:
+                raise StoreFormatError(f"unknown payload field type {field_type}")
+            fields.append((name_id, field_type))
+            offset += SHAPE_FIELD.size
+        shapes.append((fields, n_rows))
+    return shapes, offset
+
+
 def pack_header(
     n_strings: int,
     n_pids: int,
@@ -174,27 +289,38 @@ def pack_header(
     start_ts: int,
     stop_ts: int,
     flags: int = 0,
+    version: int = VERSION,
 ) -> bytes:
     return HEADER.pack(
-        MAGIC, VERSION, flags, n_strings, n_pids, n_ros, n_sched, n_wakeup,
+        MAGIC, version, flags, n_strings, n_pids, n_ros, n_sched, n_wakeup,
         start_ts, stop_ts,
     )
 
 
-def unpack_header(raw: bytes) -> Tuple[int, int, int, int, int, int, int, int]:
-    """Validate magic/version; returns (flags, n_strings, n_pids, n_ros,
-    n_sched, n_wakeup, start_ts, stop_ts)."""
+def unpack_header(
+    raw: bytes, source: str = "segment"
+) -> Tuple[int, int, int, int, int, int, int, int, int]:
+    """Validate magic and version; returns (version, flags, n_strings,
+    n_pids, n_ros, n_sched, n_wakeup, start_ts, stop_ts).
+
+    ``source`` names the bytes in diagnostics (a file path, usually).
+    """
     if len(raw) < HEADER.size:
         raise StoreFormatError(
-            f"truncated segment: {len(raw)} bytes < {HEADER.size}-byte header"
+            f"{source}: truncated segment: {len(raw)} bytes < "
+            f"{HEADER.size}-byte header"
         )
     magic, version, flags, n_strings, n_pids, n_ros, n_sched, n_wakeup, start, stop = (
         HEADER.unpack_from(raw, 0)
     )
     if magic != MAGIC:
-        raise StoreFormatError(f"bad magic {magic!r}; not a {SEGMENT_SUFFIX} file")
-    if version != VERSION:
         raise StoreFormatError(
-            f"unsupported segment version {version} (writer supports {VERSION})"
+            f"{source}: bad magic {magic!r} at offset 0; not a "
+            f"{SEGMENT_SUFFIX} file"
         )
-    return flags, n_strings, n_pids, n_ros, n_sched, n_wakeup, start, stop
+    if version not in SUPPORTED_VERSIONS:
+        raise StoreFormatError(
+            f"{source}: unsupported segment version {version} at offset 8 "
+            f"(this reader supports {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
+    return version, flags, n_strings, n_pids, n_ros, n_sched, n_wakeup, start, stop

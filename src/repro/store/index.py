@@ -10,11 +10,14 @@ What makes it cheap:
 
 * probe codes resolve through a per-segment table keyed by the stored
   probe-string id (one bytearray index per row, no string hashing);
-* payload JSON is decoded only for the ID-carrying rows Alg. 1
+* payloads are touched only for the ID-carrying rows Alg. 1
   dereferences (publish / take / response keys --
   :data:`~repro.core.index.PAYLOAD_CODES`); CB start/end and kernel
-  probe rows -- the bulk of a trace -- never touch ``json.loads`` and
-  never construct an event object;
+  probe rows -- the bulk of a trace -- never construct an event object.
+  For format-v2 segments even the ID rows never see JSON:
+  ``cb_id``/``topic``/``src_ts`` resolve from the segment's typed
+  per-field columns, bulk-decoded once per payload shape (v1 segments
+  keep the lazy per-distinct-payload JSON scan);
 * the k-way merge across runs orders ``(ts, run, row)`` int prefixes,
   so ties keep run order (exactly like ``Trace.merge``) without a heap
   key function;
@@ -48,6 +51,7 @@ from ..core.index import (
     CODE_TIMER_CALL,
     TopicKey,
 )
+from .format import SHAPE_JSON
 
 #: One PID's walk columns: timestamps, probe codes, and the per-row aux
 #: slot (CB-type label / decoded payload / None) -- parallel sequences
@@ -144,16 +148,23 @@ class StoreTraceIndex:
             # heap and no per-row generator frames or tuples.
             index = 0
             for reader in readers:
-                columns = getattr(reader, "ros_walk_columns", None)
-                if columns is not None:
-                    index = self._consume_columns(
-                        columns(), wanted, index, current_cb, pending_p13,
-                        appenders,
-                    )
-                else:
+                fastpath = getattr(reader, "walk_fastpath", None)
+                if fastpath is None:
                     index = self._consume_rows(
                         reader.walk_rows(0), wanted, index, current_cb,
                         pending_p13, appenders,
+                    )
+                    continue
+                kind, columns = fastpath()
+                if kind >= 2:
+                    index = self._consume_columns_v2(
+                        columns, wanted, index, current_cb, pending_p13,
+                        appenders,
+                    )
+                else:
+                    index = self._consume_columns(
+                        columns, wanted, index, current_cb, pending_p13,
+                        appenders,
                     )
         else:
             # Overlapping runs: k-way merge of per-reader row streams.
@@ -166,11 +177,12 @@ class StoreTraceIndex:
             rows = streams[0] if len(streams) == 1 else _heap_merge(*streams)
             self._consume_rows(rows, wanted, 0, current_cb, pending_p13, appenders)
 
-    # The two _consume_* bodies are the same association state machine
+    # The three _consume_* bodies are the same association state machine
     # as TraceIndex._build (positional indices of the merged stream),
-    # duplicated only for the per-row access pattern: direct column
-    # indexing vs pre-assembled row tuples.  The store equivalence
-    # suites pin both against the in-memory pipeline.
+    # duplicated only for the per-row access pattern: v1 column indexing
+    # (JSON-interned payloads), v2 column indexing (typed shape
+    # columns), and pre-assembled row tuples.  The store equivalence
+    # suites pin all of them against the in-memory pipeline.
 
     def _walk_appender(self, appenders: Dict[int, tuple], pid: int) -> tuple:
         """First-row setup of a PID's walk columns + bound appends."""
@@ -209,6 +221,79 @@ class StoreTraceIndex:
                     aux = cached_payload(data_id)
                     if aux is None:
                         aux = payload(data_id)
+                    if code <= CODE_TAKE_RESPONSE:
+                        current_cb[pid] = aux.get("cb_id")
+                        if code == CODE_TAKE_RESPONSE:
+                            pending_p13.setdefault(pid, []).append(index)
+                            key = (aux.get("topic"), aux.get("src_ts"))
+                            take_responses.setdefault(key, []).append((index, aux))
+                    elif code == CODE_DDS_WRITE:
+                        writer_cb[index] = current_cb.get(pid)
+                        key = (aux.get("topic"), aux.get("src_ts"))
+                        writes.setdefault(key, []).append((index, aux))
+                    else:
+                        will_dispatch = bool(aux.get("will_dispatch"))
+                        for p13_index in pending_p13.pop(pid, ()):
+                            dispatch_after[p13_index] = will_dispatch
+            elif code == CODE_CB_START:
+                current_cb[pid] = None
+                aux = start_types[string_id]
+            if all_wanted or pid in wanted:
+                try:
+                    append_ts, append_code, append_aux = appenders[pid]
+                except KeyError:
+                    append_ts, append_code, append_aux = self._walk_appender(
+                        appenders, pid
+                    )
+                append_ts(ts)
+                append_code(code)
+                append_aux(aux)
+            index += 1
+        return index
+
+    def _consume_columns_v2(
+        self,
+        columns: Tuple,
+        wanted: Optional[frozenset],
+        index: int,
+        current_cb: Dict[int, Optional[str]],
+        pending_p13: Dict[int, List[int]],
+        appenders: Dict[int, tuple],
+    ) -> int:
+        """The v2 hot loop: payload rows come from the segment's typed
+        shape columns (bulk-decoded once per shape on first touch), so
+        ID-carrying rows cost a list index and C ``dict.get`` calls --
+        no JSON scanner anywhere.  Fallback-encoded rows (payloads
+        outside the closed schema) decode through the v1 path."""
+        (
+            ts_col, pid_col, probe_col, shape_col, vidx_col,
+            codes, start_types, shapes, json_payload,
+        ) = columns
+        #: shape id -> materialized payload-row list, resolved lazily so
+        #: shapes only referenced by non-ID rows are never decoded.
+        rows_by_shape: List[Optional[List]] = [None] * len(shapes)
+        n_shapes = len(shapes)
+        writes = self.writes
+        writer_cb = self.writer_cb
+        take_responses = self.take_responses
+        dispatch_after = self.dispatch_after
+        all_wanted = wanted is None
+        for ts, pid, string_id, sid, vidx in zip(
+            ts_col, pid_col, probe_col, shape_col, vidx_col
+        ):
+            code = codes[string_id]
+            aux: Any = None
+            if code >= CODE_TIMER_CALL:
+                if code <= CODE_TAKE_TYPE_ERASED:
+                    if sid < n_shapes:
+                        rows = rows_by_shape[sid]
+                        if rows is None:
+                            rows = rows_by_shape[sid] = shapes[sid].rows()
+                        aux = rows[vidx]
+                    elif sid == SHAPE_JSON:
+                        aux = json_payload(vidx)
+                    else:  # NONE_ID: an ID-carrying probe without payload
+                        aux = {}
                     if code <= CODE_TAKE_RESPONSE:
                         current_cb[pid] = aux.get("cb_id")
                         if code == CODE_TAKE_RESPONSE:

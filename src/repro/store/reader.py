@@ -1,12 +1,26 @@
 """Reading binary trace segments without materializing events.
 
-:class:`SegmentReader` parses a ``.trace.bin`` file into column *views*
-(`memoryview.cast` on little-endian hosts -- no copy of the event
-sections) plus the decoded string table.  Event objects are constructed
-lazily, per iteration, and only for the rows a consumer asks for:
-``iter_ros(pids=...)`` scans the int32 PID column and skips everything
-else, so selecting one node out of a 50-run merged store never builds
-the other nodes' events.
+:class:`SegmentReader` parses a ``.trace.bin`` file -- format v1 or v2
+-- into column *views* (`memoryview.cast` on little-endian hosts -- no
+copy of the event sections) plus the decoded string table.  Event
+objects are constructed lazily, per iteration, and only for the rows a
+consumer asks for: ``iter_ros(pids=...)`` scans the int32 PID column
+and skips everything else, so selecting one node out of a 50-run merged
+store never builds the other nodes' events.
+
+Payload access is format-versioned.  v1 payloads are interned JSON
+(decoded through a bound C scanner, cached per string id).  v2 payloads
+live in typed per-field columns grouped by shape (:class:`_Shape`):
+the first access to a shape bulk-decodes its columns -- string ids
+resolve through the table once per *column*, ints/floats come straight
+out of the fixed-width views -- and every row of the shape then costs a
+list index, with no JSON anywhere.  Rows written through the v2 JSON
+fallback (payloads outside the closed schema) decode exactly like v1.
+
+Parse errors surface as :class:`~repro.store.format.StoreFormatError`
+carrying the file path and the failing section/offset -- truncated
+files, corrupt zlib bodies and unknown version bytes never leak raw
+``struct.error`` / ``zlib.error``.
 
 :func:`merge_ros_streams` / :func:`merge_sched_streams` k-way merge
 many stored runs chronologically (ties keep run order, exactly like
@@ -20,6 +34,7 @@ from __future__ import annotations
 
 import struct
 import sys
+import zlib
 from heapq import merge as _heap_merge
 from json.decoder import JSONDecoder
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -37,23 +52,30 @@ from ..sim.scheduler import SchedSwitch, SchedWakeup
 from ..tracing.events import CB_TYPE_BY_START, TraceEvent
 from ..tracing.session import Trace
 from .format import (
+    FIELD_BOOL,
+    FIELD_NONE,
+    FIELD_STR,
+    FIELD_TYPECODES,
     FLAG_ZLIB_BODY,
     HEADER,
     IncompletePrefix,
     NONE_CPU,
     NONE_ID,
     ROS_COLUMNS,
+    ROS_COLUMNS_V2,
     SCHED_COLUMNS,
+    SHAPE_JSON,
     StoreFormatError,
     WAKEUP_COLUMNS,
     column_from_bytes,
     unpack_header,
     unpack_pid_map,
+    unpack_shape_dir,
     unpack_strings,
 )
 
 _BIG_ENDIAN = sys.byteorder == "big"
-_ITEMSIZE = {"q": 8, "i": 4, "I": 4}
+_ITEMSIZE = {"q": 8, "i": 4, "I": 4, "d": 8, "b": 1}
 
 #: Bound C JSON scanner for payload decode (see ``_payload``).
 _SCAN_PAYLOAD = JSONDecoder().scan_once
@@ -61,19 +83,76 @@ _SCAN_PAYLOAD = JSONDecoder().scan_once
 _TS_KEY = lambda event: event[0]  # noqa: E731 - ts field of every record
 
 
+class _Shape:
+    """One v2 payload shape: ordered field names/types + column views.
+
+    ``rows()`` bulk-decodes the shape on first use into one dict per
+    row (string ids resolved once per column, key order preserved);
+    repeated access is a list index.  Payload dicts are shared by the
+    ``TraceEvent`` immutability contract, like the v1 payload cache.
+    """
+
+    __slots__ = ("keys", "types", "count", "_columns", "_strings", "_rows")
+
+    def __init__(
+        self,
+        keys: Tuple[str, ...],
+        types: Tuple[int, ...],
+        count: int,
+        columns: Sequence[Optional[Sequence]],
+        strings: Sequence[str],
+    ):
+        self.keys = keys
+        self.types = types
+        self.count = count
+        self._columns = columns
+        self._strings = strings
+        self._rows: Optional[List[Dict[str, Any]]] = None
+
+    def rows(self) -> List[Dict[str, Any]]:
+        rows = self._rows
+        if rows is None:
+            strings = self._strings
+            seqs: List[Sequence] = []
+            for ftype, column in zip(self.types, self._columns):
+                if ftype == FIELD_NONE:
+                    seqs.append([None] * self.count)
+                elif ftype == FIELD_STR:
+                    seqs.append([strings[i] for i in column])
+                elif ftype == FIELD_BOOL:
+                    seqs.append([bool(v) for v in column])
+                else:
+                    seqs.append(column)
+            keys = self.keys
+            if seqs:
+                rows = [dict(zip(keys, values)) for values in zip(*seqs)]
+            else:  # degenerate: a shape with no fields (hand-built file)
+                rows = [{} for _ in range(self.count)]
+            self._rows = rows
+        return rows
+
+
 class SegmentReader:
-    """One stored run, decoded lazily from its packed columns."""
+    """One stored run (format v1 or v2), decoded lazily from its packed
+    columns.  ``version`` exposes the file's format-version byte."""
 
     def __init__(self, data: bytes, path: Optional[str] = None):
         self.path = path
+        self._source = path if path is not None else "<segment bytes>"
         self.size_bytes = len(data)
-        flags, n_strings, n_pids, n_ros, n_sched, n_wakeup, start, stop = (
-            unpack_header(data)
-        )
+        (
+            version, flags, n_strings, n_pids, n_ros, n_sched, n_wakeup,
+            start, stop,
+        ) = unpack_header(data, source=self._source)
+        self.version = version
         if flags & FLAG_ZLIB_BODY:
-            import zlib
-
-            body: bytes = zlib.decompress(data[HEADER.size:])
+            try:
+                body: bytes = zlib.decompress(data[HEADER.size:])
+            except zlib.error as error:
+                raise StoreFormatError(
+                    f"{self._source}: corrupt zlib body "
+                    f"(at file offset {HEADER.size}): {error}"
+                ) from None
         else:
             body = memoryview(data)[HEADER.size:]
         self._body = body
@@ -82,27 +161,55 @@ class SegmentReader:
         self.num_ros_events = n_ros
         self.num_sched_events = n_sched
         self.num_wakeup_events = n_wakeup
+        self._shapes: List[_Shape] = []
+        section = "pid_map"
+        offset = 0
         try:
             self.pid_map, offset = unpack_pid_map(body, 0, n_pids)
+            section = "string table"
             self._strings, offset = unpack_strings(body, offset, n_strings)
-            self._ros = self._read_section(ROS_COLUMNS, n_ros, offset)
-            offset += sum(_ITEMSIZE[c] for c in ROS_COLUMNS) * n_ros
+            if version >= 2:
+                section = "shape directory"
+                shape_dir, offset = unpack_shape_dir(body, offset)
+                section = "payload columns"
+                offset = self._read_shapes(shape_dir, offset)
+                ros_columns = ROS_COLUMNS_V2
+            else:
+                ros_columns = ROS_COLUMNS
+            section = "ros columns"
+            self._ros = self._read_section(ros_columns, n_ros, offset)
+            offset += sum(_ITEMSIZE[c] for c in ros_columns) * n_ros
+            section = "sched columns"
             self._sched = self._read_section(SCHED_COLUMNS, n_sched, offset)
             offset += sum(_ITEMSIZE[c] for c in SCHED_COLUMNS) * n_sched
+            section = "wakeup columns"
             self._wakeup = self._read_section(WAKEUP_COLUMNS, n_wakeup, offset)
             offset += sum(_ITEMSIZE[c] for c in WAKEUP_COLUMNS) * n_wakeup
             if offset > len(body):
                 raise StoreFormatError(
-                    f"truncated segment body: need {offset} bytes, have {len(body)}"
+                    f"truncated segment body: need {offset} bytes, "
+                    f"have {len(body)}"
                 )
-        except StoreFormatError:
-            raise
+        except StoreFormatError as error:
+            message = str(error)
+            if not message.startswith(self._source):
+                message = f"{self._source}: {message}"
+            raise StoreFormatError(message) from None
+        except IncompletePrefix as error:
+            raise StoreFormatError(
+                f"{self._source}: truncated segment "
+                f"(in {section}, body offset {offset}): {error}"
+            ) from None
         except (ValueError, TypeError, struct.error, IndexError) as error:
             # A cut anywhere (string table, column cast) surfaces as the
             # same clear diagnosis instead of a low-level parse error.
-            raise StoreFormatError(f"corrupt or truncated segment: {error}")
+            raise StoreFormatError(
+                f"{self._source}: corrupt or truncated segment "
+                f"(in {section}, body offset {offset}): {error}"
+            ) from None
         #: payload string id -> decoded mapping, shared across events
-        #: (payloads are immutable by the TraceEvent contract).
+        #: (payloads are immutable by the TraceEvent contract).  v1
+        #: payloads and v2 JSON-fallback rows decode through this.
         self._payload_cache: Dict[int, Dict[str, Any]] = {}
         #: per-string-id probe-code / CB-type tables, built lazily on
         #: the first columnar walk (see :meth:`walk_rows`).
@@ -130,6 +237,26 @@ class SegmentReader:
             offset += size
         return columns
 
+    def _read_shapes(self, shape_dir, offset: int) -> int:
+        """Build the :class:`_Shape` views of a v2 segment; returns the
+        offset past the payload columns."""
+        strings = self._strings
+        for fields, count in shape_dir:
+            keys = tuple(strings[name_id] for name_id, _ in fields)
+            types = tuple(ftype for _, ftype in fields)
+            stored = [t for t in types if t != FIELD_NONE]
+            views = iter(
+                self._read_section(
+                    [FIELD_TYPECODES[t] for t in stored], count, offset
+                )
+            )
+            offset += sum(_ITEMSIZE[FIELD_TYPECODES[t]] for t in stored) * count
+            columns: List[Optional[Sequence]] = [
+                None if t == FIELD_NONE else next(views) for t in types
+            ]
+            self._shapes.append(_Shape(keys, types, count, columns, strings))
+        return offset
+
     # -- decoding ----------------------------------------------------------
 
     def _payload(self, data_id: int) -> Dict[str, Any]:
@@ -145,25 +272,39 @@ class SegmentReader:
             self._payload_cache[data_id] = payload
         return payload
 
+    def _payload_at(self, sid: int, vidx: int) -> Dict[str, Any]:
+        """One v2 row's payload from its (shape, vidx) coordinates."""
+        if sid == NONE_ID:
+            return {}
+        if sid == SHAPE_JSON:
+            return self._payload(vidx)
+        return self._shapes[sid].rows()[vidx]
+
     def iter_ros(self, pids: Optional[Iterable[int]] = None) -> Iterator[TraceEvent]:
         """The run's ROS events, chronological; ``pids`` selects rows by
         scanning the PID column only."""
-        ts_col, pid_col, probe_col, data_col = self._ros
         strings = self._strings
-        payload = self._payload
-        if pids is None:
-            for i in range(self.num_ros_events):
-                yield TraceEvent(
-                    ts_col[i], pid_col[i], strings[probe_col[i]], payload(data_col[i])
-                )
-        else:
+        wanted = None
+        if pids is not None:
             wanted = pids if isinstance(pids, frozenset) else frozenset(pids)
+        if self.version >= 2:
+            ts_col, pid_col, probe_col, shape_col, vidx_col = self._ros
+            payload = self._payload_at
             for i in range(self.num_ros_events):
-                if pid_col[i] in wanted:
+                if wanted is None or pid_col[i] in wanted:
                     yield TraceEvent(
                         ts_col[i], pid_col[i], strings[probe_col[i]],
-                        payload(data_col[i]),
+                        payload(shape_col[i], vidx_col[i]),
                     )
+            return
+        ts_col, pid_col, probe_col, data_col = self._ros
+        payload_v1 = self._payload
+        for i in range(self.num_ros_events):
+            if wanted is None or pid_col[i] in wanted:
+                yield TraceEvent(
+                    ts_col[i], pid_col[i], strings[probe_col[i]],
+                    payload_v1(data_col[i]),
+                )
 
     def walk_rows(self, order: int) -> Iterator[tuple]:
         """Columnar Alg. 1 rows: ``(ts, order, row, pid, code, aux)``.
@@ -172,8 +313,8 @@ class SegmentReader:
         sort key (``order`` is the reader's position in the store's
         run-id order, so ties between runs keep run order without a key
         function).  ``aux`` is the CB-type label for CB-start rows, the
-        lazily decoded payload for the ID-carrying rows (publish / take
-        / response -- the only rows whose JSON Alg. 1 dereferences),
+        payload mapping for the ID-carrying rows (publish / take /
+        response -- the only rows whose payload Alg. 1 dereferences),
         and ``None`` otherwise; no :class:`TraceEvent` is ever built.
         """
         if self._code_table is None:
@@ -181,13 +322,27 @@ class SegmentReader:
             self._start_types = cb_start_type_table(self._strings)
         codes = self._code_table
         start_types = self._start_types
+        if self.version >= 2:
+            ts_col, pid_col, probe_col, shape_col, vidx_col = self._ros
+            payload = self._payload_at
+            for i in range(self.num_ros_events):
+                string_id = probe_col[i]
+                code = codes[string_id]
+                if CODE_TIMER_CALL <= code <= CODE_TAKE_TYPE_ERASED:
+                    aux: Any = payload(shape_col[i], vidx_col[i])
+                elif code == CODE_CB_START:
+                    aux = start_types[string_id]
+                else:
+                    aux = None
+                yield (ts_col[i], order, i, pid_col[i], code, aux)
+            return
         ts_col, pid_col, probe_col, data_col = self._ros
-        payload = self._payload
+        payload_v1 = self._payload
         for i in range(self.num_ros_events):
             string_id = probe_col[i]
             code = codes[string_id]
             if CODE_TIMER_CALL <= code <= CODE_TAKE_TYPE_ERASED:
-                aux: Any = payload(data_col[i])
+                aux = payload_v1(data_col[i])
             elif code == CODE_CB_START:
                 aux = start_types[string_id]
             else:
@@ -202,18 +357,34 @@ class SegmentReader:
             return None
         return ts_col[0], ts_col[self.num_ros_events - 1]
 
-    def ros_walk_columns(self):
+    def walk_fastpath(self):
         """Raw material of :meth:`walk_rows` for the time-ordered fast
-        path: ``(ts, pid, probe, data)`` columns plus the per-string-id
-        code/CB-type tables, the payload cache (for hit-path dict
-        access) and the bound lazy decoder (for misses), so the consumer
-        can run one tight index loop with no per-row generator or
-        tuple."""
+        path: ``(format version, columns)``, where ``columns`` is the
+        version-specific tuple :class:`~repro.store.index.StoreTraceIndex`
+        consumes in one tight index loop with no per-row generator or
+        tuple.
+
+        v1: ``(ts, pid, probe, data)`` columns + the per-string-id
+        code/CB-type tables, the payload cache (hit-path dict access)
+        and the bound lazy JSON decoder (misses).
+
+        v2: ``(ts, pid, probe, shape, vidx)`` columns + the code/CB-type
+        tables, the :class:`_Shape` list (bulk typed-column payload
+        rows, materialized lazily per shape) and the bound JSON decoder
+        for fallback rows.
+        """
         if self._code_table is None:
             self._code_table = probe_code_table(self._strings)
             self._start_types = cb_start_type_table(self._strings)
+        if self.version >= 2:
+            ts_col, pid_col, probe_col, shape_col, vidx_col = self._ros
+            return 2, (
+                ts_col, pid_col, probe_col, shape_col, vidx_col,
+                self._code_table, self._start_types,
+                self._shapes, self._payload,
+            )
         ts_col, pid_col, probe_col, data_col = self._ros
-        return (
+        return 1, (
             ts_col, pid_col, probe_col, data_col,
             self._code_table, self._start_types,
             self._payload_cache, self._payload,
@@ -269,18 +440,26 @@ class SegmentReader:
         )
 
 
+def peek_header(path: str) -> Tuple[int, int, int, int, int, int, int, int, int]:
+    """Header fields of a segment file from its first bytes only:
+    (version, flags, n_strings, n_pids, n_ros, n_sched, n_wakeup,
+    start_ts, stop_ts).  The cheap introspection behind
+    ``repro store-info``."""
+    with open(path, "rb") as handle:
+        return unpack_header(handle.read(HEADER.size), source=path)
+
+
 def read_pid_map(path: str) -> Dict[int, Optional[str]]:
     """The PID -> node-name map of a segment, from a file prefix.
 
-    The pid_map section leads the body, so planning a sharded synthesis
-    over a large store decodes a few KB per run (one inflate window for
-    compressed segments) instead of every event column.
+    The pid_map section leads the body in every format version, so
+    planning a sharded synthesis over a large store decodes a few KB per
+    run (one inflate window for compressed segments) instead of every
+    event column.
     """
-    import zlib
-
     with open(path, "rb") as handle:
         head = handle.read(HEADER.size)
-        flags, _, n_pids, _, _, _, _, _ = unpack_header(head)
+        _, flags, _, n_pids, _, _, _, _, _ = unpack_header(head, source=path)
         inflater = zlib.decompressobj() if flags & FLAG_ZLIB_BODY else None
         buffer = b""
         while True:
@@ -292,7 +471,12 @@ def read_pid_map(path: str) -> Dict[int, Optional[str]]:
             chunk = handle.read(1 << 16)
             if not chunk:
                 raise StoreFormatError(f"truncated segment {path!r}: pid_map cut off")
-            buffer += inflater.decompress(chunk) if inflater else chunk
+            try:
+                buffer += inflater.decompress(chunk) if inflater else chunk
+            except zlib.error as error:
+                raise StoreFormatError(
+                    f"{path}: corrupt zlib body: {error}"
+                ) from None
 
 
 class InMemorySegment:

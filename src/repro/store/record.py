@@ -29,6 +29,7 @@ from ..sim.kernel import SEC
 from ..tracing.session import TracingSession
 from ..world import World
 from .database import TraceStore
+from .format import SUPPORTED_VERSIONS, VERSION
 from .writer import SegmentSpool, segment_path, spool_session_segment
 
 #: Default rotation interval for spooled recording.
@@ -79,8 +80,10 @@ def record_run(
     runs: int,
     config: BatchConfig,
     directory: str,
+    format_version: int = VERSION,
 ) -> RecordedRun:
-    """One seeded, traced, spooled scenario run -> one binary segment."""
+    """One seeded, traced, spooled scenario run -> one binary segment
+    (``format_version`` selects the segment encoding; default v2)."""
     spec = build_scenario_spec(
         scenario,
         run_index=run_index,
@@ -106,7 +109,7 @@ def record_run(
     world.run(for_ns=run_config.warmup_ns)
     session.stop_init()
 
-    spool = SegmentSpool()
+    spool = SegmentSpool(format_version=format_version)
     # Init events (P1 discovery) precede every runtime segment
     # chronologically, so spooling them first keeps the stored stream
     # sorted -- the same order session.trace() would produce.
@@ -147,12 +150,15 @@ def record_run(
 
 
 def _record_shard(
-    args: Tuple[str, Tuple[int, ...], int, BatchConfig, str],
+    args: Tuple[str, Tuple[int, ...], int, BatchConfig, str, int],
 ) -> List[RecordedRun]:
     """Record a shard of run indices (module-level for pickling)."""
-    scenario, run_indices, runs, config, directory = args
+    scenario, run_indices, runs, config, directory, format_version = args
     return [
-        record_run(scenario, run_index, runs, config, directory)
+        record_run(
+            scenario, run_index, runs, config, directory,
+            format_version=format_version,
+        )
         for run_index in run_indices
     ]
 
@@ -164,6 +170,7 @@ def record_batch(
     jobs: int = 1,
     config: Optional[BatchConfig] = None,
     force: bool = False,
+    format_version: int = VERSION,
 ) -> RecordResult:
     """Record ``runs`` seeded runs of ``scenario`` into ``directory``.
 
@@ -182,6 +189,11 @@ def record_batch(
         raise ValueError("need at least one run")
     if jobs < 1:
         raise ValueError("need at least one job")
+    if format_version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported format version {format_version!r} "
+            f"(writable: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
     if not force and os.path.isdir(directory):
         existing = TraceStore(directory, allow_empty=True)
         colliding = sorted(
@@ -211,14 +223,19 @@ def record_batch(
     run_indices = list(range(runs))
     jobs = min(jobs, runs)
     if jobs == 1:
-        recorded = _record_shard((scenario, tuple(run_indices), runs, config, directory))
+        recorded = _record_shard(
+            (scenario, tuple(run_indices), runs, config, directory, format_version)
+        )
     else:
         shards = _shard(run_indices, jobs)
         recorded = []
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             for shard_result in pool.map(
                 _record_shard,
-                [(scenario, tuple(shard), runs, config, directory) for shard in shards],
+                [
+                    (scenario, tuple(shard), runs, config, directory, format_version)
+                    for shard in shards
+                ],
             ):
                 recorded.extend(shard_result)
     recorded.sort(key=lambda run: run.run_index)

@@ -6,8 +6,10 @@ Sec. V without an in-memory :class:`TraceDatabase`:
 * **merge_traces** (default): the stored runs' columns k-way merge into
   one chronological row stream feeding a
   :class:`~repro.store.index.StoreTraceIndex` -- the columnar Alg. 1
-  walk that resolves probe codes from per-segment string-id tables and
-  decodes payload JSON only for ID-carrying rows; extraction then
+  walk that resolves probe codes from per-segment string-id tables and,
+  for format-v2 segments, reads ``cb_id``/``topic``/``src_ts`` straight
+  from typed per-field payload columns (v1 segments fall back to lazy
+  JSON decode of ID-carrying rows only); extraction then
   partitions the traced PIDs into shards and fans out over a
   ``ProcessPoolExecutor``.  Workers re-open the store themselves (the
   task payload is ``(directory, pid shard)``, never pickled traces),
@@ -46,7 +48,7 @@ from ..core.pipeline import (
 )
 from ..core.records import CBList
 from ..core.synthesis import synthesize_dag
-from .database import StoreLike, as_store
+from .database import StoreLike, TraceStore, as_store
 from .index import StoreTraceIndex
 from .reader import merge_ros_streams, merge_sched_streams
 
@@ -99,12 +101,15 @@ def _extract_store_cblists(
     return cblists
 
 
-def _extract_shard(args: Tuple[str, Tuple[int, ...]]) -> List[CBList]:
+def _extract_shard(args: Tuple[str, Tuple[int, ...], bool]) -> List[CBList]:
     """Worker body: open the store, extract this shard's PIDs with the
     columnar walk -- shard-local walk columns and sched buckets, never
-    the full merged index (module-level for pickling)."""
-    directory, shard = args
-    return _extract_store_cblists(as_store(directory).readers(), list(shard))
+    the full merged index (module-level for pickling).  The parent
+    store's ``strict`` flag rides along so a lenient handle skips the
+    same unreadable runs in every worker."""
+    directory, shard, strict = args
+    readers = TraceStore(directory, strict=strict).readers()
+    return _extract_store_cblists(readers, list(shard))
 
 
 def _synthesize_run_shard(
@@ -180,7 +185,10 @@ def synthesize_from_store(
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             for shard_lists in pool.map(
                 _extract_shard,
-                [(store.directory, tuple(shard)) for shard in shards],
+                [
+                    (store.directory, tuple(shard), store.strict)
+                    for shard in shards
+                ],
             ):
                 for cblist in shard_lists:
                     by_pid[cblist.pid] = cblist

@@ -12,9 +12,20 @@ Two producers share the same encoder core (:class:`SegmentSpool`):
   plus the compact columns.  :mod:`repro.store.record` drives this
   against live scenario runs.
 
-Payloads are canonical compact JSON interned in the string table; the
-empty payload is a reserved ``NONE_ID`` so the dominant payload-less
-sched events and bare probes cost four bytes, not a table entry.
+Payload encoding is format-versioned (see :mod:`repro.store.format`):
+
+* **v2** (default): schema inference during spooling.  Each payload
+  dict whose values fit the closed scalar schema is classified into a
+  *shape* -- the ordered ``(key, type)`` tuple -- and its values append
+  to that shape's typed per-field columns (ints/floats/bools/interned
+  strings; always-``None`` fields store nothing).  Rows that do not fit
+  (nested containers, huge ints, non-string keys) fall back to the v1
+  JSON-interned representation per row.
+* **v1**: payloads are canonical compact JSON interned in the string
+  table.
+
+In both versions the empty payload is a reserved ``NONE_ID``, so the
+dominant payload-less sched events and bare probes stay cheap.
 """
 
 from __future__ import annotations
@@ -23,24 +34,39 @@ import json
 import os
 import zlib
 from array import array
-from typing import IO, Any, Dict, List, Mapping, Optional
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple
 
 from ..sim.scheduler import SchedSwitch, SchedWakeup
 from ..tracing.events import TraceEvent
 from ..tracing.session import Trace, TraceSegment
 from .format import (
+    FIELD_BOOL,
+    FIELD_FLOAT,
+    FIELD_INT,
+    FIELD_NONE,
+    FIELD_STR,
+    FIELD_TYPECODES,
     FLAG_ZLIB_BODY,
+    MAX_SHAPES,
     NONE_CPU,
     NONE_ID,
     ROS_COLUMNS,
+    ROS_COLUMNS_V2,
     SCHED_COLUMNS,
+    SHAPE_JSON,
+    SUPPORTED_VERSIONS,
+    VERSION,
     WAKEUP_COLUMNS,
     ZLIB_LEVEL,
     column_bytes,
     pack_header,
     pack_pid_map,
+    pack_shape_dir,
     pack_strings,
 )
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
 
 
 def _encode_payload(data: Mapping[str, Any]) -> str:
@@ -66,6 +92,38 @@ class StringTable:
         return len(self.strings)
 
 
+class _ShapeAcc:
+    """Writer-side accumulator for one payload shape."""
+
+    __slots__ = ("index", "fields", "columns", "count")
+
+    def __init__(self, index: int, fields: Tuple[Tuple[str, int], ...]):
+        self.index = index
+        self.fields = fields
+        #: one array per field; ``None`` for FIELD_NONE fields.
+        self.columns: Tuple[Optional[array], ...] = tuple(
+            array(FIELD_TYPECODES[ftype]) if ftype != FIELD_NONE else None
+            for _, ftype in fields
+        )
+        self.count = 0
+
+
+def _classify(value: Any) -> Optional[int]:
+    """Field type of one payload value, or ``None`` when it does not fit
+    the closed schema (-> whole row falls back to JSON)."""
+    if value is None:
+        return FIELD_NONE
+    if isinstance(value, bool):
+        return FIELD_BOOL
+    if isinstance(value, int):
+        return FIELD_INT if _INT64_MIN <= value <= _INT64_MAX else None
+    if isinstance(value, str):
+        return FIELD_STR
+    if isinstance(value, float):
+        return FIELD_FLOAT
+    return None
+
+
 class SegmentSpool:
     """Columnar accumulator for one run's trace.
 
@@ -74,17 +132,80 @@ class SegmentSpool:
     spool holds only native-typed arrays and the string table -- no
     event objects -- which is what bounds memory for streamed
     collection.
+
+    ``format_version`` selects the payload encoding (2 = typed per-field
+    columns, 1 = interned JSON; see :mod:`repro.store.format`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, format_version: int = VERSION) -> None:
+        if format_version not in SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"unsupported format version {format_version!r} "
+                f"(writable: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+            )
+        self.format_version = format_version
         self.strings = StringTable()
-        self._ros = tuple(array(code) for code in ROS_COLUMNS)
+        ros_columns = ROS_COLUMNS_V2 if format_version >= 2 else ROS_COLUMNS
+        self._ros = tuple(array(code) for code in ros_columns)
         self._sched = tuple(array(code) for code in SCHED_COLUMNS)
         self._wakeup = tuple(array(code) for code in WAKEUP_COLUMNS)
+        #: shape key (ordered (key, type) tuple) -> accumulator, in
+        #: first-seen order (the shape-id order of the directory).
+        self._shapes: Dict[Tuple[Tuple[str, int], ...], _ShapeAcc] = {}
 
     # -- appending --------------------------------------------------------
 
+    def _typed_payload(self, data: Mapping[str, Any]) -> Optional[Tuple[int, int]]:
+        """Append one payload to its shape's columns; returns (shape id,
+        row index) or ``None`` when the payload needs the JSON fallback."""
+        items: List[Tuple[str, int, Any]] = []
+        for key, value in data.items():
+            if not isinstance(key, str):
+                return None
+            ftype = _classify(value)
+            if ftype is None:
+                return None
+            items.append((key, ftype, value))
+        shape_key = tuple((key, ftype) for key, ftype, _ in items)
+        acc = self._shapes.get(shape_key)
+        if acc is None:
+            if len(self._shapes) >= MAX_SHAPES:  # pragma: no cover - 4B shapes
+                return None
+            acc = self._shapes[shape_key] = _ShapeAcc(len(self._shapes), shape_key)
+        intern = self.strings.intern
+        for (key, ftype, value), column in zip(items, acc.columns):
+            if ftype == FIELD_STR:
+                column.append(intern(value))
+            elif ftype == FIELD_INT:
+                column.append(value)
+            elif ftype == FIELD_BOOL:
+                column.append(1 if value else 0)
+            elif ftype == FIELD_FLOAT:
+                column.append(value)
+            # FIELD_NONE stores nothing.
+        row = acc.count
+        acc.count = row + 1
+        return acc.index, row
+
     def append_ros(self, event: TraceEvent) -> None:
+        if self.format_version >= 2:
+            ts_col, pid_col, probe_col, shape_col, vidx_col = self._ros
+            ts_col.append(event[0])
+            pid_col.append(event[1])
+            probe_col.append(self.strings.intern(event[2]))
+            data = event[3]
+            if not data:
+                shape_col.append(NONE_ID)
+                vidx_col.append(0)
+            else:
+                typed = self._typed_payload(data)
+                if typed is None:
+                    shape_col.append(SHAPE_JSON)
+                    vidx_col.append(self.strings.intern(_encode_payload(data)))
+                else:
+                    shape_col.append(typed[0])
+                    vidx_col.append(typed[1])
+            return
         ts_col, pid_col, probe_col, data_col = self._ros
         ts_col.append(event[0])
         pid_col.append(event[1])
@@ -168,10 +289,24 @@ class SegmentSpool:
         ``compress`` deflates the body (default; ~gzip-JSON file size);
         ``False`` keeps raw columns for zero-copy readers.
         """
-        body_parts: List[bytes] = [
-            pack_pid_map(pid_map),
-            pack_strings(self.strings.strings),
-        ]
+        body_parts: List[bytes] = [pack_pid_map(pid_map)]
+        if self.format_version >= 2:
+            intern = self.strings.intern
+            shapes = sorted(self._shapes.values(), key=lambda acc: acc.index)
+            directory = [
+                ([(intern(key), ftype) for key, ftype in acc.fields], acc.count)
+                for acc in shapes
+            ]
+            # Interning the field names may have grown the string table,
+            # so its blob is built only after the directory.
+            body_parts.append(pack_strings(self.strings.strings))
+            body_parts.append(pack_shape_dir(directory))
+            for acc in shapes:
+                for column in acc.columns:
+                    if column is not None:
+                        body_parts.append(column_bytes(column))
+        else:
+            body_parts.append(pack_strings(self.strings.strings))
         for section in (self._ros, self._sched, self._wakeup):
             for column in section:
                 body_parts.append(column_bytes(column))
@@ -190,6 +325,7 @@ class SegmentSpool:
                 start_ts,
                 stop_ts,
                 flags=flags,
+                version=self.format_version,
             )
         )
         written += handle.write(body)
@@ -207,20 +343,27 @@ class SegmentSpool:
             return self.finish(handle, pid_map, start_ts, stop_ts, compress=compress)
 
 
-def write_segment(trace: Trace, path: str, compress: bool = True) -> int:
+def write_segment(
+    trace: Trace,
+    path: str,
+    compress: bool = True,
+    format_version: int = VERSION,
+) -> int:
     """Pack one in-memory trace into ``path``; returns bytes written."""
-    spool = SegmentSpool()
+    spool = SegmentSpool(format_version=format_version)
     spool.add_trace(trace)
     return spool.finish_path(
         path, trace.pid_map, trace.start_ts, trace.stop_ts, compress=compress
     )
 
 
-def encode_trace(trace: Trace, compress: bool = True) -> bytes:
+def encode_trace(
+    trace: Trace, compress: bool = True, format_version: int = VERSION
+) -> bytes:
     """The segment bytes for one trace (in-memory variant)."""
     import io
 
-    spool = SegmentSpool()
+    spool = SegmentSpool(format_version=format_version)
     spool.add_trace(trace)
     buffer = io.BytesIO()
     spool.finish(
