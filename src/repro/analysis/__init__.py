@@ -1,6 +1,8 @@
 """Downstream consumers of the synthesized timing model: chain
 enumeration, end-to-end latency / waiting-time measurement, processor
-load + core-binding exploration, and response-time bounds."""
+load + core-binding exploration, and response-time bounds -- over
+in-memory traces/models or streamed out-of-core from a trace store
+(:mod:`repro.analysis.store`)."""
 
 from .chains import (
     Chain,
@@ -20,10 +22,14 @@ from .jitter import (
 )
 from .latency import (
     ChainLatency,
+    LatencyIndex,
     WaitingTime,
+    chain_latencies,
     communication_latencies,
     measure_chain_latencies,
     measure_waiting_times,
+    topic_latencies,
+    waiting_times,
 )
 from .load import (
     CallbackLoad,
@@ -41,6 +47,17 @@ from .response_time import (
     chain_response_bound,
     format_bounds,
 )
+from .store import (
+    StoreAnalysis,
+    activation_models_from_store,
+    callback_loads_from_store,
+    communication_latencies_from_store,
+    enumerate_chains_from_store,
+    latency_index_from_store,
+    measure_chain_latencies_from_store,
+    measure_waiting_times_from_store,
+    node_loads_from_store,
+)
 
 __all__ = [
     "Chain",
@@ -56,10 +73,23 @@ __all__ = [
     "format_activations",
     "response_jitter",
     "ChainLatency",
+    "LatencyIndex",
     "WaitingTime",
+    "chain_latencies",
     "communication_latencies",
     "measure_chain_latencies",
     "measure_waiting_times",
+    "topic_latencies",
+    "waiting_times",
+    "StoreAnalysis",
+    "activation_models_from_store",
+    "callback_loads_from_store",
+    "communication_latencies_from_store",
+    "enumerate_chains_from_store",
+    "latency_index_from_store",
+    "measure_chain_latencies_from_store",
+    "measure_waiting_times_from_store",
+    "node_loads_from_store",
     "CallbackLoad",
     "callback_loads",
     "check_binding",

@@ -55,15 +55,14 @@ def enumerate_chains(
         if len(chains) >= max_chains:
             raise ValueError(f"more than {max_chains} chains; raise max_chains")
         key = path[-1]
-        succs = dag.successors(key)
-        if key in sink_keys and not succs:
+        if key in sink_keys:
+            # A sink terminates the chain even when the vertex still has
+            # successors: explicit ``sinks=`` means "analyze up to here".
+            # (Graph sinks have no successors, so the default behavior
+            # is unchanged.)
             chains.append(Chain(keys=tuple(path)))
             return
-        if not succs:
-            if key in sink_keys:
-                chains.append(Chain(keys=tuple(path)))
-            return
-        for nxt in sorted(succs, key=lambda v: v.key):
+        for nxt in sorted(dag.successors(key), key=lambda v: v.key):
             walk(path + [nxt.key])
 
     for source in sorted(source_keys):

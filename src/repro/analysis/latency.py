@@ -12,20 +12,39 @@ Implements the extensions sketched in the paper's Sec. VII:
 * **Waiting time** -- with ``sched_wakeup`` recording enabled
   (``TracingSession(record_wakeups=True)``), the time between a node
   thread's wakeup and the start of the dispatched callback.
+
+All three analyses run off one :class:`LatencyIndex`, built in a single
+pass over a chronological row stream ``(ts, pid, code, payload)`` --
+either adapted from an in-memory :class:`~repro.tracing.session.Trace`
+(:meth:`LatencyIndex.from_trace`) or streamed straight from stored
+segments without materializing a trace
+(:func:`repro.analysis.store.latency_index_from_store`).  The row codes
+are the integer probe codes of :mod:`repro.core.index`; ``payload`` is
+only dereferenced for take (P6) and ``dds_write`` (P16) rows, matching
+the aux contract of ``SegmentReader.walk_rows``.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..tracing.events import (
-    P6_TAKE,
-    P16_DDS_WRITE,
-    TraceEvent,
+from ..core.index import (
+    CODE_CB_END,
+    CODE_CB_START,
+    CODE_DDS_WRITE,
+    CODE_OTHER,
+    CODE_TAKE,
+    PROBE_CODES,
+    TopicKey,
 )
 from ..tracing.session import Trace
+
+#: One hop record: (ts, topic, src_ts) of a dds_write, or (ts, src_ts)
+#: in the per-topic views.
+_WriteRow = Tuple[int, Optional[str], Optional[int]]
 
 
 @dataclass(frozen=True)
@@ -41,43 +60,145 @@ class ChainLatency:
         return self.end_ts - self.start_ts
 
 
-class _InstanceIndex:
-    """Per-PID callback-instance windows, for locating the instance that
-    contains a given event and the writes it performed."""
+def _trace_rows(trace: Trace) -> Iterator[Tuple[int, int, int, Optional[dict]]]:
+    """Adapt a loaded trace's ROS events to the index's row stream."""
+    code_of = PROBE_CODES.get
+    for event in trace.ros_events:
+        # TraceEvent is a NamedTuple: ts=0, pid=1, probe=2, data=3.
+        yield event[0], event[1], code_of(event[2], CODE_OTHER), event[3]
 
-    def __init__(self, trace: Trace):
+
+class LatencyIndex:
+    """Single-pass lookup structures behind the latency analyses.
+
+    Consumes any chronological ``(ts, pid, code, payload)`` row stream
+    plus an optional ``(ts, pid)`` wakeup stream, and indexes:
+
+    * per-PID callback-instance windows (CB start/end pairs), with the
+      start array precomputed and windows defensively sorted so an
+      unsorted input cannot silently break the bisect lookup;
+    * per-PID and per-topic ``dds_write`` rows;
+    * ``take`` rows keyed by the paper's (topic, srcTS) correlation key
+      and grouped per topic -- all in stream order, so results are
+      byte-identical to scanning the merged in-memory trace.
+    """
+
+    __slots__ = (
+        "_windows",
+        "_starts",
+        "_writes",
+        "_writes_by_topic",
+        "_takes_by_key",
+        "_takes_by_topic",
+        "_cb_starts",
+        "_wakeups",
+    )
+
+    def __init__(
+        self,
+        rows: Iterable[Tuple[int, int, int, Optional[dict]]],
+        wakeups: Iterable[Tuple[int, int]] = (),
+    ):
         self._windows: Dict[int, List[Tuple[int, int]]] = {}
-        self._writes: Dict[int, List[TraceEvent]] = {}
+        self._writes: Dict[int, List[_WriteRow]] = {}
+        self._writes_by_topic: Dict[Optional[str], List[Tuple[int, Optional[int]]]] = {}
+        self._takes_by_key: Dict[TopicKey, List[Tuple[int, int]]] = {}
+        self._takes_by_topic: Dict[Optional[str], List[Tuple[int, Optional[int]]]] = {}
+        self._cb_starts: Dict[int, List[int]] = {}
         open_start: Dict[int, int] = {}
-        for event in trace.ros_events:
-            pid = event.pid
-            if event.is_cb_start():
-                open_start[pid] = event.ts
-            elif event.is_cb_end() and pid in open_start:
-                self._windows.setdefault(pid, []).append((open_start.pop(pid), event.ts))
-            elif event.probe == P16_DDS_WRITE:
-                self._writes.setdefault(pid, []).append(event)
+        for ts, pid, code, payload in rows:
+            if code == CODE_CB_START:
+                open_start[pid] = ts
+                self._cb_starts.setdefault(pid, []).append(ts)
+            elif code == CODE_CB_END:
+                start = open_start.pop(pid, None)
+                if start is not None:
+                    self._windows.setdefault(pid, []).append((start, ts))
+            elif code == CODE_DDS_WRITE:
+                topic = payload.get("topic")
+                src_ts = payload.get("src_ts")
+                self._writes.setdefault(pid, []).append((ts, topic, src_ts))
+                self._writes_by_topic.setdefault(topic, []).append((ts, src_ts))
+            elif code == CODE_TAKE:
+                topic = payload.get("topic")
+                src_ts = payload.get("src_ts")
+                self._takes_by_key.setdefault((topic, src_ts), []).append((ts, pid))
+                self._takes_by_topic.setdefault(topic, []).append((ts, src_ts))
+        #: per-PID window start arrays, computed once -- lookups are a
+        #: bisect, never a per-call list rebuild.
+        self._starts: Dict[int, List[int]] = {}
+        for pid, windows in self._windows.items():
+            if any(
+                windows[i][0] > windows[i + 1][0]
+                for i in range(len(windows) - 1)
+            ):
+                windows.sort(key=itemgetter(0))
+            self._starts[pid] = [w[0] for w in windows]
+        self._wakeups: Dict[int, List[int]] = {}
+        for ts, pid in wakeups:
+            self._wakeups.setdefault(pid, []).append(ts)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "LatencyIndex":
+        return cls(
+            _trace_rows(trace),
+            ((w.ts, w.pid) for w in trace.wakeup_events),
+        )
+
+    # -- lookups -----------------------------------------------------------
 
     def window_containing(self, pid: int, ts: int) -> Optional[Tuple[int, int]]:
-        windows = self._windows.get(pid, [])
-        starts = [w[0] for w in windows]
+        """The latest-starting callback window of ``pid`` containing
+        ``ts`` (None when ``ts`` falls outside it)."""
+        starts = self._starts.get(pid)
+        if not starts:
+            return None
         i = bisect.bisect_right(starts, ts) - 1
-        if i >= 0 and windows[i][0] <= ts <= windows[i][1]:
-            return windows[i]
+        if i >= 0:
+            window = self._windows[pid][i]
+            if window[0] <= ts <= window[1]:
+                return window
         return None
 
-    def writes_in(self, pid: int, window: Tuple[int, int], topic: str) -> List[TraceEvent]:
+    def writes_in(
+        self, pid: int, window: Tuple[int, int], topic: str
+    ) -> List[Tuple[int, Optional[int]]]:
+        """(ts, src_ts) of the PID's writes on ``topic`` inside ``window``."""
         return [
-            w
-            for w in self._writes.get(pid, [])
-            if window[0] <= w.ts <= window[1] and w.get("topic") == topic
+            (ts, src_ts)
+            for ts, write_topic, src_ts in self._writes.get(pid, [])
+            if window[0] <= ts <= window[1] and write_topic == topic
         ]
 
+    def writes_on(self, topic: str) -> List[Tuple[int, Optional[int]]]:
+        """(ts, src_ts) of every write on ``topic``, in stream order."""
+        return self._writes_by_topic.get(topic, [])
 
-def measure_chain_latencies(
-    trace: Trace, topics: Sequence[str], max_instances: Optional[int] = None
+    def takes_for(
+        self, topic: str, src_ts: Optional[int]
+    ) -> List[Tuple[int, int]]:
+        """(ts, pid) of the takes matching one (topic, srcTS) key."""
+        return self._takes_by_key.get((topic, src_ts), [])
+
+    def takes_on(self, topic: str) -> List[Tuple[int, Optional[int]]]:
+        """(ts, src_ts) of every take on ``topic``, in stream order."""
+        return self._takes_by_topic.get(topic, [])
+
+    def cb_starts(self, pid: int) -> List[int]:
+        """Start timestamps of the PID's callback instances."""
+        return self._cb_starts.get(pid, [])
+
+    def wakeups(self, pid: int) -> List[int]:
+        """``sched_wakeup`` timestamps of the PID's thread."""
+        return self._wakeups.get(pid, [])
+
+
+def chain_latencies(
+    index: LatencyIndex,
+    topics: Sequence[str],
+    max_instances: Optional[int] = None,
 ) -> List[ChainLatency]:
-    """Follow data through ``topics`` (in order) and measure latencies.
+    """Follow data through ``topics`` (in order) over a built index.
 
     ``topics[0]`` is the chain's entry topic; each subsequent topic must
     be published from within the callback consuming the previous one.
@@ -85,48 +206,41 @@ def measure_chain_latencies(
     """
     if not topics:
         raise ValueError("need at least one topic")
-    takes_by_key: Dict[Tuple[str, int], List[TraceEvent]] = {}
-    for event in trace.ros_events:
-        if event.probe == P6_TAKE:
-            key = (event.get("topic"), event.get("src_ts"))
-            takes_by_key.setdefault(key, []).append(event)
-    index = _InstanceIndex(trace)
     latencies: List[ChainLatency] = []
-    first_writes = [
-        e
-        for e in trace.ros_events
-        if e.probe == P16_DDS_WRITE and e.get("topic") == topics[0]
-    ]
-    for write in first_writes:
+    for write_ts, src_ts in index.writes_on(topics[0]):
         if max_instances is not None and len(latencies) >= max_instances:
             break
-        journey_end = _follow(write, topics, 0, takes_by_key, index)
+        journey_end = _follow(src_ts, topics, 0, index)
         if journey_end is not None:
             latencies.append(
-                ChainLatency(start_ts=write.ts, end_ts=journey_end, hops=len(topics))
+                ChainLatency(start_ts=write_ts, end_ts=journey_end, hops=len(topics))
             )
     return latencies
 
 
+def measure_chain_latencies(
+    trace: Trace, topics: Sequence[str], max_instances: Optional[int] = None
+) -> List[ChainLatency]:
+    """In-memory front end of :func:`chain_latencies`."""
+    return chain_latencies(LatencyIndex.from_trace(trace), topics, max_instances)
+
+
 def _follow(
-    write: TraceEvent,
+    src_ts: Optional[int],
     topics: Sequence[str],
     hop: int,
-    takes_by_key: Dict[Tuple[str, int], List[TraceEvent]],
-    index: _InstanceIndex,
+    index: LatencyIndex,
 ) -> Optional[int]:
     """Recursive hop: find the take for this write, then the next write
     inside the consuming instance.  Returns the final instance end ts."""
-    takes = takes_by_key.get((topics[hop], write.get("src_ts")), [])
-    for take in takes:
-        window = index.window_containing(take.pid, take.ts)
+    for take_ts, take_pid in index.takes_for(topics[hop], src_ts):
+        window = index.window_containing(take_pid, take_ts)
         if window is None:
             continue
         if hop == len(topics) - 1:
             return window[1]
-        next_writes = index.writes_in(take.pid, window, topics[hop + 1])
-        for next_write in next_writes:
-            result = _follow(next_write, topics, hop + 1, takes_by_key, index)
+        for _, next_src_ts in index.writes_in(take_pid, window, topics[hop + 1]):
+            result = _follow(next_src_ts, topics, hop + 1, index)
             if result is not None:
                 return result
     return None
@@ -145,37 +259,41 @@ class WaitingTime:
         return self.start_ts - self.wakeup_ts
 
 
-def measure_waiting_times(trace: Trace, pid: int) -> List[WaitingTime]:
+def waiting_times(index: LatencyIndex, pid: int) -> List[WaitingTime]:
     """Waiting time of each callback instance of a node (Sec. VII).
 
     Pairs each CB-start event with the most recent preceding
     ``sched_wakeup`` of the node's thread.  Requires the trace to have
     been collected with ``record_wakeups=True``.
     """
-    wakeups = [w.ts for w in trace.wakeup_events if w.pid == pid]
+    wakeups = index.wakeups(pid)
     if not wakeups:
         return []
     result: List[WaitingTime] = []
-    for event in trace.ros_events:
-        if event.pid != pid or not event.is_cb_start():
-            continue
-        i = bisect.bisect_right(wakeups, event.ts) - 1
+    for start_ts in index.cb_starts(pid):
+        i = bisect.bisect_right(wakeups, start_ts) - 1
         if i >= 0:
             result.append(
-                WaitingTime(pid=pid, wakeup_ts=wakeups[i], start_ts=event.ts)
+                WaitingTime(pid=pid, wakeup_ts=wakeups[i], start_ts=start_ts)
             )
     return result
 
 
-def communication_latencies(trace: Trace, topic: str) -> List[int]:
+def measure_waiting_times(trace: Trace, pid: int) -> List[WaitingTime]:
+    """In-memory front end of :func:`waiting_times`."""
+    return waiting_times(LatencyIndex.from_trace(trace), pid)
+
+
+def topic_latencies(index: LatencyIndex, topic: str) -> List[int]:
     """Per-sample DDS latency on one topic: take.ts - write src_ts."""
-    writes = {
-        e.get("src_ts")
-        for e in trace.ros_events
-        if e.probe == P16_DDS_WRITE and e.get("topic") == topic
-    }
+    written = {src_ts for _, src_ts in index.writes_on(topic)}
     return [
-        e.ts - e.get("src_ts")
-        for e in trace.ros_events
-        if e.probe == P6_TAKE and e.get("topic") == topic and e.get("src_ts") in writes
+        ts - src_ts
+        for ts, src_ts in index.takes_on(topic)
+        if src_ts in written
     ]
+
+
+def communication_latencies(trace: Trace, topic: str) -> List[int]:
+    """In-memory front end of :func:`topic_latencies`."""
+    return topic_latencies(LatencyIndex.from_trace(trace), topic)

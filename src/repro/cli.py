@@ -18,6 +18,12 @@ Usage::
                           [--pids 1,2,...] [--dot out.dot] [--json out.json]
     python -m repro store-info DIR
     python -m repro convert DIR [--remove] [--upgrade] [--format-version 2]
+    python -m repro diff OLD NEW [--drift-threshold 0.10] [--percentile 99]
+                          [--gate-factor 1.2] [--old-run ID] [--new-run ID]
+                          [--jobs 4] [--fail-on any] [--json out.json]
+    python -m repro analyze DIR [--report chains,jitter,load] [--topics a,b]
+                          [--pids 1,2,...] [--jobs 4] [--sources k1,k2]
+                          [--sinks k3] [--waiting-pid PID]
     python -m repro perf  [--scale smoke|default|full] [--out BENCH_5.json]
                           [--baseline-src PATH] [--baseline-ref REF]
                           [--check BENCH_5.json] [--factor 2.0]
@@ -33,6 +39,14 @@ halves of the collect-now/synthesize-later workflow.  ``store-info``
 summarizes what a (possibly mixed-format) store directory contains and
 ``convert`` re-encodes legacy gzip-JSON runs -- and, with ``--upgrade``,
 older binary segments -- into the current segment format.
+
+``diff`` compares two timing models -- each side a store directory
+(synthesized out-of-core), one recorded run of a store (``--old-run`` /
+``--new-run``), or an exported model JSON -- applying the structural
+diff, the relative drift threshold, and percentile exec-time gates; it
+exits nonzero on regression so it can gate CI.  ``analyze`` streams the
+chain / jitter / load / latency reports straight from a store without
+materializing the merged trace.
 """
 
 from __future__ import annotations
@@ -328,6 +342,242 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _load_model(path: str, run: Optional[str], jobs: int):
+    """One ``repro diff`` side -> a :class:`TimingDag`.
+
+    ``path`` is either an exported model JSON file or a trace-store
+    directory; a directory synthesizes out-of-core (``--jobs``-sharded),
+    optionally narrowed to one recorded run id.
+    """
+    import os
+
+    from .core.export import dag_from_json
+    from .core.pipeline import synthesize_from_trace
+    from .store import TraceStore, synthesize_from_store
+
+    if os.path.isfile(path):
+        if run is not None:
+            raise ValueError(
+                f"{path} is an exported model file; run selection "
+                "(--old-run/--new-run) only applies to store directories"
+            )
+        with open(path) as handle:
+            return dag_from_json(handle.read())
+    store = TraceStore(path)
+    if run is not None:
+        if run not in store:
+            raise ValueError(
+                f"run {run!r} not in {store.directory} "
+                f"(has: {', '.join(store.run_ids())})"
+            )
+        return synthesize_from_trace(store.load(run))
+    return synthesize_from_store(store, jobs=jobs)
+
+
+def _cmd_diff(args) -> int:
+    import json
+
+    from .core.diff import diff_dags, percentile_gates
+    from .store import StoreError, StoreFormatError
+
+    try:
+        old = _load_model(args.old, args.old_run, args.jobs)
+        new = _load_model(args.new, args.new_run, args.jobs)
+    except (FileNotFoundError, StoreError, StoreFormatError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    diff = diff_dags(old, new, drift_threshold=args.drift_threshold)
+    gates = percentile_gates(
+        old, new, percentile=args.percentile, max_ratio=args.gate_factor
+    )
+    failed_gates = [g for g in gates if g.exceeded]
+
+    print(f"diff {args.old} -> {args.new}\n")
+    print(diff.summary())
+    if gates:
+        print()
+        for gate in gates:
+            print(gate.describe())
+
+    structure_bad = not diff.is_empty
+    gates_bad = bool(failed_gates)
+    regression = {
+        "any": structure_bad or gates_bad,
+        "structure": structure_bad,
+        "gates": gates_bad,
+        "never": False,
+    }[args.fail_on]
+    verdict = "REGRESSION" if regression else "OK"
+    print(
+        f"\n{verdict}: {len(diff.added_vertices) + len(diff.removed_vertices)}"
+        f" vertex change(s), {len(diff.added_edges) + len(diff.removed_edges)}"
+        f" edge change(s), {len(diff.no_data)} no-data, "
+        f"{len(diff.drifted)} drifted, "
+        f"{len(failed_gates)}/{len(gates)} gate(s) failed "
+        f"(fail-on={args.fail_on})"
+    )
+
+    if args.json:
+        payload = {
+            "old": args.old,
+            "new": args.new,
+            "drift_threshold": args.drift_threshold,
+            "percentile": args.percentile,
+            "gate_factor": args.gate_factor,
+            "fail_on": args.fail_on,
+            "regression": regression,
+            "added_vertices": diff.added_vertices,
+            "removed_vertices": diff.removed_vertices,
+            "added_edges": [list(e) for e in diff.added_edges],
+            "removed_edges": [list(e) for e in diff.removed_edges],
+            "no_data": [
+                {"key": g.key, "old_count": g.old_count, "new_count": g.new_count}
+                for g in diff.no_data
+            ],
+            "drifted": [
+                {
+                    "key": d.key,
+                    "old_mwcet": d.old_mwcet,
+                    "new_mwcet": d.new_mwcet,
+                    "old_macet": d.old_macet,
+                    "new_macet": d.new_macet,
+                }
+                for d in diff.drifted
+            ],
+            "gates": [
+                {
+                    "key": g.key,
+                    "percentile": g.percentile,
+                    "old_ns": g.old_ns,
+                    "new_ns": g.new_ns,
+                    "ratio": g.ratio,
+                    "exceeded": g.exceeded,
+                }
+                for g in gates
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    return 1 if regression else 0
+
+
+_ANALYZE_REPORTS = ("chains", "jitter", "load", "latency", "waiting")
+
+
+def _parse_reports(text: str) -> List[str]:
+    """argparse type for ``--report``: unknown report names become a
+    clean usage error (exit code 2)."""
+    reports = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part not in _ANALYZE_REPORTS:
+            raise argparse.ArgumentTypeError(
+                f"unknown report {part!r} "
+                f"(choose from {', '.join(_ANALYZE_REPORTS)})"
+            )
+        if part not in reports:
+            reports.append(part)
+    if not reports:
+        raise argparse.ArgumentTypeError(f"no reports in {text!r}")
+    return reports
+
+
+def _parse_keys(text: str) -> List[str]:
+    keys = [part.strip() for part in text.split(",") if part.strip()]
+    if not keys:
+        raise argparse.ArgumentTypeError(f"no keys in {text!r}")
+    return keys
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import StoreAnalysis, format_activations, format_chains, format_loads
+    from .store import StoreError, StoreFormatError
+
+    reports = list(args.report)
+    if args.topics and "latency" not in reports:
+        reports.append("latency")
+    if args.waiting_pid is not None and "waiting" not in reports:
+        reports.append("waiting")
+    if "latency" in reports and not args.topics:
+        print("error: --report latency needs --topics", file=sys.stderr)
+        return 2
+    if "waiting" in reports and args.waiting_pid is None:
+        print("error: --report waiting needs --waiting-pid", file=sys.stderr)
+        return 2
+
+    try:
+        analysis = StoreAnalysis(args.store, pids=args.pids, jobs=args.jobs)
+        analysis.dag  # synthesize up front so store errors exit cleanly
+    except (FileNotFoundError, StoreError, StoreFormatError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"analyze {analysis.store.directory} -- "
+        f"{len(analysis.store)} run(s), reports: {', '.join(reports)}\n"
+    )
+    first = True
+    for report in reports:
+        if not first:
+            print()
+        first = False
+        if report == "chains":
+            chains = analysis.chains(sources=args.sources, sinks=args.sinks)
+            print(f"== chains ({len(chains)}) ==")
+            print(format_chains(analysis.dag, chains))
+        elif report == "jitter":
+            models = analysis.activation_models()
+            print(f"== activation models ({len(models)}) ==")
+            print(format_activations(analysis.dag))
+        elif report == "load":
+            print("== callback loads ==")
+            print(format_loads(analysis.dag))
+            print("\nper-node utilization:")
+            for node, load in sorted(analysis.node_loads().items()):
+                print(f"  {node:<24} {100 * load:6.2f}%")
+        elif report == "latency":
+            latencies = analysis.chain_latencies(args.topics)
+            print(
+                f"== chain latency over {' -> '.join(args.topics)} "
+                f"({len(latencies)} instance(s)) =="
+            )
+            if latencies:
+                values = sorted(lat.latency_ns for lat in latencies)
+                mean = sum(values) / len(values)
+                print(
+                    f"  min {values[0] / 1e6:.3f} ms, "
+                    f"mean {mean / 1e6:.3f} ms, "
+                    f"max {values[-1] / 1e6:.3f} ms"
+                )
+            for topic in args.topics:
+                comm = analysis.communication_latencies(topic)
+                if comm:
+                    print(
+                        f"  {topic}: {len(comm)} transfer(s), "
+                        f"mean {sum(comm) / len(comm) / 1e6:.3f} ms"
+                    )
+        elif report == "waiting":
+            waits = analysis.waiting_times(args.waiting_pid)
+            print(
+                f"== waiting times, PID {args.waiting_pid} "
+                f"({len(waits)} wakeup(s)) =="
+            )
+            if waits:
+                values = sorted(w.waiting_ns for w in waits)
+                mean = sum(values) / len(values)
+                print(
+                    f"  min {values[0] / 1e6:.3f} ms, "
+                    f"mean {mean / 1e6:.3f} ms, "
+                    f"max {values[-1] / 1e6:.3f} ms"
+                )
+    return 0
+
+
 def _cmd_perf(args) -> int:
     import json
 
@@ -495,6 +745,60 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=[1, 2],
                          help="target segment format (default 2)")
 
+    diff = sub.add_parser(
+        "diff",
+        help="compare two timing models (stores or exported JSON); "
+             "exit 1 on regression",
+    )
+    diff.add_argument("old", help="baseline: store directory or model JSON")
+    diff.add_argument("new", help="candidate: store directory or model JSON")
+    diff.add_argument("--old-run", default=None,
+                      help="synthesize only this run id of the old store")
+    diff.add_argument("--new-run", default=None,
+                      help="synthesize only this run id of the new store")
+    diff.add_argument("--jobs", type=_positive_int, default=1,
+                      help="worker processes for store synthesis")
+    diff.add_argument("--drift-threshold", type=float, default=0.10,
+                      help="relative mWCET/mACET movement flagged as drift "
+                           "(default 0.10)")
+    diff.add_argument("--percentile", type=float, default=99.0,
+                      help="exec-time percentile gated per callback "
+                           "(default 99)")
+    diff.add_argument("--gate-factor", type=float, default=1.2,
+                      help="max allowed new/old percentile ratio "
+                           "(default 1.2)")
+    diff.add_argument("--fail-on", default="any",
+                      choices=["any", "structure", "gates", "never"],
+                      help="what counts as a regression (exit code 1); "
+                           "'structure' covers vertices/edges/no-data/drift, "
+                           "'gates' only the percentile gates")
+    diff.add_argument("--json", help="write the full diff report JSON here")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="stream chain/jitter/load/latency reports from a trace store",
+    )
+    analyze.add_argument("store", help="directory written by `repro record`")
+    analyze.add_argument("--report", type=_parse_reports,
+                         default=["chains", "jitter", "load"],
+                         help="comma-separated subset of "
+                              f"{{{','.join(_ANALYZE_REPORTS)}}} "
+                              "(default chains,jitter,load)")
+    analyze.add_argument("--topics", type=_parse_keys, default=None,
+                         help="comma-separated topic chain; enables the "
+                              "latency report")
+    analyze.add_argument("--waiting-pid", type=int, default=None,
+                         help="PID for the waiting-time report")
+    analyze.add_argument("--sources", type=_parse_keys, default=None,
+                         help="comma-separated chain source keys")
+    analyze.add_argument("--sinks", type=_parse_keys, default=None,
+                         help="comma-separated chain sink keys (chains stop "
+                              "here even when successors exist)")
+    analyze.add_argument("--pids", default=None, type=_parse_pids,
+                         help="comma-separated PID filter")
+    analyze.add_argument("--jobs", type=_positive_int, default=1,
+                         help="worker processes for store synthesis")
+
     perf = sub.add_parser(
         "perf", help="run the perf harness; write/check BENCH_*.json"
     )
@@ -529,6 +833,8 @@ COMMANDS = {
     "synthesize": _cmd_synthesize,
     "store-info": _cmd_store_info,
     "convert": _cmd_convert,
+    "diff": _cmd_diff,
+    "analyze": _cmd_analyze,
     "perf": _cmd_perf,
 }
 

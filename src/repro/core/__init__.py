@@ -6,7 +6,14 @@ multi-mode merging, statistics and exporters.
 """
 
 from .dag import DagEdge, DagValidationError, DagVertex, TimingDag
-from .diff import DagDiff, StatDrift, diff_dags
+from .diff import (
+    DagDiff,
+    NoDataDrift,
+    PercentileGate,
+    StatDrift,
+    diff_dags,
+    percentile_gates,
+)
 from .exec_time import SchedIndex, get_exec_time
 from .export import (
     dag_from_dict,
@@ -38,8 +45,11 @@ from .synthesis import junction_key, synthesize_dag, vertex_key
 
 __all__ = [
     "DagDiff",
+    "NoDataDrift",
+    "PercentileGate",
     "StatDrift",
     "diff_dags",
+    "percentile_gates",
     "DagEdge",
     "DagValidationError",
     "DagVertex",

@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis import (
     AnalysisError,
+    LatencyIndex,
     assert_feasible,
     callback_loads,
     callback_response_bound,
@@ -19,7 +20,9 @@ from repro.analysis import (
     measure_waiting_times,
     node_loads,
     suggest_binding,
+    waiting_times,
 )
+from repro.core.index import CODE_CB_END, CODE_CB_START
 from repro.apps import build_avp, build_syn
 from repro.core import DagVertex, TimingDag, synthesize_from_trace
 from repro.experiments import RunConfig, run_once
@@ -83,6 +86,39 @@ class TestChains:
         dag, _ = avp_model
         text = format_chains(dag, enumerate_chains(dag))
         assert "cb6" in text and "ms" in text
+
+    def test_explicit_sink_terminates_despite_successors(self):
+        """``sinks=`` must end the chain at that vertex even when the
+        graph continues past it (regression: mid-graph sinks used to be
+        walked through, yielding chains that overshot the requested
+        analysis horizon)."""
+        dag = TimingDag()
+        for key in ("A", "M", "Z"):
+            dag.add_vertex(DagVertex(key=key, node="n", cb_id=key, cb_type="timer"))
+        dag.add_edge("A", "M", "t1")
+        dag.add_edge("M", "Z", "t2")
+        chains = enumerate_chains(dag, sinks=["M"])
+        assert [c.keys for c in chains] == [("A", "M")]
+
+    def test_explicit_sink_on_fanout_vertex(self):
+        dag = TimingDag()
+        for key in ("A", "B", "SV", "CA", "CB"):
+            dag.add_vertex(DagVertex(key=key, node="n", cb_id=key, cb_type="timer"))
+        dag.add_edge("A", "SV", "t1")
+        dag.add_edge("B", "SV", "t2")
+        dag.add_edge("SV", "CA", "r1")
+        dag.add_edge("SV", "CB", "r2")
+        # Stopping at the shared service: one chain per caller, none of
+        # the 2x2 fan-out past it.
+        chains = enumerate_chains(dag, sinks=["SV"])
+        assert sorted(c.keys for c in chains) == [("A", "SV"), ("B", "SV")]
+
+    def test_graph_sinks_unchanged_by_fix(self, avp_model):
+        """Default behavior (no explicit sinks) is untouched."""
+        dag, _ = avp_model
+        implicit = enumerate_chains(dag)
+        explicit = enumerate_chains(dag, sinks=["p2d_ndt_localizer_node/cb6"])
+        assert [c.keys for c in implicit] == [c.keys for c in explicit]
 
 
 class TestLatency:
@@ -148,6 +184,66 @@ class TestLatency:
         assert all(w.waiting_ns >= 0 for w in waits)
         # The low-priority node is sometimes kept waiting by the rival.
         assert max(w.waiting_ns for w in waits) > 0
+        # The index-based front end is the same computation.
+        index = LatencyIndex.from_trace(trace)
+        assert waiting_times(index, node.pid) == waits
+
+
+class TestLatencyIndex:
+    """The single-pass row-stream index behind all latency analyses."""
+
+    @staticmethod
+    def window_rows(windows, pid=1):
+        rows = []
+        for start, end in windows:
+            rows.append((start, pid, CODE_CB_START, None))
+            rows.append((end, pid, CODE_CB_END, None))
+        return rows
+
+    def test_window_containing_basic(self):
+        index = LatencyIndex(self.window_rows([(10, 20), (30, 40)]))
+        assert index.window_containing(1, 15) == (10, 20)
+        assert index.window_containing(1, 30) == (30, 40)
+        assert index.window_containing(1, 40) == (30, 40)
+        assert index.window_containing(1, 25) is None
+        assert index.window_containing(1, 5) is None
+        assert index.window_containing(99, 15) is None
+
+    def test_unsorted_windows_are_defensively_sorted(self):
+        """Windows arriving out of start order (possible when per-run
+        streams are concatenated without a merge) must not break the
+        bisect lookup."""
+        rows = self.window_rows([(100, 200)]) + self.window_rows([(50, 80)])
+        index = LatencyIndex(rows)
+        assert index.window_containing(1, 60) == (50, 80)
+        assert index.window_containing(1, 150) == (100, 200)
+        assert index.window_containing(1, 90) is None
+
+    def test_window_lookup_matches_linear_scan(self, avp_model):
+        """The precomputed-starts bisect agrees with the O(W) reference
+        scan on a real trace, at every probe point."""
+        _, result = avp_model
+        index = LatencyIndex.from_trace(result.trace)
+        for pid in result.apps.pids:
+            windows = index._windows.get(pid, [])
+            for probe in [w[0] for w in windows[:50]] + [
+                w[1] + 1 for w in windows[:50]
+            ]:
+                reference = None
+                for window in windows:
+                    if window[0] <= probe <= window[1]:
+                        reference = window
+                assert index.window_containing(pid, probe) == reference
+
+    def test_wakeups_and_cb_starts_recorded(self):
+        rows = self.window_rows([(10, 20), (30, 40)])
+        index = LatencyIndex(rows, wakeups=[(8, 1), (28, 1), (5, 2)])
+        assert index.cb_starts(1) == [10, 30]
+        assert index.wakeups(1) == [8, 28]
+        assert index.wakeups(2) == [5]
+        waits = waiting_times(index, 1)
+        assert [(w.wakeup_ts, w.start_ts) for w in waits] == [(8, 10), (28, 30)]
+        assert [w.waiting_ns for w in waits] == [2, 2]
 
 
 class TestLoad:

@@ -1,0 +1,252 @@
+"""Out-of-core analysis equivalence: the PR's acceptance pins.
+
+Every analysis the package computes in memory must give value-identical
+results when streamed from a trace store: the DAG-based reports
+(chains, activation models, loads) ride on the already-pinned
+``synthesize_from_store``, and the trace-based reports (chain latency,
+waiting time, per-topic DDS latency) ride on the new row-stream
+:class:`LatencyIndex` -- both checked against the in-memory reference
+on all registry scenarios.
+"""
+
+import pytest
+
+from repro.analysis import (
+    LatencyIndex,
+    StoreAnalysis,
+    activation_models,
+    activation_models_from_store,
+    callback_loads,
+    callback_loads_from_store,
+    communication_latencies,
+    communication_latencies_from_store,
+    enumerate_chains,
+    enumerate_chains_from_store,
+    latency_index_from_store,
+    measure_chain_latencies,
+    measure_chain_latencies_from_store,
+    measure_waiting_times,
+    measure_waiting_times_from_store,
+    node_loads,
+    node_loads_from_store,
+)
+from repro.core import dag_to_json, synthesize_from_trace
+from repro.core.index import CODE_DDS_WRITE, PROBE_CODES
+from repro.experiments.batch import BatchConfig
+from repro.experiments.runner import run_once
+from repro.ros2 import Node
+from repro.scenarios import build_scenario_spec, scenario_names
+from repro.sim.kernel import MSEC, SEC
+from repro.store import TraceStore, record_batch
+from repro.tracing import TracingSession
+from repro.tracing.session import Trace
+from repro.world import World
+
+DURATION_NS = int(1.0 * SEC)
+RUNS = 2
+
+
+def _reference_traces(name):
+    """The in-memory traces the store contents reproduce (built exactly
+    as the record workers build them)."""
+    config = BatchConfig(duration_ns=DURATION_NS)
+    traces = []
+    for run_index in range(RUNS):
+        spec = build_scenario_spec(
+            name, run_index=run_index, runs=RUNS, duration_ns=DURATION_NS
+        )
+        run_config = config.run_config(DURATION_NS, spec.num_cpus)
+        traces.append(
+            run_once(
+                lambda world, i, spec=spec: spec.build(world),
+                run_config,
+                run_index=run_index,
+            ).trace
+        )
+    return traces
+
+
+def _write_topics(trace):
+    """Every topic the merged trace publishes on, in first-seen order."""
+    topics = []
+    for event in trace.ros_events:
+        if PROBE_CODES.get(event.probe) == CODE_DDS_WRITE:
+            topic = event.data.get("topic")
+            if topic not in topics:
+                topics.append(topic)
+    return topics
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    """Recorded store + merged in-memory reference, per scenario."""
+    root = tmp_path_factory.mktemp("analysis_stores")
+    result = {}
+    for name in scenario_names():
+        directory = str(root / name)
+        record_batch(
+            name, runs=RUNS, directory=directory,
+            config=BatchConfig(duration_ns=DURATION_NS),
+        )
+        merged = Trace.merge(_reference_traces(name))
+        result[name] = (TraceStore(directory), merged)
+    return result
+
+
+class TestModelReportEquivalence:
+    """DAG-based analyses: store path == in-memory path, all scenarios."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_chains_identical(self, stores, name):
+        store, merged = stores[name]
+        expected = enumerate_chains(synthesize_from_trace(merged))
+        actual = enumerate_chains_from_store(store)
+        assert [c.keys for c in actual] == [c.keys for c in expected], name
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_activation_models_identical(self, stores, name):
+        store, merged = stores[name]
+        expected = activation_models(synthesize_from_trace(merged))
+        assert activation_models_from_store(store) == expected, name
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_loads_identical(self, stores, name):
+        store, merged = stores[name]
+        dag = synthesize_from_trace(merged)
+        assert callback_loads_from_store(store) == callback_loads(dag), name
+        assert node_loads_from_store(store) == node_loads(dag), name
+
+
+class TestLatencyEquivalence:
+    """Trace-based analyses: the streamed index == the in-memory index,
+    value for value, on every published topic of every scenario."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_communication_latencies_identical(self, stores, name):
+        store, merged = stores[name]
+        topics = _write_topics(merged)
+        assert topics, name
+        for topic in topics:
+            assert communication_latencies_from_store(
+                store, topic
+            ) == communication_latencies(merged, topic), (name, topic)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_single_hop_chain_latencies_identical(self, stores, name):
+        store, merged = stores[name]
+        for topic in _write_topics(merged):
+            expected = measure_chain_latencies(merged, [topic])
+            actual = measure_chain_latencies_from_store(store, [topic])
+            assert actual == expected, (name, topic)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_two_hop_chain_latencies_identical(self, stores, name):
+        store, merged = stores[name]
+        topics = _write_topics(merged)
+        for pair in zip(topics, topics[1:]):
+            expected = measure_chain_latencies(merged, list(pair))
+            actual = measure_chain_latencies_from_store(store, list(pair))
+            assert actual == expected, (name, pair)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_index_lookup_structures_identical(self, stores, name):
+        """The streamed index's public lookups agree with the in-memory
+        index on every topic and PID."""
+        store, merged = stores[name]
+        streamed = latency_index_from_store(store)
+        reference = LatencyIndex.from_trace(merged)
+        for topic in _write_topics(merged):
+            assert streamed.writes_on(topic) == reference.writes_on(topic)
+            assert streamed.takes_on(topic) == reference.takes_on(topic)
+        for pid in merged.pid_map:
+            assert streamed.cb_starts(pid) == reference.cb_starts(pid), (
+                name, pid,
+            )
+
+    def test_pid_filter_restricts_index(self, stores):
+        store, merged = stores["syn"]
+        pids = sorted(merged.pid_map)
+        keep, drop = pids[0], pids[-1]
+        filtered = latency_index_from_store(store, pids=[keep])
+        full = latency_index_from_store(store)
+        assert filtered.cb_starts(keep) == full.cb_starts(keep)
+        assert filtered.cb_starts(drop) == []
+        assert filtered.window_containing(drop, merged.stop_ts // 2) is None
+
+
+class TestStoreAnalysisHandle:
+    def test_reports_share_one_synthesis(self, stores):
+        store, merged = stores["syn"]
+        analysis = StoreAnalysis(store)
+        dag = analysis.dag
+        assert analysis.dag is dag  # cached, not re-synthesized
+        assert dag_to_json(dag) == dag_to_json(synthesize_from_trace(merged))
+        assert [c.keys for c in analysis.chains()] == [
+            c.keys for c in enumerate_chains(dag)
+        ]
+
+    def test_jobs_do_not_change_reports(self, stores):
+        store, _ = stores["syn"]
+        serial = StoreAnalysis(store, jobs=1)
+        sharded = StoreAnalysis(store, jobs=2)
+        assert dag_to_json(serial.dag) == dag_to_json(sharded.dag)
+        assert serial.activation_models() == sharded.activation_models()
+
+    def test_accepts_directory_path(self, stores):
+        store, _ = stores["syn"]
+        by_path = StoreAnalysis(store.directory)
+        by_handle = StoreAnalysis(store)
+        assert dag_to_json(by_path.dag) == dag_to_json(by_handle.dag)
+
+
+class TestWaitingTimesFromStore:
+    """Wakeup streams survive the store round trip -- including the
+    cross-run merge (record_batch itself never records wakeups, so the
+    store is built directly from wakeup-recording sessions)."""
+
+    @staticmethod
+    def _wakeup_trace(seed):
+        world = World(num_cpus=1, seed=seed)
+        node = Node(world, "n")
+        node.create_timer(
+            50 * MSEC, lambda api, msg: (yield api.compute(5 * MSEC))
+        )
+        rival = Node(world, "rival", priority=10)
+        rival.create_timer(
+            20 * MSEC, lambda api, msg: (yield api.compute(10 * MSEC))
+        )
+        session = TracingSession(world, record_wakeups=True)
+        session.start_init()
+        world.launch()
+        world.run(for_ns=MSEC)
+        session.stop_init()
+        session.start_runtime()
+        world.run(for_ns=2 * SEC)
+        session.stop_runtime()
+        return session.trace(), node.pid
+
+    def test_waiting_times_identical(self, tmp_path):
+        trace, pid = self._wakeup_trace(seed=5)
+        store = TraceStore.create(str(tmp_path / "wakeups"))
+        store.add_trace("run000", trace)
+        expected = measure_waiting_times(trace, pid)
+        assert expected  # the scenario produces real contention
+        assert measure_waiting_times_from_store(store, pid) == expected
+
+    def test_multi_run_wakeup_merge(self, tmp_path):
+        """Two overlapping runs (both start near t=0) force the k-way
+        heap-merge path for rows and wakeups alike."""
+        t1, pid1 = self._wakeup_trace(seed=5)
+        t2, _ = self._wakeup_trace(seed=6)
+        store = TraceStore.create(str(tmp_path / "wakeups2"))
+        store.add_trace("run000", t1)
+        store.add_trace("run001", t2)
+        merged = Trace.merge([t1, t2])
+        assert measure_waiting_times_from_store(store, pid1) == (
+            measure_waiting_times(merged, pid1)
+        )
+        index = latency_index_from_store(store)
+        reference = LatencyIndex.from_trace(merged)
+        for pid in merged.pid_map:
+            assert index.wakeups(pid) == reference.wakeups(pid)
+            assert index.cb_starts(pid) == reference.cb_starts(pid)

@@ -163,3 +163,121 @@ class TestRecordOverwriteProtection:
         assert "run000" in err and "--force" in err
         assert main(args + ["--force"]) == 0
         assert "run000" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def recorded_store(tmp_path_factory):
+    """One small recorded store shared by the diff/analyze CLI tests."""
+    directory = str(tmp_path_factory.mktemp("cli_store") / "syn")
+    assert main(["record", "syn", "--runs", "2", "--duration", "2",
+                 "--out", directory]) == 0
+    return directory
+
+
+class TestDiffCommand:
+    def test_self_compare_exits_zero(self, capsys, recorded_store):
+        assert main(["diff", recorded_store, recorded_store]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "OK:" in out and "[ok]" in out
+
+    def test_json_model_side(self, capsys, recorded_store, tmp_path):
+        model = tmp_path / "model.json"
+        assert main(["synthesize", recorded_store, "--json", str(model)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(model), recorded_store]) == 0
+        assert main(["diff", recorded_store, str(model)]) == 0
+
+    def test_gate_failure_exits_one(self, capsys, recorded_store):
+        """A self-compare under an impossible gate (ratio 1.0 > 0.5)
+        fails every gate: the CI 'perturbed' leg."""
+        assert main(["diff", recorded_store, recorded_store,
+                     "--gate-factor", "0.5"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out and "REGRESSION" in out
+
+    def test_fail_on_never_masks_gate_failure(self, capsys, recorded_store):
+        assert main(["diff", recorded_store, recorded_store,
+                     "--gate-factor", "0.5", "--fail-on", "never"]) == 0
+
+    def test_fail_on_structure_ignores_gates(self, capsys, recorded_store):
+        assert main(["diff", recorded_store, recorded_store,
+                     "--gate-factor", "0.5", "--fail-on", "structure"]) == 0
+
+    def test_structural_difference_exits_one(self, capsys, recorded_store,
+                                             tmp_path):
+        other = str(tmp_path / "mesh")
+        assert main(["record", "service-mesh", "--runs", "1",
+                     "--duration", "2", "--out", other]) == 0
+        capsys.readouterr()
+        assert main(["diff", recorded_store, other]) == 1
+        out = capsys.readouterr().out
+        assert "+ vertex" in out and "- vertex" in out
+
+    def test_run_selection(self, capsys, recorded_store):
+        assert main(["diff", recorded_store, recorded_store,
+                     "--old-run", "run000", "--new-run", "run001"]) == 0
+
+    def test_unknown_run_exits_two(self, capsys, recorded_store):
+        assert main(["diff", recorded_store, recorded_store,
+                     "--old-run", "nope"]) == 2
+        assert "not in" in capsys.readouterr().err
+
+    def test_missing_store_exits_two(self, capsys, tmp_path):
+        assert main(["diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_report(self, capsys, recorded_store, tmp_path):
+        report = tmp_path / "diff.json"
+        assert main(["diff", recorded_store, recorded_store,
+                     "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["regression"] is False
+        assert payload["gates"] and all(
+            not g["exceeded"] for g in payload["gates"]
+        )
+        assert payload["added_vertices"] == []
+
+
+class TestAnalyzeCommand:
+    def test_default_reports(self, capsys, recorded_store):
+        assert main(["analyze", recorded_store]) == 0
+        out = capsys.readouterr().out
+        assert "== chains" in out
+        assert "== activation models" in out
+        assert "== callback loads" in out
+
+    def test_latency_report_via_topics(self, capsys, recorded_store):
+        assert main(["analyze", recorded_store, "--report", "latency",
+                     "--topics", "/t1"]) == 0
+        out = capsys.readouterr().out
+        assert "== chain latency over /t1" in out
+        assert "mean" in out
+
+    def test_topics_flag_implies_latency(self, capsys, recorded_store):
+        assert main(["analyze", recorded_store, "--topics", "/t1"]) == 0
+        assert "== chain latency" in capsys.readouterr().out
+
+    def test_sinks_flag_truncates_chains(self, capsys, recorded_store):
+        assert main(["analyze", recorded_store, "--report", "chains",
+                     "--sinks", "syn_n3/SC1"]) == 0
+        out = capsys.readouterr().out
+        assert "== chains" in out and "SC1" in out
+
+    def test_latency_without_topics_exits_two(self, capsys, recorded_store):
+        assert main(["analyze", recorded_store, "--report", "latency"]) == 2
+        assert "--topics" in capsys.readouterr().err
+
+    def test_waiting_without_pid_exits_two(self, capsys, recorded_store):
+        assert main(["analyze", recorded_store, "--report", "waiting"]) == 2
+        assert "--waiting-pid" in capsys.readouterr().err
+
+    def test_unknown_report_exits_two(self, capsys, recorded_store):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", recorded_store, "--report", "bogus"])
+        assert excinfo.value.code == 2
+        assert "unknown report" in capsys.readouterr().err
+
+    def test_missing_store_exits_two(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "none")]) == 2
+        assert "error:" in capsys.readouterr().err

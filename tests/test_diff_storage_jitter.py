@@ -11,7 +11,13 @@ from repro.analysis import (
     response_jitter,
 )
 from repro.apps import build_avp
-from repro.core import DagVertex, TimingDag, diff_dags, synthesize_from_trace
+from repro.core import (
+    DagVertex,
+    TimingDag,
+    diff_dags,
+    percentile_gates,
+    synthesize_from_trace,
+)
 from repro.experiments import RunConfig, collect_database, run_many, run_once
 from repro.sim import MSEC, SEC
 from repro.tracing import load_database, load_trace, save_database, save_trace
@@ -79,6 +85,33 @@ class TestDiff:
         b = dag_with(vertex("n/a", exec_times=[MSEC]))
         assert not diff_dags(a, b).drifted
 
+    def test_vanished_callback_lands_in_no_data(self):
+        """A callback that stopped executing is reported, not silently
+        skipped (regression: the zero-count guard used to drop it)."""
+        a = dag_with(vertex("n/a", exec_times=[MSEC] * 3))
+        b = dag_with(vertex("n/a"))
+        diff = diff_dags(a, b)
+        assert not diff.is_empty
+        assert len(diff.no_data) == 1
+        gap = diff.no_data[0]
+        assert gap.key == "n/a" and gap.vanished
+        assert gap.old_count == 3 and gap.new_count == 0
+        assert "stopped executing" in diff.summary()
+
+    def test_appeared_callback_lands_in_no_data(self):
+        a = dag_with(vertex("n/a"))
+        b = dag_with(vertex("n/a", exec_times=[MSEC] * 2))
+        diff = diff_dags(a, b)
+        assert len(diff.no_data) == 1
+        assert not diff.no_data[0].vanished
+        assert "started executing" in diff.summary()
+
+    def test_never_measured_still_ignored(self):
+        a = dag_with(vertex("n/a"))
+        b = dag_with(vertex("n/a"))
+        diff = diff_dags(a, b)
+        assert diff.is_empty and not diff.no_data
+
     def test_invalid_threshold(self):
         a = dag_with(vertex("n/a"))
         with pytest.raises(ValueError):
@@ -94,6 +127,68 @@ class TestDiff:
         diff = diff_dags(d1, d2, drift_threshold=0.0)
         assert diff.structurally_equal
         assert diff.drifted  # exec times differ run to run
+
+
+class TestPercentileGates:
+    def test_identical_models_pass(self):
+        a = dag_with(vertex("n/a", exec_times=[MSEC, 2 * MSEC, 3 * MSEC]))
+        b = dag_with(vertex("n/a", exec_times=[MSEC, 2 * MSEC, 3 * MSEC]))
+        gates = percentile_gates(a, b)
+        assert len(gates) == 1
+        gate = gates[0]
+        assert gate.ratio == pytest.approx(1.0)
+        assert not gate.exceeded
+        assert "[ok]" in gate.describe()
+
+    def test_grown_tail_fails_gate(self):
+        a = dag_with(vertex("n/a", exec_times=[MSEC] * 99 + [2 * MSEC]))
+        b = dag_with(vertex("n/a", exec_times=[MSEC] * 99 + [10 * MSEC]))
+        (gate,) = percentile_gates(a, b, percentile=99.9, max_ratio=1.2)
+        assert gate.exceeded
+        assert gate.ratio > 4
+        assert "[FAIL]" in gate.describe()
+
+    def test_median_gate_ignores_tail(self):
+        """The same pair passes at p50: only the tail moved."""
+        a = dag_with(vertex("n/a", exec_times=[MSEC] * 99 + [2 * MSEC]))
+        b = dag_with(vertex("n/a", exec_times=[MSEC] * 99 + [10 * MSEC]))
+        (gate,) = percentile_gates(a, b, percentile=50, max_ratio=1.2)
+        assert not gate.exceeded
+
+    def test_unmeasured_vertices_skipped(self):
+        a = dag_with(vertex("n/a", exec_times=[MSEC]), vertex("n/b"))
+        b = dag_with(vertex("n/a"), vertex("n/b", exec_times=[MSEC]))
+        # n/a has no new-side samples, n/b no old-side samples: no gates
+        # (those are diff_dags no_data findings).
+        assert percentile_gates(a, b) == []
+
+    def test_gates_sorted_by_key(self):
+        a = dag_with(
+            vertex("n/z", exec_times=[MSEC]), vertex("n/a", exec_times=[MSEC])
+        )
+        gates = percentile_gates(a, a)
+        assert [g.key for g in gates] == ["n/a", "n/z"]
+
+    def test_invalid_parameters(self):
+        a = dag_with(vertex("n/a", exec_times=[MSEC]))
+        with pytest.raises(ValueError):
+            percentile_gates(a, a, percentile=0)
+        with pytest.raises(ValueError):
+            percentile_gates(a, a, percentile=101)
+        with pytest.raises(ValueError):
+            percentile_gates(a, a, max_ratio=0)
+
+    def test_gate_on_real_drift(self):
+        """Two seeds of the same app: every shared callback gets a gate
+        and none explodes past a generous factor."""
+        config = RunConfig(duration_ns=3 * SEC, base_seed=300, num_cpus=4)
+        r1 = run_once(lambda w, i: build_avp(w), config, run_index=0)
+        r2 = run_once(lambda w, i: build_avp(w), config, run_index=1)
+        d1 = synthesize_from_trace(r1.trace, pids=r1.apps.pids)
+        d2 = synthesize_from_trace(r2.trace, pids=r2.apps.pids)
+        gates = percentile_gates(d1, d2, percentile=95, max_ratio=3.0)
+        assert gates
+        assert not any(g.exceeded for g in gates)
 
 
 class TestStorage:
