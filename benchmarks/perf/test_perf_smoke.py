@@ -2,9 +2,9 @@
 
 Runs the full suite at the reduced ``smoke`` scale (a couple of
 seconds), prints the report for comparison with the committed
-``BENCH_5.smoke.json`` baseline, and sanity-checks the
+``BENCH_6.smoke.json`` baseline, and sanity-checks the
 machine-independent speedup ratios.  CI's perf-smoke job additionally runs
-``repro perf --check BENCH_5.smoke.json`` to fail on >2x regressions.
+``repro perf --check BENCH_6.smoke.json`` to fail on >2x regressions.
 
 Set ``REPRO_FULL=1`` to run at the ``full`` scale instead.
 """
@@ -22,7 +22,7 @@ SCALE = "full" if os.environ.get("REPRO_FULL", "") == "1" else "smoke"
 
 #: Baselines are per-scale: speedup ratios shrink with trace size, so a
 #: smoke run is only comparable to the committed smoke-scale baseline.
-BASELINE_PATH = REPO_ROOT / ("BENCH_5.smoke.json" if SCALE == "smoke" else "BENCH_5.json")
+BASELINE_PATH = REPO_ROOT / ("BENCH_6.smoke.json" if SCALE == "smoke" else "BENCH_6.json")
 
 
 @pytest.fixture(scope="module")
@@ -70,15 +70,36 @@ def test_v2_format_holds_its_ground_vs_v1(suite):
     """Typed payload columns must not lose to JSON-interned payloads on
     the identical workload (generous floors: smoke runs are noisy)."""
     v1 = suite["store"]["format_v1"]
-    assert suite["store"]["format_version"] == 2
+    assert suite["store"]["format_version"] == 3
     assert v1["v2_synthesis_speedup"] > 0.9, "v2 store synthesis slower than v1"
     assert v1["v2_bytes_ratio"] < 1.2, "v2 segments grew past v1 size"
+
+
+def test_v3_format_holds_its_ground_vs_v2(suite):
+    """Per-section compression must stay near v2 wall-clock on whole
+    reads (very generous floors: smoke segments are tiny, and many
+    small zlib streams cost more than one big one) without growing the
+    files, while buying the selective reads checked below."""
+    v2 = suite["store"]["format_v2"]
+    assert v2["v3_synthesis_speedup"] > 0.4, "v3 store synthesis collapsed vs v2"
+    assert v2["v3_decode_speedup"] > 0.5, "v3 decode collapsed vs v2"
+    assert v2["v3_bytes_ratio"] < 1.25, "v3 segments grew well past v2 size"
+
+
+def test_selective_reads_inflate_a_strict_subset(suite):
+    """Deterministic byte counters, not timings: the v3 section layout
+    must let partial reads skip most of the body."""
+    sel = suite["store"]["selective_read"]
+    assert sel["open_bytes"] < sel["walk_bytes"] < sel["full_decode_bytes"]
+    assert sel["analysis_bytes"] < sel["full_decode_bytes"] / 2
+    assert sel["pid_subset_bytes"] < sel["full_decode_bytes"]
+    assert sel["walk_fraction"] < 0.9
 
 
 def test_no_regression_vs_committed_baseline(suite):
     """The >2x gate CI enforces, exercised in-process as well."""
     if not BASELINE_PATH.exists():
-        pytest.skip("no committed BENCH_5 baseline")
+        pytest.skip("no committed BENCH_6 baseline")
     committed = json.loads(BASELINE_PATH.read_text())
     failures = check_regression(suite, committed, factor=2.0)
     assert failures == [], "\n".join(failures)

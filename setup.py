@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.2.0",
+    description=(
+        "Trace-enabled timing-model synthesis for ROS2 applications "
+        "(DATE 2024 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    # numpy is a hard dependency of the simulator (workload sampling
+    # draws from numpy Generators); the trace-store read paths merely
+    # *prefer* it and degrade to pure-Python scalar loops when
+    # REPRO_NO_NUMPY=1 (or numpy is missing) -- see repro/core/npcompat.
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "hypothesis"]},
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

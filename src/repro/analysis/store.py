@@ -33,13 +33,13 @@ engine behind ``repro analyze``.
 from __future__ import annotations
 
 from heapq import merge as _heap_merge
+from operator import itemgetter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.dag import TimingDag
 from ..core.pipeline import STRATEGY_MERGE_TRACES
 from ..store.database import StoreLike, as_store
 from ..store.index import _runs_are_time_ordered
-from ..store.reader import merge_wakeup_streams
 from ..store.synthesis import synthesize_from_store
 from .chains import Chain, enumerate_chains
 from .jitter import ActivationModel, activation_models
@@ -87,10 +87,17 @@ def latency_index_from_store(
     """
     readers = as_store(store).readers()
     wanted = None if pids is None else frozenset(pids)
+    # Two int columns per segment instead of SchedWakeup objects (on v3
+    # the other three wakeup streams never inflate); heapq.merge breaks
+    # ties in iterator order, so the merged (ts, pid) sequence is
+    # exactly the object merge's.
     wakeups = (
-        (w.ts, w.pid)
-        for w in merge_wakeup_streams(readers)
-        if wanted is None or w.pid in wanted
+        (ts, pid)
+        for ts, pid in _heap_merge(
+            *(reader.wakeup_ts_pid_rows() for reader in readers),
+            key=itemgetter(0),
+        )
+        if wanted is None or pid in wanted
     )
     return LatencyIndex(_store_rows(readers, wanted), wakeups)
 

@@ -13,20 +13,21 @@ Usage::
                           [--seed 1000] [--dot out.dot] [--json out.json]
     python -m repro record <scenario> --out DIR [--runs 8] [--jobs 4]
                           [--duration 10] [--seed 1000] [--segment-every 1.0]
-                          [--force] [--format-version 2]
+                          [--force] [--format-version 3]
     python -m repro synthesize DIR [--jobs 4] [--strategy merge-traces]
                           [--pids 1,2,...] [--dot out.dot] [--json out.json]
-    python -m repro store-info DIR
-    python -m repro convert DIR [--remove] [--upgrade] [--format-version 2]
+    python -m repro store-info DIR [--json]
+    python -m repro convert DIR [--remove] [--upgrade] [--format-version 3]
+                          [--cache DIR]
     python -m repro diff OLD NEW [--drift-threshold 0.10] [--percentile 99]
                           [--gate-factor 1.2] [--old-run ID] [--new-run ID]
                           [--jobs 4] [--fail-on any] [--json out.json]
     python -m repro analyze DIR [--report chains,jitter,load] [--topics a,b]
                           [--pids 1,2,...] [--jobs 4] [--sources k1,k2]
                           [--sinks k3] [--waiting-pid PID]
-    python -m repro perf  [--scale smoke|default|full] [--out BENCH_5.json]
+    python -m repro perf  [--scale smoke|default|full] [--out BENCH_6.json]
                           [--baseline-src PATH] [--baseline-ref REF]
-                          [--check BENCH_5.json] [--factor 2.0]
+                          [--check BENCH_6.json] [--factor 2.0]
 
 Durations are in (simulated) seconds.  Every command prints the
 regenerated table/figure in the same shape the paper reports;
@@ -36,9 +37,12 @@ across worker processes and reports the merged timing model.
 Fig. 2 database server) and ``synthesize`` turns a store back into the
 timing model with PID-sharded multi-process extraction -- the two
 halves of the collect-now/synthesize-later workflow.  ``store-info``
-summarizes what a (possibly mixed-format) store directory contains and
-``convert`` re-encodes legacy gzip-JSON runs -- and, with ``--upgrade``,
-older binary segments -- into the current segment format.
+summarizes what a (possibly mixed-format) store directory contains
+(``--json`` for tooling, including per-section sizes of v3 segments)
+and ``convert`` re-encodes legacy gzip-JSON runs -- and, with
+``--upgrade``, older binary segments -- into the current segment
+format; ``--cache DIR`` additionally materializes the store's
+mmap-ready uncompressed segment cache.
 
 ``diff`` compares two timing models -- each side a store directory
 (synthesized out-of-core), one recorded run of a store (``--old-run`` /
@@ -289,6 +293,8 @@ def _cmd_store_info(args) -> int:
         # mode; --no-strict downgrades it to a warning + skip.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.as_json:
+        return _store_info_json(store, infos)
     print(f"trace store {store.directory} -- {len(infos)} run(s)\n")
     print(
         f"{'run':<12} {'format':>8} {'events':>9} {'ros':>9} {'sched':>9} "
@@ -315,16 +321,63 @@ def _cmd_store_info(args) -> int:
     return 0
 
 
+def _store_info_json(store, infos) -> int:
+    """``store-info --json``: one stable document tooling/CI can assert
+    on -- per-run format version, event counts, size, B/event, and the
+    per-section byte budget for v3 segments."""
+    import json as json_module
+
+    from .store.reader import peek_sections
+
+    runs = []
+    for info in infos:
+        entry = {
+            "run_id": info.run_id,
+            "format_version": info.format_version,
+            "events": info.events,
+            "ros_events": info.ros_events,
+            "sched_events": info.sched_events,
+            "wakeup_events": info.wakeup_events,
+            "pids": info.pids,
+            "size_bytes": info.size_bytes,
+            "bytes_per_event": round(info.bytes_per_event, 3),
+        }
+        if info.format_version is not None and info.format_version >= 3:
+            entry["sections"] = [
+                {
+                    "name": section.name,
+                    "compressed": section.comp != 0,
+                    "stored_bytes": section.comp_len,
+                    "raw_bytes": section.raw_len,
+                }
+                for section in peek_sections(info.path)
+            ]
+        runs.append(entry)
+    total_events = sum(info.events for info in infos)
+    total_bytes = sum(info.size_bytes for info in infos)
+    print(json_module.dumps({
+        "directory": store.directory,
+        "runs": runs,
+        "total_events": total_events,
+        "total_bytes": total_bytes,
+        "bytes_per_event": round(total_bytes / max(1, total_events), 3),
+    }, indent=2))
+    return 0
+
+
 def _cmd_convert(args) -> int:
     from .store import StoreError, StoreFormatError, TraceStore
 
     try:
-        store = TraceStore(args.store)
+        store = TraceStore(args.store, cache_dir=args.cache)
         written = store.convert_legacy(
             remove=args.remove,
             format_version=args.format_version,
             upgrade=args.upgrade,
         )
+        if args.cache is not None:
+            cached = store.warm_cache()
+            print(f"cached {len(cached)} uncompressed segment(s) in {args.cache}")
     except (FileNotFoundError, StoreError, StoreFormatError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -699,11 +752,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "recording left in --out (refused by default; "
                              "non-colliding stored runs stay and will merge "
                              "into later synthesis)")
-    record.add_argument("--format-version", type=int, default=2,
-                        choices=[1, 2],
-                        help="segment format to write (2 = typed payload "
-                             "columns, the default; 1 = JSON-interned "
-                             "payloads, the pre-v2 escape hatch)")
+    record.add_argument("--format-version", type=int, default=3,
+                        choices=[1, 2, 3],
+                        help="segment format to write (3 = per-section "
+                             "compression, the default; 2 = typed payload "
+                             "columns behind one body stream; 1 = "
+                             "JSON-interned payloads, the original escape "
+                             "hatch)")
 
     synthesize = sub.add_parser(
         "synthesize",
@@ -729,6 +784,10 @@ def build_parser() -> argparse.ArgumentParser:
     store_info.add_argument("--no-strict", dest="strict", action="store_false",
                             help="skip unreadable runs with a warning "
                                  "instead of failing the listing")
+    store_info.add_argument("--json", dest="as_json", action="store_true",
+                            help="machine-readable output: per-run format "
+                                 "version, event counts, bytes, B/event, and "
+                                 "per-section sizes for v3 segments")
 
     convert = sub.add_parser(
         "convert",
@@ -740,10 +799,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="delete legacy JSON originals after conversion")
     convert.add_argument("--upgrade", action="store_true",
                          help="also rewrite binary segments older than "
-                              "--format-version (the v1 -> v2 upgrade path)")
-    convert.add_argument("--format-version", type=int, default=2,
-                         choices=[1, 2],
-                         help="target segment format (default 2)")
+                              "--format-version (the v1/v2 -> v3 upgrade "
+                              "path)")
+    convert.add_argument("--format-version", type=int, default=3,
+                         choices=[1, 2, 3],
+                         help="target segment format (default 3)")
+    convert.add_argument("--cache", metavar="DIR", default=None,
+                         help="also materialize every binary run as an "
+                              "uncompressed mmap-ready copy under DIR (the "
+                              "segment cache later synthesis can reuse via "
+                              "TraceStore(cache_dir=DIR))")
 
     diff = sub.add_parser(
         "diff",

@@ -226,7 +226,11 @@ def _extract_pid_walk(
     dereferences (see :data:`~repro.core.index.PAYLOAD_CODES`), ``None``
     for everything else.  This is the store-backed fast path: rows never
     materialize a :class:`TraceEvent`, and payload JSON is only decoded
-    where an ``aux`` entry exists.  Byte-for-byte equivalence with the
+    where an ``aux`` entry exists.  The store consumers pre-drop
+    ``CODE_OTHER`` rows when building these columns -- such rows are
+    no-ops to this state machine (they match no branch while active and
+    fall to ``continue`` otherwise), so the walk loops only over rows
+    that can change state.  Byte-for-byte equivalence with the
     event-object walk is pinned by the store equivalence suites.
     """
     cblist = CBList(pid, node_name)

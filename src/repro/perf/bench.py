@@ -19,10 +19,13 @@ Five benchmarks, each reporting wall-clock and a derived throughput:
 * **store** -- the binary trace store: segment encode/decode MB and
   Mev/s against the legacy gzip-JSON storage, plus store-backed
   synthesis (``synthesize_from_store``) inline overhead and PID-sharded
-  scaling.  Segments are written in the current format (v2, typed
-  payload columns); a ``format_v1`` sub-section re-measures the same
-  workload against v1 (JSON-interned payloads) so the v2 gains stay
-  visible run over run.
+  scaling.  Segments are written in the current format (v3, per-section
+  compression); ``format_v1`` / ``format_v2`` sub-sections re-measure
+  the same workload against the older formats so each generation's
+  gains stay visible run over run, and a ``selective_read`` sub-section
+  reports how few section bytes the v3 layout inflates for partial
+  reads (Alg. 1 walk only, sched/wakeup analysis only, PID subsets) via
+  the readers' ``bytes_inflated`` counter.
 
 Speedup ratios (new vs frozen legacy, measured in the same process) are
 machine-independent and are what the CI regression gate compares;
@@ -320,12 +323,85 @@ def bench_jobs_scaling(scale: BenchScale) -> Dict[str, Any]:
 # Store: binary segments vs gzip-JSON + sharded synthesis
 # ---------------------------------------------------------------------------
 
+def _measure_selective_read(
+    segment_reader, store_trace_index, paths: List[str], scale: BenchScale
+) -> Dict[str, Any]:
+    """Section-selective I/O of the v3 layout, via ``bytes_inflated``.
+
+    Each access pattern opens fresh readers (section caches are
+    per-reader) and reports how many raw bytes were actually run
+    through zlib -- deterministic for a fixed workload, so the derived
+    fractions transfer across machines like the speedup ratios do.
+    """
+
+    def inflated(consume) -> int:
+        total = 0
+        for path in paths:
+            reader = segment_reader.open(path)
+            consume(reader)
+            total += reader.bytes_inflated
+        return total
+
+    def drain_walk(reader) -> None:
+        for _ in reader.walk_rows(0):
+            pass
+
+    def drain_analysis(reader) -> None:
+        reader.sched_pid_columns()
+        for _ in reader.wakeup_ts_pid_rows():
+            pass
+
+    body_bytes = 0
+    all_pids: set = set()
+    for path in paths:
+        reader = segment_reader.open(path)
+        body_bytes += reader.body_bytes
+        all_pids.update(reader.pids())
+    subset = sorted(all_pids)[: max(1, len(all_pids) // 4)]
+
+    full_bytes = inflated(lambda r: r.to_trace())
+    open_bytes = inflated(lambda r: None)
+    walk_bytes = inflated(drain_walk)
+    analysis_bytes = inflated(drain_analysis)
+
+    subset_readers = [segment_reader.open(p) for p in paths]
+    store_trace_index(subset_readers, wanted_pids=subset)
+    pid_subset_bytes = sum(r.bytes_inflated for r in subset_readers)
+
+    walk_s = _best_of(
+        lambda: [drain_walk(segment_reader.open(p)) for p in paths],
+        scale.reps,
+    )
+    return {
+        "body_bytes": body_bytes,
+        "full_decode_bytes": full_bytes,
+        "open_bytes": open_bytes,
+        "walk_bytes": walk_bytes,
+        "analysis_bytes": analysis_bytes,
+        "pid_subset": len(subset),
+        "pids": len(all_pids),
+        "pid_subset_bytes": pid_subset_bytes,
+        "walk_fraction": round(walk_bytes / max(1, full_bytes), 3),
+        "analysis_fraction": round(analysis_bytes / max(1, full_bytes), 3),
+        # Gate-friendly ratio (higher is better): how much less a walk
+        # inflates than a full decode.
+        "walk_inflate_ratio": round(full_bytes / max(1, walk_bytes), 3),
+        "walk_s": round(walk_s, 6),
+    }
+
+
 def bench_store(scale: BenchScale) -> Dict[str, Any]:
     """Trace-store throughput: encode/decode vs the legacy gzip-JSON
     storage, and store-backed synthesis inline + sharded."""
     import tempfile
 
-    from ..store import SegmentReader, TraceStore, synthesize_from_store, write_segment
+    from ..store import (
+        SegmentReader,
+        StoreTraceIndex,
+        TraceStore,
+        synthesize_from_store,
+        write_segment,
+    )
     from ..tracing.storage import TRACE_SUFFIX, load_trace, save_trace
 
     duration_ns = scale.batch_duration_s * SEC
@@ -340,15 +416,20 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
     with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
         bin_dir = os.path.join(tmp, "bin")
         v1_dir = os.path.join(tmp, "v1")
+        v2_dir = os.path.join(tmp, "v2")
         json_dir = os.path.join(tmp, "json")
         os.makedirs(bin_dir)
         os.makedirs(v1_dir)
+        os.makedirs(v2_dir)
         os.makedirs(json_dir)
         bin_paths = [
             os.path.join(bin_dir, f"run{i:03d}.trace.bin") for i in range(runs)
         ]
         v1_paths = [
             os.path.join(v1_dir, f"run{i:03d}.trace.bin") for i in range(runs)
+        ]
+        v2_paths = [
+            os.path.join(v2_dir, f"run{i:03d}.trace.bin") for i in range(runs)
         ]
         json_paths = [
             os.path.join(json_dir, f"run{i:03d}{TRACE_SUFFIX}") for i in range(runs)
@@ -362,15 +443,21 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
             for trace, path in zip(traces, v1_paths):
                 write_segment(trace, path, format_version=1)
 
+        def encode_v2() -> None:
+            for trace, path in zip(traces, v2_paths):
+                write_segment(trace, path, format_version=2)
+
         def encode_json() -> None:
             for trace, path in zip(traces, json_paths):
                 save_trace(trace, path)
 
         encode_bin_s = _best_of(encode_binary, scale.reps)
         encode_v1_s = _best_of(encode_v1, scale.reps)
+        encode_v2_s = _best_of(encode_v2, scale.reps)
         encode_json_s = _best_of(encode_json, scale.reps)
         bin_bytes = sum(os.path.getsize(p) for p in bin_paths)
         v1_bytes = sum(os.path.getsize(p) for p in v1_paths)
+        v2_bytes = sum(os.path.getsize(p) for p in v2_paths)
         json_bytes = sum(os.path.getsize(p) for p in json_paths)
 
         decode_bin_s = _best_of(
@@ -381,12 +468,17 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
             lambda: [SegmentReader.open(p).to_trace() for p in v1_paths],
             scale.reps,
         )
+        decode_v2_s = _best_of(
+            lambda: [SegmentReader.open(p).to_trace() for p in v2_paths],
+            scale.reps,
+        )
         decode_json_s = _best_of(
             lambda: [load_trace(p) for p in json_paths], scale.reps
         )
 
         store = TraceStore(bin_dir)
         v1_store = TraceStore(v1_dir)
+        v2_store = TraceStore(v2_dir)
         inline_s = _best_of(lambda: synthesize_from_trace(merged), scale.reps)
         store_serial_s = _best_of(
             lambda: synthesize_from_store(store, jobs=1), scale.reps
@@ -394,9 +486,15 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
         store_v1_serial_s = _best_of(
             lambda: synthesize_from_store(v1_store, jobs=1), scale.reps
         )
+        store_v2_serial_s = _best_of(
+            lambda: synthesize_from_store(v2_store, jobs=1), scale.reps
+        )
         jobs = scale.scaling_jobs
         store_sharded_s = _best_of(
             lambda: synthesize_from_store(store, jobs=jobs), scale.reps
+        )
+        selective = _measure_selective_read(
+            SegmentReader, StoreTraceIndex, bin_paths, scale
         )
 
     cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
@@ -404,21 +502,33 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
         "runs": runs,
         "duration_s": scale.batch_duration_s,
         "events": events,
-        "format_version": 2,
-        # The previous segment format on the identical workload: how
-        # much the typed payload columns buy over JSON-interned
-        # payloads, re-measured every run.
+        "format_version": 3,
+        # The two previous segment formats on the identical workload:
+        # how much the typed payload columns (v2) and the per-section
+        # compression + vectorized walk (v3) buy, re-measured every run.
         "format_v1": {
             "encode_s": round(encode_v1_s, 6),
             "decode_s": round(decode_v1_s, 6),
             "bytes": v1_bytes,
             "synthesis_serial_s": round(store_v1_serial_s, 6),
-            "v2_bytes_ratio": round(bin_bytes / max(1, v1_bytes), 3),
-            "v2_decode_speedup": round(decode_v1_s / decode_bin_s, 3),
+            "v2_bytes_ratio": round(v2_bytes / max(1, v1_bytes), 3),
+            "v2_decode_speedup": round(decode_v1_s / decode_v2_s, 3),
             "v2_synthesis_speedup": round(
-                store_v1_serial_s / store_serial_s, 3
+                store_v1_serial_s / store_v2_serial_s, 3
             ),
         },
+        "format_v2": {
+            "encode_s": round(encode_v2_s, 6),
+            "decode_s": round(decode_v2_s, 6),
+            "bytes": v2_bytes,
+            "synthesis_serial_s": round(store_v2_serial_s, 6),
+            "v3_bytes_ratio": round(bin_bytes / max(1, v2_bytes), 3),
+            "v3_decode_speedup": round(decode_v2_s / decode_bin_s, 3),
+            "v3_synthesis_speedup": round(
+                store_v2_serial_s / store_serial_s, 3
+            ),
+        },
+        "selective_read": selective,
         "encode": {
             "binary_s": round(encode_bin_s, 6),
             "json_s": round(encode_json_s, 6),
@@ -495,6 +605,9 @@ REGRESSION_METRICS = (
     ("store.encode.speedup_vs_json", "binary store encode speedup"),
     ("store.decode.speedup_vs_json", "binary store decode speedup"),
     ("store.synthesis.speedup_vs_inline", "store synthesis vs inline ratio"),
+    # Deterministic bytes ratio, not a timing: v3 selective reads must
+    # keep inflating far fewer section bytes than a full decode.
+    ("store.selective_read.walk_inflate_ratio", "selective walk read inflation ratio"),
 )
 
 
@@ -592,6 +705,22 @@ def format_report(payload: Dict[str, Any]) -> str:
                 f"store v2 vs v1    : {v1['v2_decode_speedup']:.2f}x decode, "
                 f"{v1['v2_synthesis_speedup']:.2f}x serial synthesis, "
                 f"{v1['v2_bytes_ratio']:.2f}x bytes"
+            )
+        v2 = store.get("format_v2")
+        if v2:
+            lines.append(
+                f"store v3 vs v2    : {v2['v3_decode_speedup']:.2f}x decode, "
+                f"{v2['v3_synthesis_speedup']:.2f}x serial synthesis, "
+                f"{v2['v3_bytes_ratio']:.2f}x bytes"
+            )
+        sel = store.get("selective_read")
+        if sel:
+            lines.append(
+                f"store selective   : walk inflates "
+                f"{sel['walk_fraction'] * 100:.0f}% of a full decode, "
+                f"analysis {sel['analysis_fraction'] * 100:.0f}%, "
+                f"pid subset ({sel['pid_subset']}/{sel['pids']} pids) "
+                f"{sel['pid_subset_bytes'] / max(1, sel['full_decode_bytes']) * 100:.0f}%"
             )
     return "\n".join(lines)
 

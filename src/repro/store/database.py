@@ -13,6 +13,14 @@ write, convert, inspect).  ``strict=False`` makes the aggregate paths
 instead of raising, so one truncated segment does not strand an
 otherwise healthy store; per-run :meth:`TraceStore.open` always raises.
 
+``cache_dir=`` points the handle at a directory of uncompressed
+segment copies: :meth:`TraceStore.open` materializes each binary run
+there once (named by the source's size + mtime, so an overwritten run
+re-materializes and stale copies are swept) and opens the copy through
+``mmap``, trading disk for zero inflation on every synthesis over the
+same store.  The cache is purely derived state -- deleting it is
+always safe.
+
 :class:`StoreDatabase` is the store-backed mode of
 :class:`~repro.tracing.session.TraceDatabase`: the same interface the
 synthesis pipeline consumes, but runs are materialized lazily from
@@ -32,7 +40,7 @@ from ..tracing.session import Trace, TraceDatabase
 from ..tracing.storage import TRACE_SUFFIX, load_trace
 from .format import SEGMENT_SUFFIX, StoreFormatError, VERSION
 from .reader import InMemorySegment, SegmentReader, peek_header, read_pid_map
-from .writer import write_segment
+from .writer import decompress_segment, write_segment
 
 StoreLike = Union[str, "TraceStore"]
 
@@ -96,9 +104,11 @@ class TraceStore:
         directory: str,
         allow_empty: bool = False,
         strict: bool = True,
+        cache_dir: Optional[str] = None,
     ):
         self.directory = os.fspath(directory)
         self.strict = strict
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         if not os.path.isdir(self.directory):
             raise FileNotFoundError(f"no such trace store: {self.directory!r}")
         self._files: Dict[str, str] = {}
@@ -201,12 +211,58 @@ class TraceStore:
 
     # -- reading -----------------------------------------------------------
 
+    def _cached_segment(self, run_id: str, path: str) -> str:
+        """Materialize ``path`` as an uncompressed copy under
+        ``cache_dir`` (once per source size + mtime) and return the
+        copy's path.  Stale copies of the same run -- left behind when
+        the source segment was rewritten, e.g. by ``convert --upgrade``
+        -- are swept as a side effect, so the cache never outgrows one
+        copy per live run."""
+        assert self.cache_dir is not None
+        st = os.stat(path)
+        name = f"{run_id}.{st.st_size}.{st.st_mtime_ns}{SEGMENT_SUFFIX}"
+        os.makedirs(self.cache_dir, exist_ok=True)
+        cached = os.path.join(self.cache_dir, name)
+        if not os.path.exists(cached):
+            prefix = f"{run_id}."
+            for entry in os.listdir(self.cache_dir):
+                if entry.startswith(prefix) and entry.endswith(SEGMENT_SUFFIX):
+                    try:
+                        os.remove(os.path.join(self.cache_dir, entry))
+                    except OSError:
+                        pass
+            decompress_segment(path, cached)
+        return cached
+
+    def warm_cache(self) -> List[str]:
+        """Materialize every binary run into ``cache_dir`` up front;
+        returns the cache paths (``strict=False`` skips unreadable
+        runs)."""
+        if self.cache_dir is None:
+            raise StoreError("warm_cache() needs a store opened with cache_dir=")
+        paths: List[str] = []
+        for run_id in self.run_ids():
+            if not self.is_binary(run_id):
+                continue
+            try:
+                paths.append(self._cached_segment(run_id, self.path_of(run_id)))
+            except StoreFormatError as error:
+                if self.strict:
+                    raise
+                self._skip_unreadable(run_id, error)
+        return paths
+
     def open(self, run_id: str):
         """A reader for one run (lazy for binary segments; legacy JSON
         loads eagerly -- and is cached on this handle -- behind the
-        same interface)."""
+        same interface).  With ``cache_dir`` set, binary runs open the
+        mmap-backed uncompressed cache copy instead."""
         path = self.path_of(run_id)
         if self.is_binary(run_id):
+            if self.cache_dir is not None:
+                return SegmentReader.open(
+                    self._cached_segment(run_id, path), use_mmap=True
+                )
             return SegmentReader.open(path)
         reader = self._legacy_readers.get(run_id)
         if reader is None:

@@ -1,4 +1,4 @@
-"""The binary trace-segment format (``.trace.bin``), versions 1 and 2.
+"""The binary trace-segment format (``.trace.bin``), versions 1, 2 and 3.
 
 One file stores one run's complete trace in a struct-packed *columnar*
 layout: a fixed header, a string table (probe names, process names,
@@ -71,10 +71,44 @@ marks a wakeup without a CPU.  On big-endian hosts columns are
 byteswapped on the way in/out; the on-disk format is always
 little-endian.
 
-With ``FLAG_ZLIB_BODY`` set (the writer default) everything after the
-header is one zlib stream: segment files then land at gzip-JSON size
-while decoding still skips the JSON parse entirely.  Uncompressed
-segments (``compress=False``) trade bytes for zero-copy column views.
+In v1/v2, with ``FLAG_ZLIB_BODY`` set (the writer default) everything
+after the header is one zlib stream: segment files then land at
+gzip-JSON size while decoding still skips the JSON parse entirely.
+Uncompressed segments (``compress=False``) trade bytes for zero-copy
+column views.
+
+**Version 3** (the writer default) keeps the v2 payload encoding but
+replaces the single body stream with *per-section compression*: every
+section -- the pid_map, the string table, the shape directory, each
+payload column, and each individual ros/sched/wakeup column -- is its
+own independently-deflated stream, addressed by a **section directory**
+that sits uncompressed right after the header::
+
+    directory  n_sections u32; per section:
+                   kind u8, comp u8, index u16,
+                   offset u64, comp_len u64, raw_len u64
+    sections   concatenated streams; ``offset`` is relative to the end
+               of the directory, ``comp`` is 0 (raw) or 1 (zlib)
+
+Section kinds: ``SECTION_PID_MAP`` / ``SECTION_STRINGS`` /
+``SECTION_SHAPES`` (the shape directory) carry ``index`` 0;
+``SECTION_PAYLOAD`` columns are numbered flat in shape-id order, field
+order (FIELD_NONE fields store no column); ``SECTION_ROS`` /
+``SECTION_SCHED`` / ``SECTION_WAKEUP`` columns are numbered by their
+position in the v2 column tuples.  The writer deflates each section
+independently and keeps the raw bytes whenever deflate does not shrink
+them (tiny sections), so every stream stays self-describing.
+
+What the directory buys readers is *section-selective I/O*:
+``peek_header`` still reads the fixed header only, ``read_pid_map``
+seeks straight to the pid_map stream and inflates nothing else, and the
+Alg. 1 walk (``walk_rows`` / ``walk_fastpath``) touches the ros columns
+and only the payload columns of the shapes it actually dereferences --
+sched columns beyond ``(ts, prev_pid, next_pid)`` and the wakeup
+section never inflate during synthesis.  An uncompressed v3 segment
+(``comp`` 0 everywhere) is the mmap-friendly layout the store's
+segment cache materializes: every column is a zero-copy
+``memoryview.cast`` straight out of the page cache.
 """
 
 from __future__ import annotations
@@ -82,21 +116,24 @@ from __future__ import annotations
 import struct
 import sys
 from array import array
-from typing import List, Sequence, Tuple
+from typing import List, NamedTuple, Sequence, Tuple
 
 #: File suffix of binary trace segments (next to the legacy
 #: ``.trace.json.gz`` suffix of :mod:`repro.tracing.storage`).
 SEGMENT_SUFFIX = ".trace.bin"
 
 MAGIC = b"RPROSEG1"
-#: Current writer default (field-columnar payloads).
-VERSION = 2
+#: Current writer default (v2 payload encoding + per-section streams).
+VERSION = 3
 #: Version byte of the JSON-interned-payload format.
 VERSION_V1 = 1
+#: Version byte of the whole-body-stream field-columnar format.
+VERSION_V2 = 2
 #: Versions this tree can read.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
-#: Header flag: the body (everything after the header) is one zlib stream.
+#: Header flag (v1/v2): the body after the header is one zlib stream.
+#: v3 bodies are per-section streams; the flag is never set there.
 FLAG_ZLIB_BODY = 1
 #: zlib level used by the writer (measured knee: ~gzip-JSON size at
 #: sub-millisecond inflate on evaluation-sized segments).
@@ -134,6 +171,37 @@ HEADER = struct.Struct("<8sHHIIQQQqq")
 
 #: One pid_map entry prefix: pid, name byte length (-1 = None).
 PID_ENTRY = struct.Struct("<ii")
+
+#: v3 section kinds (the ``kind`` byte of a directory entry).
+SECTION_PID_MAP = 1
+SECTION_STRINGS = 2
+SECTION_SHAPES = 3
+SECTION_PAYLOAD = 4
+SECTION_ROS = 5
+SECTION_SCHED = 6
+SECTION_WAKEUP = 7
+
+#: Human-readable section names for diagnostics and ``store-info``.
+SECTION_NAMES = {
+    SECTION_PID_MAP: "pid_map",
+    SECTION_STRINGS: "string table",
+    SECTION_SHAPES: "shape directory",
+    SECTION_PAYLOAD: "payload column",
+    SECTION_ROS: "ros column",
+    SECTION_SCHED: "sched column",
+    SECTION_WAKEUP: "wakeup column",
+}
+
+#: v3 section compression codes (the ``comp`` byte).
+SECTION_COMP_RAW = 0
+SECTION_COMP_ZLIB = 1
+
+#: One v3 directory entry: kind u8, comp u8, index u16, offset u64,
+#: comp_len u64, raw_len u64.  ``offset`` is relative to the end of the
+#: directory (the body start).
+SECTION_ENTRY = struct.Struct("<BBHQQQ")
+#: Directory prefix: the section count.
+SECTION_COUNT = struct.Struct("<I")
 
 #: One shape-directory prefix: n_rows, n_fields.
 SHAPE_ENTRY = struct.Struct("<QI")
@@ -173,6 +241,79 @@ def column_from_bytes(typecode: str, raw: bytes) -> array:
 
 class IncompletePrefix(ValueError):
     """Internal: a streaming parse ran past the bytes available so far."""
+
+
+class SectionEntry(NamedTuple):
+    """One v3 section-directory entry."""
+
+    kind: int
+    comp: int
+    index: int
+    offset: int
+    comp_len: int
+    raw_len: int
+
+    @property
+    def name(self) -> str:
+        """Diagnostic name: kind label plus column index where one
+        distinguishes sections (``"ros column 2"``)."""
+        label = SECTION_NAMES.get(self.kind, f"section kind {self.kind}")
+        if self.kind in (SECTION_PID_MAP, SECTION_STRINGS, SECTION_SHAPES):
+            return label
+        return f"{label} {self.index}"
+
+
+def pack_section_dir(entries: Sequence[SectionEntry]) -> bytes:
+    """Serialize the v3 section directory (uncompressed, after header)."""
+    parts: List[bytes] = [SECTION_COUNT.pack(len(entries))]
+    for entry in entries:
+        parts.append(
+            SECTION_ENTRY.pack(
+                entry.kind, entry.comp, entry.index,
+                entry.offset, entry.comp_len, entry.raw_len,
+            )
+        )
+    return b"".join(parts)
+
+
+def unpack_section_dir(
+    raw, offset: int
+) -> Tuple[List[SectionEntry], int]:
+    """Decode the v3 section directory at ``offset``; returns
+    (entries, offset past the directory -- the body start)."""
+    if offset + SECTION_COUNT.size > len(raw):
+        raise StoreFormatError(
+            f"truncated section directory (count cut off at offset {offset})"
+        )
+    (count,) = SECTION_COUNT.unpack_from(raw, offset)
+    offset += SECTION_COUNT.size
+    if count > 0xFFFF:
+        raise StoreFormatError(f"implausible section count {count}")
+    entries: List[SectionEntry] = []
+    for position in range(count):
+        if offset + SECTION_ENTRY.size > len(raw):
+            raise StoreFormatError(
+                f"truncated section directory (entry {position} cut off "
+                f"at offset {offset})"
+            )
+        kind, comp, index, body_offset, comp_len, raw_len = (
+            SECTION_ENTRY.unpack_from(raw, offset)
+        )
+        if comp not in (SECTION_COMP_RAW, SECTION_COMP_ZLIB):
+            raise StoreFormatError(
+                f"unknown compression code {comp} for section "
+                f"{SECTION_NAMES.get(kind, kind)} (directory entry {position})"
+            )
+        if comp == SECTION_COMP_RAW and comp_len != raw_len:
+            raise StoreFormatError(
+                f"raw section {SECTION_NAMES.get(kind, kind)} with "
+                f"comp_len {comp_len} != raw_len {raw_len}"
+            )
+        entries.append(
+            SectionEntry(kind, comp, index, body_offset, comp_len, raw_len)
+        )
+        offset += SECTION_ENTRY.size
+    return entries, offset
 
 
 def pack_pid_map(pid_map) -> bytes:

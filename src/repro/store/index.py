@@ -42,6 +42,7 @@ from heapq import merge as _heap_merge
 from operator import itemgetter
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core import npcompat
 from ..core.exec_time import _CLOSES, _OPENS, SchedIndex
 from ..core.index import (
     CODE_CB_START,
@@ -50,6 +51,7 @@ from ..core.index import (
     CODE_TAKE_TYPE_ERASED,
     CODE_TIMER_CALL,
     TopicKey,
+    probe_code_lut,
 )
 from .format import SHAPE_JSON
 
@@ -185,8 +187,14 @@ class StoreTraceIndex:
     # suites pin all of them against the in-memory pipeline.
 
     def _walk_appender(self, appenders: Dict[int, tuple], pid: int) -> tuple:
-        """First-row setup of a PID's walk columns + bound appends."""
-        walk = self._by_pid[pid] = ([], bytearray(), [])
+        """First-row setup of a PID's walk columns + bound appends.
+
+        Reuses columns an earlier (possibly vectorized) reader pass
+        already created for the PID -- a mixed-version store interleaves
+        consumers, and they all must extend the same columns."""
+        walk = self._by_pid.get(pid)
+        if walk is None:
+            walk = self._by_pid[pid] = ([], bytearray(), [])
         bound = appenders[pid] = (
             walk[0].append, walk[1].append, walk[2].append,
         )
@@ -238,7 +246,9 @@ class StoreTraceIndex:
             elif code == CODE_CB_START:
                 current_cb[pid] = None
                 aux = start_types[string_id]
-            if all_wanted or pid in wanted:
+            if code and (all_wanted or pid in wanted):
+                # code-0 rows are no-ops to the Alg. 1 walk and never
+                # enter walk columns (matching the vectorized path).
                 try:
                     append_ts, append_code, append_aux = appenders[pid]
                 except KeyError:
@@ -252,6 +262,30 @@ class StoreTraceIndex:
         return index
 
     def _consume_columns_v2(
+        self,
+        columns: Tuple,
+        wanted: Optional[frozenset],
+        index: int,
+        current_cb: Dict[int, Optional[str]],
+        pending_p13: Dict[int, List[int]],
+        appenders: Dict[int, tuple],
+    ) -> int:
+        """v2/v3 column consumption: vectorized when numpy is available
+        and the segment is large enough to amortize it, else the scalar
+        hot loop.  Both build identical walk columns and tables (the
+        equivalence suites run under both modes)."""
+        if (
+            npcompat.np is not None
+            and len(columns[0]) >= npcompat.MIN_VECTOR_ROWS
+        ):
+            return self._consume_columns_v2_np(
+                columns, wanted, index, current_cb, pending_p13, appenders
+            )
+        return self._consume_columns_v2_rows(
+            columns, wanted, index, current_cb, pending_p13, appenders
+        )
+
+    def _consume_columns_v2_rows(
         self,
         columns: Tuple,
         wanted: Optional[frozenset],
@@ -311,7 +345,7 @@ class StoreTraceIndex:
             elif code == CODE_CB_START:
                 current_cb[pid] = None
                 aux = start_types[string_id]
-            if all_wanted or pid in wanted:
+            if code and (all_wanted or pid in wanted):
                 try:
                     append_ts, append_code, append_aux = appenders[pid]
                 except KeyError:
@@ -323,6 +357,163 @@ class StoreTraceIndex:
                 append_aux(aux)
             index += 1
         return index
+
+    def _consume_columns_v2_np(
+        self,
+        columns: Tuple,
+        wanted: Optional[frozenset],
+        index: int,
+        current_cb: Dict[int, Optional[str]],
+        pending_p13: Dict[int, List[int]],
+        appenders: Dict[int, tuple],
+    ) -> int:
+        """The vectorized v2/v3 consumer: per-row dispatch hoisted into
+        whole-column numpy operations.
+
+        Three precomputed code classes replace the scalar loop's per-row
+        branches: the per-string-id code table becomes a ``uint8``
+        lookup array, one gather yields every row's code, and boolean
+        masks split the stream into walk rows (``code != 0`` -- code-0
+        rows are no-ops to the Alg. 1 walk and are dropped, exactly like
+        the scalar paths) and *interesting* rows (CB starts + the
+        ID-carrying payload codes) that the association state machine
+        must still see in order.  Aux values resolve in bulk, one
+        ``map`` per referenced payload shape, into a whole-column object
+        array; walk columns then build per PID with bulk ``.tolist()``
+        / ``.tobytes()`` extraction (Python ints, so downstream
+        byte-identity is untouched); and the sequential state machine --
+        reduced to the association-table bookkeeping only -- runs over
+        just the interesting rows with every aux already in hand."""
+        np = npcompat.np
+        (
+            ts_col, pid_col, probe_col, shape_col, vidx_col,
+            codes, start_types, shapes, json_payload,
+        ) = columns
+        probe_np = np.frombuffer(probe_col, dtype=np.uint32)
+        lut = probe_code_lut(codes)
+        row_codes = lut[probe_np]
+        pid_np = np.frombuffer(pid_col, dtype=np.int32)
+        ts_np = np.frombuffer(ts_col, dtype=np.int64)
+        n = len(probe_np)
+        by_pid = self._by_pid
+        all_wanted = wanted is None
+        n_shapes = len(shapes)
+
+        #: per-row aux value (``None``-initialized): payload dicts for
+        #: the ID-carrying codes, CB-type labels for CB starts.
+        aux_row = np.empty(n, dtype=object)
+
+        def assign(rows, values: List) -> None:
+            # Elementwise object assignment: staging through an object
+            # array keeps numpy from peering into dict/str values.
+            staged = np.empty(len(values), dtype=object)
+            staged[:] = values
+            aux_row[rows] = staged
+
+        id_rows = np.nonzero(
+            (row_codes >= CODE_TIMER_CALL)
+            & (row_codes <= CODE_TAKE_TYPE_ERASED)
+        )[0]
+        if len(id_rows):
+            sid_np = np.frombuffer(shape_col, dtype=np.uint32)[id_rows]
+            vidx_np = np.frombuffer(vidx_col, dtype=np.uint32)[id_rows]
+            for sid in np.unique(sid_np).tolist():
+                sel = id_rows[sid_np == sid]
+                vidxs = vidx_np[sid_np == sid].tolist()
+                if sid < n_shapes:
+                    payload_rows = shapes[sid].rows()
+                    assign(sel, list(map(payload_rows.__getitem__, vidxs)))
+                elif sid == SHAPE_JSON:
+                    assign(sel, list(map(json_payload, vidxs)))
+                else:  # NONE_ID: ID-carrying probes without payload
+                    assign(sel, [{} for _ in vidxs])
+        cb_rows = np.nonzero(row_codes == CODE_CB_START)[0]
+        if len(cb_rows):
+            assign(
+                cb_rows,
+                list(map(start_types.__getitem__, probe_np[cb_rows].tolist())),
+            )
+
+        nonzero = row_codes != 0
+        for pid in np.unique(pid_np[nonzero]).tolist():
+            if not (all_wanted or pid in wanted):
+                continue
+            rows = np.nonzero(nonzero & (pid_np == pid))[0]
+            walk = by_pid.get(pid)
+            if walk is None:
+                walk = by_pid[pid] = ([], bytearray(), [])
+            walk[0].extend(ts_np[rows].tolist())
+            walk[1].extend(row_codes[rows].tobytes())
+            walk[2].extend(aux_row[rows].tolist())
+
+        # The dds_write -> active-writer-CB association, vectorized.
+        # The scalar machine threads ``current_cb`` through every
+        # CB-start and ID-carrying row; but each write only reads the
+        # state of the *last preceding setter in its PID*, which one
+        # searchsorted per PID locates directly -- so the sequential
+        # loop below shrinks to the three table-append codes.  A write
+        # with no setter before it in this segment reads the state a
+        # previous segment's consumer left in ``current_cb``.
+        writer_cb = self.writer_cb
+        setter_rows = np.nonzero(
+            (row_codes >= CODE_CB_START) & (row_codes <= CODE_TAKE_RESPONSE)
+        )[0]
+        write_rows = np.nonzero(row_codes == CODE_DDS_WRITE)[0]
+        if len(setter_rows) or len(write_rows):
+            setter_pids = pid_np[setter_rows]
+            write_pids = pid_np[write_rows]
+            pids = np.unique(np.concatenate((setter_pids, write_pids)))
+            for pid in pids.tolist():
+                setters = setter_rows[setter_pids == pid]
+                pid_writes = write_rows[write_pids == pid]
+                if len(pid_writes):
+                    pos = np.searchsorted(setters, pid_writes, "left") - 1
+                    cb_at = {}
+                    for p in np.unique(pos).tolist():
+                        if p < 0:
+                            cb_at[p] = current_cb.get(pid)
+                        else:
+                            row = int(setters[p])
+                            cb_at[p] = (
+                                None
+                                if row_codes[row] == CODE_CB_START
+                                else aux_row[row].get("cb_id")
+                            )
+                    for row, p in zip(pid_writes.tolist(), pos.tolist()):
+                        writer_cb[index + row] = cb_at[p]
+                if len(setters):
+                    last = int(setters[-1])
+                    current_cb[pid] = (
+                        None
+                        if row_codes[last] == CODE_CB_START
+                        else aux_row[last].get("cb_id")
+                    )
+
+        table_rows = np.nonzero(
+            (row_codes >= CODE_TAKE_RESPONSE)
+            & (row_codes <= CODE_TAKE_TYPE_ERASED)
+        )[0]
+        writes = self.writes
+        take_responses = self.take_responses
+        dispatch_after = self.dispatch_after
+        for row, pid, code, aux in zip(
+            table_rows.tolist(),
+            pid_np[table_rows].tolist(),
+            row_codes[table_rows].tolist(),
+            aux_row[table_rows].tolist(),
+        ):
+            if code == CODE_DDS_WRITE:
+                key = (aux.get("topic"), aux.get("src_ts"))
+                writes.setdefault(key, []).append((index + row, aux))
+            elif code == CODE_TAKE_RESPONSE:
+                pending_p13.setdefault(pid, []).append(index + row)
+                key = (aux.get("topic"), aux.get("src_ts"))
+                take_responses.setdefault(key, []).append((index + row, aux))
+            else:  # CODE_TAKE_TYPE_ERASED
+                will_dispatch = bool(aux.get("will_dispatch"))
+                for p13_index in pending_p13.pop(pid, ()):
+                    dispatch_after[p13_index] = will_dispatch
+        return index + n
 
     def _consume_rows(
         self,
@@ -339,7 +530,7 @@ class StoreTraceIndex:
         dispatch_after = self.dispatch_after
         all_wanted = wanted is None
         for ts, _order, _row, pid, code, aux in rows:
-            if all_wanted or pid in wanted:
+            if code and (all_wanted or pid in wanted):
                 try:
                     append_ts, append_code, append_aux = appenders[pid]
                 except KeyError:
@@ -384,26 +575,34 @@ class StoreTraceIndex:
         """
         partials: Dict[int, List[Tuple[array, bytearray]]] = {}
         for reader in readers:
-            local: Dict[int, Tuple[array, bytearray]] = {}
-            for ts, prev_pid, next_pid in reader.sched_pid_rows():
-                if prev_pid != 0 and (wanted is None or prev_pid in wanted):
-                    bucket = local.get(prev_pid)
-                    if bucket is None:
-                        bucket = local[prev_pid] = (array("q"), bytearray())
-                    bucket[0].append(ts)
-                    bucket[1].append(
-                        _CLOSES | _OPENS if next_pid == prev_pid else _CLOSES
-                    )
-                if (
-                    next_pid != 0
-                    and next_pid != prev_pid
-                    and (wanted is None or next_pid in wanted)
-                ):
-                    bucket = local.get(next_pid)
-                    if bucket is None:
-                        bucket = local[next_pid] = (array("q"), bytearray())
-                    bucket[0].append(ts)
-                    bucket[1].append(_OPENS)
+            columns = (
+                getattr(reader, "sched_pid_columns", None)
+                if npcompat.np is not None
+                else None
+            )
+            if columns is not None:
+                local = StoreTraceIndex._sched_buckets_np(columns(), wanted)
+            else:
+                local = {}
+                for ts, prev_pid, next_pid in reader.sched_pid_rows():
+                    if prev_pid != 0 and (wanted is None or prev_pid in wanted):
+                        bucket = local.get(prev_pid)
+                        if bucket is None:
+                            bucket = local[prev_pid] = (array("q"), bytearray())
+                        bucket[0].append(ts)
+                        bucket[1].append(
+                            _CLOSES | _OPENS if next_pid == prev_pid else _CLOSES
+                        )
+                    if (
+                        next_pid != 0
+                        and next_pid != prev_pid
+                        and (wanted is None or next_pid in wanted)
+                    ):
+                        bucket = local.get(next_pid)
+                        if bucket is None:
+                            bucket = local[next_pid] = (array("q"), bytearray())
+                        bucket[0].append(ts)
+                        bucket[1].append(_OPENS)
             for pid, bucket in local.items():
                 partials.setdefault(pid, []).append(bucket)
 
@@ -421,6 +620,45 @@ class StoreTraceIndex:
                     flags.append(flag)
                 buckets[pid] = (times, flags)
         return SchedIndex.from_buckets(buckets)
+
+    @staticmethod
+    def _sched_buckets_np(
+        columns: Tuple, wanted: Optional[frozenset]
+    ) -> Dict[int, Tuple[array, bytearray]]:
+        """One reader's per-PID sched buckets from whole int columns.
+
+        Per PID, three boolean masks replace the scalar per-row
+        branches: ``prev == pid`` closes (self-switches ``next == prev``
+        close *and* open in one entry, like the scalar path), ``next ==
+        pid`` alone opens.  The row sets are selected in stream order,
+        so bucket contents are exactly the scalar loop's."""
+        np = npcompat.np
+        ts_col, prev_col, next_col = columns
+        ts_np = np.frombuffer(ts_col, dtype=np.int64)
+        prev_np = np.frombuffer(prev_col, dtype=np.int32)
+        next_np = np.frombuffer(next_col, dtype=np.int32)
+        if wanted is None:
+            pids = np.unique(np.concatenate((prev_np, next_np))).tolist()
+        else:
+            pids = sorted(wanted)
+        local: Dict[int, Tuple[array, bytearray]] = {}
+        both = _CLOSES | _OPENS
+        for pid in pids:
+            if pid == 0:
+                continue
+            closes = prev_np == pid
+            rows = np.nonzero(closes | (next_np == pid))[0]
+            if not len(rows):
+                continue
+            flags = np.where(
+                closes[rows],
+                np.where(next_np[rows] == pid, both, _CLOSES),
+                _OPENS,
+            ).astype(np.uint8)
+            times = array("q")
+            times.frombytes(ts_np[rows].tobytes())
+            local[pid] = (times, bytearray(flags.tobytes()))
+        return local
 
     # -- views -------------------------------------------------------------
 

@@ -1,12 +1,23 @@
 """Reading binary trace segments without materializing events.
 
-:class:`SegmentReader` parses a ``.trace.bin`` file -- format v1 or v2
--- into column *views* (`memoryview.cast` on little-endian hosts -- no
-copy of the event sections) plus the decoded string table.  Event
+:class:`SegmentReader` parses a ``.trace.bin`` file -- format v1, v2 or
+v3 -- into column *views* (`memoryview.cast` on little-endian hosts --
+no copy of the event sections) plus the decoded string table.  Event
 objects are constructed lazily, per iteration, and only for the rows a
 consumer asks for: ``iter_ros(pids=...)`` scans the int32 PID column
 and skips everything else, so selecting one node out of a 50-run merged
 store never builds the other nodes' events.
+
+v3 segments add *section-selective I/O*: every column is its own
+stream behind the section directory, materialized (and inflated) only
+on first touch through :class:`_LazyColumns`.  A synthesis pass over a
+v3 store therefore never inflates the wakeup section, the six sched
+columns beyond ``(ts, prev_pid, next_pid)``, or the payload columns of
+shapes Alg. 1 never dereferences.  ``bytes_inflated`` counts the raw
+bytes actually run through zlib (vs ``body_bytes``, the segment's
+total raw body size) -- the observable behind the selective-read CI
+assertion and the ``store.selective_read`` bench section; an
+uncompressed cache copy reads at zero inflation.
 
 Payload access is format-versioned.  v1 payloads are interned JSON
 (decoded through a bound C scanner, cached per string id).  v2 payloads
@@ -64,12 +75,23 @@ from .format import (
     ROS_COLUMNS,
     ROS_COLUMNS_V2,
     SCHED_COLUMNS,
+    SECTION_COMP_ZLIB,
+    SECTION_ENTRY,
+    SECTION_PAYLOAD,
+    SECTION_PID_MAP,
+    SECTION_ROS,
+    SECTION_SCHED,
+    SECTION_SHAPES,
+    SECTION_STRINGS,
+    SECTION_WAKEUP,
     SHAPE_JSON,
+    SectionEntry,
     StoreFormatError,
     WAKEUP_COLUMNS,
     column_from_bytes,
     unpack_header,
     unpack_pid_map,
+    unpack_section_dir,
     unpack_shape_dir,
     unpack_strings,
 )
@@ -81,6 +103,31 @@ _ITEMSIZE = {"q": 8, "i": 4, "I": 4, "d": 8, "b": 1}
 _SCAN_PAYLOAD = JSONDecoder().scan_once
 
 _TS_KEY = lambda event: event[0]  # noqa: E731 - ts field of every record
+
+#: keys tuple -> compiled row-building listcomp (see ``_row_builder``).
+_ROW_BUILDERS: Dict[Tuple[str, ...], Any] = {}
+
+
+def _row_builder(keys: Tuple[str, ...]):
+    """A compiled ``[{key: v0, ...} for (v0, ...) in _rows]`` for one
+    shape's key tuple (namedtuple-style codegen, cached per key set).
+
+    A dict display builds ~3x faster than ``dict(zip(keys, values))``,
+    and shape-row materialization is the hottest allocation in a store
+    read; keys are embedded as ``repr`` string literals, so arbitrary
+    payload key text stays data, never code.
+    """
+    code = _ROW_BUILDERS.get(keys)
+    if code is None:
+        names = [f"v{i}" for i in range(len(keys))]
+        item = "{" + ", ".join(
+            f"{key!r}: {name}" for key, name in zip(keys, names)
+        ) + "}"
+        target = "(" + ", ".join(names) + ("," if len(names) == 1 else "") + ")"
+        code = _ROW_BUILDERS[keys] = compile(
+            f"[{item} for {target} in _rows]", "<shape rows>", "eval"
+        )
+    return code
 
 
 class _Shape:
@@ -115,6 +162,10 @@ class _Shape:
             strings = self._strings
             seqs: List[Sequence] = []
             for ftype, column in zip(self.types, self._columns):
+                if callable(column):
+                    # v3: the column is a lazy section handle; shapes
+                    # nothing dereferences never inflate their streams.
+                    column = column()
                 if ftype == FIELD_NONE:
                     seqs.append([None] * self.count)
                 elif ftype == FIELD_STR:
@@ -123,20 +174,64 @@ class _Shape:
                     seqs.append([bool(v) for v in column])
                 else:
                     seqs.append(column)
-            keys = self.keys
             if seqs:
-                rows = [dict(zip(keys, values)) for values in zip(*seqs)]
+                rows = eval(  # compiled dict-display listcomp, data-only
+                    _row_builder(self.keys), {"_rows": zip(*seqs)}
+                )
             else:  # degenerate: a shape with no fields (hand-built file)
                 rows = [{} for _ in range(self.count)]
             self._rows = rows
         return rows
 
 
-class SegmentReader:
-    """One stored run (format v1 or v2), decoded lazily from its packed
-    columns.  ``version`` exposes the file's format-version byte."""
+class _LazyColumns:
+    """One v3 event section as per-column lazy handles.
 
-    def __init__(self, data: bytes, path: Optional[str] = None):
+    Quacks like the column tuple the eager reader builds -- indexing,
+    iteration, unpacking -- but a column's stream is only sliced (and
+    inflated, when deflated) on its first access, then cached.  That is
+    what lets ``sched_pid_rows()`` read three of nine sched columns and
+    ``ros_ts_range()`` a single ros column.
+    """
+
+    __slots__ = ("_reader", "_kind", "_typecodes", "_count", "_loaded")
+
+    def __init__(
+        self, reader: "SegmentReader", kind: int,
+        typecodes: Sequence[str], count: int,
+    ):
+        self._reader = reader
+        self._kind = kind
+        self._typecodes = typecodes
+        self._count = count
+        self._loaded: List[Optional[Sequence]] = [None] * len(typecodes)
+
+    def __len__(self) -> int:
+        return len(self._typecodes)
+
+    def __getitem__(self, index: int) -> Sequence:
+        column = self._loaded[index]
+        if column is None:
+            column = self._loaded[index] = self._reader._section_column(
+                self._typecodes[index], self._count, self._kind, index
+            )
+        return column
+
+    def __iter__(self):
+        return (self[index] for index in range(len(self._typecodes)))
+
+
+class SegmentReader:
+    """One stored run (format v1, v2 or v3), decoded lazily from its
+    packed columns.  ``version`` exposes the file's format-version byte.
+
+    ``bytes_inflated`` counts the raw bytes run through zlib so far (v3
+    counts per touched section; a compressed v1/v2 body counts fully up
+    front; uncompressed data counts nothing); ``body_bytes`` is the
+    segment's total raw body size, so ``bytes_inflated < body_bytes``
+    on a compressed segment demonstrates a selective read."""
+
+    def __init__(self, data, path: Optional[str] = None):
         self.path = path
         self._source = path if path is not None else "<segment bytes>"
         self.size_bytes = len(data)
@@ -145,6 +240,32 @@ class SegmentReader:
             start, stop,
         ) = unpack_header(data, source=self._source)
         self.version = version
+        self.start_ts = start
+        self.stop_ts = stop
+        self.num_ros_events = n_ros
+        self.num_sched_events = n_sched
+        self.num_wakeup_events = n_wakeup
+        self._shapes: List[_Shape] = []
+        self.bytes_inflated = 0
+        if version >= 3:
+            self._init_v3(data, n_strings, n_pids, n_ros, n_sched, n_wakeup)
+        else:
+            self._init_body(data, flags, n_strings, n_pids, n_ros, n_sched,
+                            n_wakeup)
+        #: payload string id -> decoded mapping, shared across events
+        #: (payloads are immutable by the TraceEvent contract).  v1
+        #: payloads and v2/v3 JSON-fallback rows decode through this.
+        self._payload_cache: Dict[int, Dict[str, Any]] = {}
+        #: per-string-id probe-code / CB-type tables, built lazily on
+        #: the first columnar walk (see :meth:`walk_rows`).
+        self._code_table: Optional[bytearray] = None
+        self._start_types: Optional[List[Optional[str]]] = None
+
+    def _init_body(
+        self, data, flags: int, n_strings: int, n_pids: int,
+        n_ros: int, n_sched: int, n_wakeup: int,
+    ) -> None:
+        """v1/v2 parse: one (possibly deflated) body, eager sections."""
         if flags & FLAG_ZLIB_BODY:
             try:
                 body: bytes = zlib.decompress(data[HEADER.size:])
@@ -156,19 +277,16 @@ class SegmentReader:
         else:
             body = memoryview(data)[HEADER.size:]
         self._body = body
-        self.start_ts = start
-        self.stop_ts = stop
-        self.num_ros_events = n_ros
-        self.num_sched_events = n_sched
-        self.num_wakeup_events = n_wakeup
-        self._shapes: List[_Shape] = []
+        self.body_bytes = len(body)
+        if flags & FLAG_ZLIB_BODY:
+            self.bytes_inflated = len(body)
         section = "pid_map"
         offset = 0
         try:
             self.pid_map, offset = unpack_pid_map(body, 0, n_pids)
             section = "string table"
             self._strings, offset = unpack_strings(body, offset, n_strings)
-            if version >= 2:
+            if self.version >= 2:
                 section = "shape directory"
                 shape_dir, offset = unpack_shape_dir(body, offset)
                 section = "payload columns"
@@ -207,17 +325,158 @@ class SegmentReader:
                 f"{self._source}: corrupt or truncated segment "
                 f"(in {section}, body offset {offset}): {error}"
             ) from None
-        #: payload string id -> decoded mapping, shared across events
-        #: (payloads are immutable by the TraceEvent contract).  v1
-        #: payloads and v2 JSON-fallback rows decode through this.
-        self._payload_cache: Dict[int, Dict[str, Any]] = {}
-        #: per-string-id probe-code / CB-type tables, built lazily on
-        #: the first columnar walk (see :meth:`walk_rows`).
-        self._code_table: Optional[bytearray] = None
-        self._start_types: Optional[List[Optional[str]]] = None
+
+    def _init_v3(
+        self, data, n_strings: int, n_pids: int,
+        n_ros: int, n_sched: int, n_wakeup: int,
+    ) -> None:
+        """v3 parse: section directory + small eager sections; event
+        and payload columns stay lazy per-stream handles."""
+        try:
+            entries, body_start = unpack_section_dir(data, HEADER.size)
+        except StoreFormatError as error:
+            raise StoreFormatError(f"{self._source}: {error}") from None
+        self._data = memoryview(data)
+        self._body_start = body_start
+        self._sections: Dict[Tuple[int, int], SectionEntry] = {
+            (entry.kind, entry.index): entry for entry in entries
+        }
+        self._section_cache: Dict[Tuple[int, int], Sequence] = {}
+        self.body_bytes = sum(entry.raw_len for entry in entries)
+        end = body_start + max(
+            (entry.offset + entry.comp_len for entry in entries), default=0
+        )
+        if end > len(data):
+            raise StoreFormatError(
+                f"{self._source}: truncated segment: section directory "
+                f"addresses {end} bytes, file has {len(data)}"
+            )
+        section = "pid_map"
+        try:
+            raw = self._section_bytes(SECTION_PID_MAP, 0)
+            self.pid_map, _ = unpack_pid_map(raw, 0, n_pids)
+            section = "string table"
+            raw = self._section_bytes(SECTION_STRINGS, 0)
+            self._strings, _ = unpack_strings(raw, 0, n_strings)
+            section = "shape directory"
+            raw = self._section_bytes(SECTION_SHAPES, 0)
+            shape_dir, _ = unpack_shape_dir(raw, 0)
+        except StoreFormatError as error:
+            message = str(error)
+            if not message.startswith(self._source):
+                message = f"{self._source}: {message}"
+            raise StoreFormatError(message) from None
+        except (IncompletePrefix, ValueError, TypeError, struct.error,
+                IndexError) as error:
+            raise StoreFormatError(
+                f"{self._source}: corrupt or truncated segment "
+                f"(in {section}): {error}"
+            ) from None
+        strings = self._strings
+        payload_index = 0
+        for fields, count in shape_dir:
+            keys = tuple(strings[name_id] for name_id, _ in fields)
+            types = tuple(ftype for _, ftype in fields)
+            columns: List[Any] = []
+            for ftype in types:
+                if ftype == FIELD_NONE:
+                    columns.append(None)
+                else:
+                    columns.append(self._payload_loader(
+                        FIELD_TYPECODES[ftype], count, payload_index
+                    ))
+                    payload_index += 1
+            self._shapes.append(_Shape(keys, types, count, columns, strings))
+        self._ros = _LazyColumns(self, SECTION_ROS, ROS_COLUMNS_V2, n_ros)
+        self._sched = _LazyColumns(self, SECTION_SCHED, SCHED_COLUMNS, n_sched)
+        self._wakeup = _LazyColumns(
+            self, SECTION_WAKEUP, WAKEUP_COLUMNS, n_wakeup
+        )
+
+    def _payload_loader(self, typecode: str, count: int, index: int):
+        """A zero-argument handle materializing one payload column."""
+        return lambda: self._section_column(
+            typecode, count, SECTION_PAYLOAD, index
+        )
+
+    def _section_bytes(self, kind: int, index: int):
+        """One v3 section's raw bytes (sliced, inflated if deflated,
+        cached); parse failures surface as :class:`StoreFormatError`
+        naming the file, the section and its offset."""
+        key = (kind, index)
+        cached = self._section_cache.get(key)
+        if cached is not None:
+            return cached
+        entry = self._sections.get(key)
+        if entry is None:
+            raise StoreFormatError(
+                f"{self._source}: missing section "
+                f"{SectionEntry(kind, 0, index, 0, 0, 0).name} "
+                "(absent from the section directory)"
+            )
+        start = self._body_start + entry.offset
+        raw = self._data[start:start + entry.comp_len]
+        if len(raw) != entry.comp_len:
+            raise StoreFormatError(
+                f"{self._source}: truncated section {entry.name} "
+                f"(at file offset {start}): need {entry.comp_len} bytes, "
+                f"have {len(raw)}"
+            )
+        if entry.comp == SECTION_COMP_ZLIB:
+            try:
+                raw = zlib.decompress(raw)
+            except zlib.error as error:
+                raise StoreFormatError(
+                    f"{self._source}: corrupt section {entry.name} "
+                    f"(at file offset {start}): {error}"
+                ) from None
+            if len(raw) != entry.raw_len:
+                raise StoreFormatError(
+                    f"{self._source}: corrupt section {entry.name} "
+                    f"(at file offset {start}): inflated to {len(raw)} "
+                    f"bytes, directory says {entry.raw_len}"
+                )
+        self._section_cache[key] = raw
+        if entry.comp == SECTION_COMP_ZLIB:
+            self.bytes_inflated += entry.raw_len
+        return raw
+
+    def _section_column(
+        self, typecode: str, count: int, kind: int, index: int
+    ) -> Sequence:
+        """One v3 column as a typed view over its section stream."""
+        raw = self._section_bytes(kind, index)
+        expected = _ITEMSIZE[typecode] * count
+        if len(raw) != expected:
+            entry = self._sections[(kind, index)]
+            raise StoreFormatError(
+                f"{self._source}: corrupt section {entry.name} "
+                f"(at file offset {self._body_start + entry.offset}): "
+                f"{len(raw)} bytes for {count} {typecode!r} values "
+                f"(expected {expected})"
+            )
+        if _BIG_ENDIAN:  # pragma: no cover - LE containers
+            return column_from_bytes(typecode, bytes(raw))
+        view = raw if isinstance(raw, memoryview) else memoryview(raw)
+        return view.cast(typecode)
 
     @classmethod
-    def open(cls, path: str) -> "SegmentReader":
+    def open(cls, path: str, use_mmap: bool = False) -> "SegmentReader":
+        """Read (or, with ``use_mmap``, map) ``path`` into a reader.
+
+        ``use_mmap`` avoids the up-front file read: section slices come
+        straight from the page cache, which is the point of the store's
+        uncompressed segment cache -- repeated synthesis over the same
+        store re-reads only the pages it touches.
+        """
+        if use_mmap:
+            import mmap as _mmap
+
+            with open(path, "rb") as handle:
+                mapped = _mmap.mmap(
+                    handle.fileno(), 0, access=_mmap.ACCESS_READ
+                )
+            return cls(mapped, path=path)
         with open(path, "rb") as handle:
             return cls(handle.read(), path=path)
 
@@ -394,8 +653,23 @@ class SegmentReader:
         """``(ts, prev_pid, next_pid)`` per sched_switch row -- three
         int-column scans, no :class:`SchedSwitch` objects, feeding the
         store-side shard-local :class:`~repro.core.exec_time.SchedIndex`
-        bucketing."""
+        bucketing.  On v3 segments only those three of the nine sched
+        streams inflate."""
         return zip(self._sched[0], self._sched[2], self._sched[6])
+
+    def sched_pid_columns(self) -> Tuple[Sequence, Sequence, Sequence]:
+        """The raw ``(ts, prev_pid, next_pid)`` columns behind
+        :meth:`sched_pid_rows`, for consumers that bucket them in bulk
+        (the vectorized :class:`~repro.store.index.StoreTraceIndex`
+        sched pass)."""
+        return self._sched[0], self._sched[2], self._sched[6]
+
+    def wakeup_ts_pid_rows(self) -> Iterator[Tuple[int, int]]:
+        """``(ts, pid)`` per sched_wakeup row -- two int-column scans
+        (the only wakeup fields :class:`~repro.analysis.latency.LatencyIndex`
+        consumes); on v3 segments the other three wakeup streams never
+        inflate."""
+        return zip(self._wakeup[0], self._wakeup[2])
 
     def iter_sched(self) -> Iterator[SchedSwitch]:
         ts, cpu, prev_pid, prev_comm, prev_prio, prev_state, next_pid, next_comm, next_prio = self._sched
@@ -449,17 +723,87 @@ def peek_header(path: str) -> Tuple[int, int, int, int, int, int, int, int, int]
         return unpack_header(handle.read(HEADER.size), source=path)
 
 
+def peek_sections(path: str) -> List[SectionEntry]:
+    """The section directory of a v3 segment (header + directory bytes
+    only -- no event stream is touched); empty for v1/v2 segments,
+    whose body is one undifferentiated stream.  Feeds the per-section
+    size breakdown of ``repro store-info --json``."""
+    with open(path, "rb") as handle:
+        head = handle.read(HEADER.size)
+        version, *_ = unpack_header(head, source=path)
+        if version < 3:
+            return []
+        prefix = handle.read(4)
+        if len(prefix) < 4:
+            raise StoreFormatError(
+                f"{path}: truncated segment: section directory cut off"
+            )
+        (count,) = struct.unpack("<I", prefix)
+        raw = head + prefix + handle.read(count * SECTION_ENTRY.size)
+        try:
+            entries, _ = unpack_section_dir(raw, HEADER.size)
+        except StoreFormatError as error:
+            raise StoreFormatError(f"{path}: {error}") from None
+        return entries
+
+
 def read_pid_map(path: str) -> Dict[int, Optional[str]]:
     """The PID -> node-name map of a segment, from a file prefix.
 
     The pid_map section leads the body in every format version, so
     planning a sharded synthesis over a large store decodes a few KB per
     run (one inflate window for compressed segments) instead of every
-    event column.
+    event column.  v3 segments do even less: seek to the pid_map
+    stream named by the section directory and inflate exactly that.
     """
     with open(path, "rb") as handle:
         head = handle.read(HEADER.size)
-        _, flags, _, n_pids, _, _, _, _, _ = unpack_header(head, source=path)
+        version, flags, _, n_pids, _, _, _, _, _ = unpack_header(
+            head, source=path
+        )
+        if version >= 3:
+            prefix = handle.read(4)
+            if len(prefix) < 4:
+                raise StoreFormatError(
+                    f"{path}: truncated segment: section directory cut off"
+                )
+            (count,) = struct.unpack("<I", prefix)
+            raw = head + prefix + handle.read(count * SECTION_ENTRY.size)
+            try:
+                entries, body_start = unpack_section_dir(raw, HEADER.size)
+            except StoreFormatError as error:
+                raise StoreFormatError(f"{path}: {error}") from None
+            entry = next(
+                (e for e in entries if e.kind == SECTION_PID_MAP), None
+            )
+            if entry is None:
+                raise StoreFormatError(
+                    f"{path}: missing section pid_map "
+                    "(absent from the section directory)"
+                )
+            handle.seek(body_start + entry.offset)
+            raw_section = handle.read(entry.comp_len)
+            if len(raw_section) != entry.comp_len:
+                raise StoreFormatError(
+                    f"{path}: truncated section pid_map (at file offset "
+                    f"{body_start + entry.offset}): need {entry.comp_len} "
+                    f"bytes, have {len(raw_section)}"
+                )
+            if entry.comp == SECTION_COMP_ZLIB:
+                try:
+                    raw_section = zlib.decompress(raw_section)
+                except zlib.error as error:
+                    raise StoreFormatError(
+                        f"{path}: corrupt section pid_map (at file offset "
+                        f"{body_start + entry.offset}): {error}"
+                    ) from None
+            try:
+                pid_map, _ = unpack_pid_map(raw_section, 0, n_pids)
+            except (IncompletePrefix, ValueError, struct.error) as error:
+                raise StoreFormatError(
+                    f"{path}: corrupt section pid_map: {error}"
+                ) from None
+            return pid_map
         inflater = zlib.decompressobj() if flags & FLAG_ZLIB_BODY else None
         buffer = b""
         while True:
@@ -522,6 +866,9 @@ class InMemorySegment:
 
     def sched_pid_rows(self) -> Iterator[Tuple[int, int, int]]:
         return ((e[0], e[2], e[6]) for e in self._trace.sched_events)
+
+    def wakeup_ts_pid_rows(self) -> Iterator[Tuple[int, int]]:
+        return ((e[0], e[2]) for e in self._trace.wakeup_events)
 
     def iter_sched(self) -> Iterator[SchedSwitch]:
         return iter(self._trace.sched_events)

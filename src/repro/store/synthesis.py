@@ -101,14 +101,18 @@ def _extract_store_cblists(
     return cblists
 
 
-def _extract_shard(args: Tuple[str, Tuple[int, ...], bool]) -> List[CBList]:
+def _extract_shard(
+    args: Tuple[str, Tuple[int, ...], bool, Optional[str]],
+) -> List[CBList]:
     """Worker body: open the store, extract this shard's PIDs with the
     columnar walk -- shard-local walk columns and sched buckets, never
     the full merged index (module-level for pickling).  The parent
-    store's ``strict`` flag rides along so a lenient handle skips the
-    same unreadable runs in every worker."""
-    directory, shard, strict = args
-    readers = TraceStore(directory, strict=strict).readers()
+    store's ``strict`` flag and ``cache_dir`` ride along so a lenient
+    handle skips the same unreadable runs in every worker and a cached
+    store mmaps the same uncompressed copies instead of inflating the
+    segments once per worker."""
+    directory, shard, strict, cache_dir = args
+    readers = TraceStore(directory, strict=strict, cache_dir=cache_dir).readers()
     return _extract_store_cblists(readers, list(shard))
 
 
@@ -186,7 +190,8 @@ def synthesize_from_store(
             for shard_lists in pool.map(
                 _extract_shard,
                 [
-                    (store.directory, tuple(shard), store.strict)
+                    (store.directory, tuple(shard), store.strict,
+                     store.cache_dir)
                     for shard in shards
                 ],
             ):

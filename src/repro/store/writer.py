@@ -47,22 +47,36 @@ from .format import (
     FIELD_STR,
     FIELD_TYPECODES,
     FLAG_ZLIB_BODY,
+    HEADER,
     MAX_SHAPES,
     NONE_CPU,
     NONE_ID,
     ROS_COLUMNS,
     ROS_COLUMNS_V2,
     SCHED_COLUMNS,
+    SECTION_COMP_RAW,
+    SECTION_COMP_ZLIB,
+    SECTION_PAYLOAD,
+    SECTION_PID_MAP,
+    SECTION_ROS,
+    SECTION_SCHED,
+    SECTION_SHAPES,
+    SECTION_STRINGS,
+    SECTION_WAKEUP,
     SHAPE_JSON,
     SUPPORTED_VERSIONS,
+    SectionEntry,
     VERSION,
     WAKEUP_COLUMNS,
     ZLIB_LEVEL,
     column_bytes,
     pack_header,
     pack_pid_map,
+    pack_section_dir,
     pack_shape_dir,
     pack_strings,
+    unpack_header,
+    unpack_section_dir,
 )
 
 _INT64_MIN = -(1 << 63)
@@ -287,8 +301,12 @@ class SegmentSpool:
         """Write the packed segment to ``handle``; returns bytes written.
 
         ``compress`` deflates the body (default; ~gzip-JSON file size);
-        ``False`` keeps raw columns for zero-copy readers.
+        ``False`` keeps raw columns for zero-copy readers.  v3 segments
+        deflate (or keep raw) every section independently behind the
+        section directory, so readers inflate only what they touch.
         """
+        if self.format_version >= 3:
+            return self._finish_v3(handle, pid_map, start_ts, stop_ts, compress)
         body_parts: List[bytes] = [pack_pid_map(pid_map)]
         if self.format_version >= 2:
             intern = self.strings.intern
@@ -331,6 +349,86 @@ class SegmentSpool:
         written += handle.write(body)
         return written
 
+    def _section_blobs(self, pid_map: Mapping[int, Optional[str]]):
+        """The v3 sections in file order: ``(kind, index, raw bytes)``."""
+        intern = self.strings.intern
+        shapes = sorted(self._shapes.values(), key=lambda acc: acc.index)
+        directory = [
+            ([(intern(key), ftype) for key, ftype in acc.fields], acc.count)
+            for acc in shapes
+        ]
+        # Interning the field names may grow the string table, so the
+        # strings blob is packed only after the shape directory exists.
+        blobs: List[Tuple[int, int, bytes]] = [
+            (SECTION_PID_MAP, 0, pack_pid_map(pid_map)),
+            (SECTION_STRINGS, 0, pack_strings(self.strings.strings)),
+            (SECTION_SHAPES, 0, pack_shape_dir(directory)),
+        ]
+        payload_index = 0
+        for acc in shapes:
+            for column in acc.columns:
+                if column is not None:
+                    blobs.append(
+                        (SECTION_PAYLOAD, payload_index, column_bytes(column))
+                    )
+                    payload_index += 1
+        for kind, section in (
+            (SECTION_ROS, self._ros),
+            (SECTION_SCHED, self._sched),
+            (SECTION_WAKEUP, self._wakeup),
+        ):
+            for column_index, column in enumerate(section):
+                blobs.append((kind, column_index, column_bytes(column)))
+        return blobs
+
+    def _finish_v3(
+        self,
+        handle: IO[bytes],
+        pid_map: Mapping[int, Optional[str]],
+        start_ts: int,
+        stop_ts: int,
+        compress: bool,
+    ) -> int:
+        """v3 emit: header, section directory, per-section streams.
+
+        Each section deflates independently; sections deflate does not
+        shrink (tiny ones) stay raw with ``comp`` 0, so compression is
+        a per-stream property, not a file-level mode.
+        """
+        entries: List[SectionEntry] = []
+        streams: List[bytes] = []
+        offset = 0
+        for kind, index, raw in self._section_blobs(pid_map):
+            comp = SECTION_COMP_RAW
+            data = raw
+            if compress and raw:
+                deflated = zlib.compress(raw, ZLIB_LEVEL)
+                if len(deflated) < len(raw):
+                    comp = SECTION_COMP_ZLIB
+                    data = deflated
+            entries.append(
+                SectionEntry(kind, comp, index, offset, len(data), len(raw))
+            )
+            streams.append(data)
+            offset += len(data)
+        written = handle.write(
+            pack_header(
+                len(self.strings),
+                len(pid_map),
+                len(self._ros[0]),
+                len(self._sched[0]),
+                len(self._wakeup[0]),
+                start_ts,
+                stop_ts,
+                flags=0,
+                version=self.format_version,
+            )
+        )
+        written += handle.write(pack_section_dir(entries))
+        for data in streams:
+            written += handle.write(data)
+        return written
+
     def finish_path(
         self,
         path: str,
@@ -370,6 +468,61 @@ def encode_trace(
         buffer, trace.pid_map, trace.start_ts, trace.stop_ts, compress=compress
     )
     return buffer.getvalue()
+
+
+def decompress_segment(src: str, dst: str) -> int:
+    """Rewrite segment ``src`` as an uncompressed same-version copy at
+    ``dst``; returns bytes written.
+
+    Value-preserving by construction -- the body bytes are the inflated
+    originals, never re-encoded -- so a reader over the copy sees the
+    exact columns of the source.  This is the materialization step of
+    the store's mmap-backed segment cache: an uncompressed segment's
+    columns are zero-copy ``memoryview`` casts, so repeated synthesis
+    over the same store reads straight from the page cache.
+    """
+    with open(src, "rb") as handle:
+        data = handle.read()
+    version, flags, *_ = unpack_header(data, source=src)
+    if version >= 3:
+        entries, body_start = unpack_section_dir(data, HEADER.size)
+        sections: List[bytes] = []
+        new_entries: List[SectionEntry] = []
+        offset = 0
+        for entry in entries:
+            raw = data[
+                body_start + entry.offset:
+                body_start + entry.offset + entry.comp_len
+            ]
+            if entry.comp == SECTION_COMP_ZLIB:
+                raw = zlib.decompress(raw)
+            new_entries.append(
+                entry._replace(
+                    comp=SECTION_COMP_RAW, offset=offset,
+                    comp_len=len(raw), raw_len=len(raw),
+                )
+            )
+            sections.append(raw)
+            offset += len(raw)
+        payload = b"".join(
+            [data[:HEADER.size], pack_section_dir(new_entries), *sections]
+        )
+    elif flags & FLAG_ZLIB_BODY:
+        # Clear the body-stream flag; every other header field (counts,
+        # timestamps, version) stays byte-identical.
+        fields = list(HEADER.unpack_from(data, 0))
+        fields[2] &= ~FLAG_ZLIB_BODY
+        payload = HEADER.pack(*fields) + zlib.decompress(data[HEADER.size:])
+    else:
+        payload = data
+    # Per-process staging name: parallel synthesis workers may race to
+    # materialize the same cache entry, and the atomic replace makes
+    # the last finisher win with a complete file either way.
+    staging = f"{dst}.{os.getpid()}.tmp"
+    with open(staging, "wb") as handle:
+        written = handle.write(payload)
+    os.replace(staging, dst)
+    return written
 
 
 def spool_session_segment(spool: SegmentSpool, session) -> TraceSegment:

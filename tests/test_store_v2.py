@@ -28,7 +28,7 @@ from repro.store import (
     synthesize_from_store,
     write_segment,
 )
-from repro.store.format import SHAPE_JSON, VERSION, VERSION_V1
+from repro.store.format import SHAPE_JSON, VERSION_V1, VERSION_V2
 from repro.tracing.events import TraceEvent
 from repro.tracing.session import Trace
 from repro.tracing.storage import TRACE_SUFFIX, load_trace, save_trace
@@ -63,10 +63,10 @@ def fusion_traces():
 
 
 class TestFormatV2:
-    def test_default_write_is_v2(self, syn_trace, tmp_path):
+    def test_v2_still_writable(self, syn_trace, tmp_path):
         path = str(tmp_path / f"run{SEGMENT_SUFFIX}")
-        write_segment(syn_trace, path)
-        assert peek_header(path)[0] == VERSION == 2
+        write_segment(syn_trace, path, format_version=2)
+        assert peek_header(path)[0] == VERSION_V2 == 2
         reader = SegmentReader.open(path)
         assert reader.version == 2
         assert reader.to_trace().to_dict() == syn_trace.to_dict()
@@ -190,7 +190,7 @@ class TestUpgradePath:
     def test_upgrade_v1_to_v2_round_trip(self, fusion_traces, tmp_path):
         store = self._v1_store(fusion_traces, str(tmp_path / "s"))
         before = {r: store.load(r).to_dict() for r in store.run_ids()}
-        written = store.convert_legacy(upgrade=True)
+        written = store.convert_legacy(upgrade=True, format_version=2)
         assert len(written) == len(fusion_traces)
         assert all(store.format_version(r) == 2 for r in store.run_ids())
         assert {r: store.load(r).to_dict() for r in store.run_ids()} == before
@@ -207,7 +207,7 @@ class TestUpgradePath:
         os.makedirs(directory)
         save_trace(fusion_traces[0], os.path.join(directory, f"a{TRACE_SUFFIX}"))
         store = TraceStore(directory)
-        store.convert_legacy()
+        store.convert_legacy(format_version=2)
         assert store.format_version("a") == 2
         assert store.load("a").to_dict() == fusion_traces[0].to_dict()
 
@@ -271,7 +271,7 @@ class TestGoldenV1Fixture:
             os.path.join(directory, f"golden{SEGMENT_SUFFIX}"),
         )
         store = TraceStore(directory)
-        store.convert_legacy(upgrade=True)
+        store.convert_legacy(upgrade=True, format_version=2)
         assert store.format_version("golden") == 2
         expected = load_trace(str(DATA_DIR / "golden_v1.trace.json.gz"))
         assert store.load("golden").to_dict() == expected.to_dict()
@@ -415,7 +415,7 @@ class TestCliUsageErrors:
             ["synthesize", "somewhere", "--jobs", "-3"],
             ["synthesize", "somewhere", "--jobs", "two"],
             ["record", "syn", "--out", "somewhere", "--jobs", "0"],
-            ["record", "syn", "--out", "somewhere", "--format-version", "3"],
+            ["record", "syn", "--out", "somewhere", "--format-version", "4"],
         ],
     )
     def test_bad_arguments_exit_2(self, argv, capsys):
@@ -435,7 +435,9 @@ class TestStoreInfoCli:
             format_version=1,
         )
         write_segment(
-            fusion_traces[1], os.path.join(directory, f"run001{SEGMENT_SUFFIX}")
+            fusion_traces[1],
+            os.path.join(directory, f"run001{SEGMENT_SUFFIX}"),
+            format_version=2,
         )
         save_trace(
             fusion_traces[2], os.path.join(directory, f"run002{TRACE_SUFFIX}")
@@ -477,7 +479,10 @@ class TestConvertCli:
         save_trace(
             fusion_traces[1], os.path.join(directory, f"run001{TRACE_SUFFIX}")
         )
-        assert main(["convert", directory, "--upgrade", "--remove"]) == 0
+        assert main(
+            ["convert", directory, "--upgrade", "--remove",
+             "--format-version", "2"]
+        ) == 0
         out = capsys.readouterr().out
         assert "2 run(s) -> format v2" in out
         store = TraceStore(directory)
@@ -486,5 +491,7 @@ class TestConvertCli:
             name.endswith(TRACE_SUFFIX) for name in os.listdir(directory)
         )
         # idempotent second pass
-        assert main(["convert", directory, "--upgrade"]) == 0
+        assert main(
+            ["convert", directory, "--upgrade", "--format-version", "2"]
+        ) == 0
         assert "nothing to convert" in capsys.readouterr().out

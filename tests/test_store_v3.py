@@ -1,0 +1,697 @@
+"""Trace format v3 (per-section compression): round trips, selective
+section I/O counters, the v1/v2 -> v3 upgrade path, the committed
+golden v3 fixture, the uncompressed segment cache, per-section error
+diagnostics, the ``store-info --json`` satellite, and walk_fastpath /
+no-numpy equivalence properties."""
+
+import json
+import os
+import shutil
+import struct
+import zlib
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.core import dag_to_json, synthesize_from_trace, to_dot
+from repro.core import npcompat
+from repro.experiments.runner import RunConfig, run_once
+from repro.scenarios import build_scenario_spec
+from repro.sim.kernel import SEC
+from repro.store import (
+    SEGMENT_SUFFIX,
+    InMemorySegment,
+    SegmentReader,
+    StoreFormatError,
+    StoreTraceIndex,
+    TraceStore,
+    encode_trace,
+    peek_header,
+    synthesize_from_store,
+    write_segment,
+)
+from repro.store.format import (
+    HEADER,
+    SECTION_COMP_ZLIB,
+    SECTION_ENTRY,
+    SHAPE_JSON,
+    VERSION,
+    VERSION_V1,
+    VERSION_V2,
+)
+from repro.store.reader import peek_sections, read_pid_map
+from repro.tracing.events import (
+    CB_START_PROBES,
+    P3_TIMER_CALL,
+    P6_TAKE,
+    P16_DDS_WRITE,
+    TraceEvent,
+)
+from repro.tracing.session import Trace
+from repro.tracing.storage import TRACE_SUFFIX, load_trace, save_trace
+
+DATA_DIR = Path(__file__).parent / "data"
+DURATION_NS = int(1.0 * SEC)
+
+
+def traced_run(name, run_index=0, runs=4):
+    spec = build_scenario_spec(
+        name, run_index=run_index, runs=runs, duration_ns=DURATION_NS
+    )
+    config = RunConfig(duration_ns=DURATION_NS, num_cpus=spec.num_cpus)
+    return run_once(
+        lambda world, i: spec.build(world), config, run_index=run_index
+    ).trace
+
+
+@pytest.fixture(scope="module")
+def syn_trace():
+    return traced_run("syn")
+
+
+@pytest.fixture(scope="module")
+def fusion_traces():
+    return [traced_run("sensor-fusion", i) for i in range(4)]
+
+
+def _body_start(path):
+    entries = peek_sections(path)
+    return HEADER.size + 4 + len(entries) * SECTION_ENTRY.size, entries
+
+
+# ---------------------------------------------------------------------------
+# v3 round trips + the section directory
+# ---------------------------------------------------------------------------
+
+
+class TestFormatV3:
+    def test_default_write_is_v3(self, syn_trace, tmp_path):
+        path = str(tmp_path / f"run{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path)
+        assert peek_header(path)[0] == VERSION == 3
+        reader = SegmentReader.open(path)
+        assert reader.version == 3
+        assert reader.to_trace().to_dict() == syn_trace.to_dict()
+
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_all_versions_describe_one_trace(self, syn_trace, compress):
+        dicts = {
+            v: SegmentReader(
+                encode_trace(syn_trace, compress=compress, format_version=v)
+            ).to_trace().to_dict()
+            for v in (1, 2, 3)
+        }
+        assert dicts[1] == dicts[2] == dicts[3] == syn_trace.to_dict()
+
+    def test_section_directory_covers_the_body(self, syn_trace, tmp_path):
+        path = str(tmp_path / f"run{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path)
+        body_start, entries = _body_start(path)
+        assert entries, "v3 segment must carry a section directory"
+        names = {entry.name for entry in entries}
+        assert "pid_map" in names and "string table" in names
+        assert any(name.startswith("ros column") for name in names)
+        # sections tile the body exactly: sorted by offset, no gaps
+        ordered = sorted(entries, key=lambda entry: entry.offset)
+        expected = 0
+        for entry in ordered:
+            assert entry.offset == expected
+            expected += entry.comp_len
+        assert body_start + expected == os.path.getsize(path)
+
+    def test_v1_v2_have_no_section_directory(self, syn_trace, tmp_path):
+        for version in (1, 2):
+            path = str(tmp_path / f"v{version}{SEGMENT_SUFFIX}")
+            write_segment(syn_trace, path, format_version=version)
+            assert peek_sections(path) == []
+
+    def test_writer_keeps_incompressible_sections_raw(self, syn_trace, tmp_path):
+        """Uncompressed writes mark every section raw; no stream should
+        be stored deflated when deflate does not shrink it."""
+        path = str(tmp_path / f"raw{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path, compress=False)
+        _, entries = _body_start(path)
+        assert all(entry.comp == 0 for entry in entries)
+        assert all(entry.comp_len == entry.raw_len for entry in entries)
+
+
+# ---------------------------------------------------------------------------
+# Selective I/O: the bytes_inflated counter
+# ---------------------------------------------------------------------------
+
+
+class TestSelectiveIO:
+    def test_read_pid_map_matches_trace_without_body(self, syn_trace, tmp_path):
+        path = str(tmp_path / f"run{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path)
+        assert read_pid_map(path) == syn_trace.pid_map
+
+    def test_partial_reads_inflate_strict_subsets(self, syn_trace, tmp_path):
+        path = str(tmp_path / f"run{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path)
+
+        full = SegmentReader.open(path)
+        full.to_trace()
+        opened = SegmentReader.open(path)
+        walk = SegmentReader.open(path)
+        for _ in walk.walk_rows(0):
+            pass
+        analysis = SegmentReader.open(path)
+        analysis.sched_pid_columns()
+        for _ in analysis.wakeup_ts_pid_rows():
+            pass
+
+        assert 0 < full.bytes_inflated <= full.body_bytes
+        assert opened.bytes_inflated < walk.bytes_inflated < full.bytes_inflated
+        assert analysis.bytes_inflated < full.bytes_inflated
+
+    def test_pid_subset_walk_inflates_less_than_full_decode(
+        self, syn_trace, tmp_path
+    ):
+        path = str(tmp_path / f"run{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path)
+        pids = sorted(syn_trace.pid_map)
+        reader = SegmentReader.open(path)
+        StoreTraceIndex([reader], wanted_pids=pids[:1])
+        baseline = SegmentReader.open(path)
+        baseline.to_trace()
+        assert reader.bytes_inflated < baseline.bytes_inflated
+
+    def test_uncompressed_segment_inflates_nothing(self, syn_trace, tmp_path):
+        path = str(tmp_path / f"raw{SEGMENT_SUFFIX}")
+        write_segment(syn_trace, path, compress=False)
+        reader = SegmentReader.open(path)
+        assert reader.to_trace().to_dict() == syn_trace.to_dict()
+        assert reader.bytes_inflated == 0
+
+
+# ---------------------------------------------------------------------------
+# Upgrade paths + mixed-version stores
+# ---------------------------------------------------------------------------
+
+
+class TestUpgradeToV3:
+    def _store(self, traces, directory, version):
+        os.makedirs(directory, exist_ok=True)
+        for index, trace in enumerate(traces):
+            write_segment(
+                trace,
+                os.path.join(directory, f"run{index:03d}{SEGMENT_SUFFIX}"),
+                format_version=version,
+            )
+        return TraceStore(directory)
+
+    @pytest.mark.parametrize("source_version", [1, 2])
+    def test_upgrade_to_v3_round_trip(
+        self, fusion_traces, tmp_path, source_version
+    ):
+        store = self._store(
+            fusion_traces[:3], str(tmp_path / "s"), source_version
+        )
+        before = {r: store.load(r).to_dict() for r in store.run_ids()}
+        written = store.convert_legacy(upgrade=True)
+        assert len(written) == 3
+        assert all(store.format_version(r) == 3 for r in store.run_ids())
+        assert {r: store.load(r).to_dict() for r in store.run_ids()} == before
+        # idempotent: v3 segments are current, nothing to do
+        assert store.convert_legacy(upgrade=True) == []
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_mixed_v1_v2_v3_legacy_store_synthesis(
+        self, fusion_traces, tmp_path, jobs
+    ):
+        """One run per format in one directory -- synthesis stays
+        byte-identical to the in-memory pipeline at any jobs value."""
+        directory = str(tmp_path / "mixed")
+        os.makedirs(directory)
+        for index, version in enumerate((1, 2, 3)):
+            write_segment(
+                fusion_traces[index],
+                os.path.join(directory, f"run{index:03d}{SEGMENT_SUFFIX}"),
+                format_version=version,
+            )
+        save_trace(
+            fusion_traces[3], os.path.join(directory, f"run003{TRACE_SUFFIX}")
+        )
+        store = TraceStore(directory)
+        assert [store.format_version(r) for r in store.run_ids()] == [1, 2, 3, None]
+        expected = synthesize_from_trace(Trace.merge(fusion_traces))
+        actual = synthesize_from_store(store, jobs=jobs)
+        assert dag_to_json(actual) == dag_to_json(expected)
+        assert to_dot(actual) == to_dot(expected)
+
+
+# ---------------------------------------------------------------------------
+# Golden v3 fixture: committed v3 bytes can never silently regress
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenV3Fixture:
+    def test_committed_v3_segment_decodes(self):
+        """The committed v3 bytes must stay readable forever; they
+        describe the same trace as the golden v1 fixture pair, tying
+        all committed format generations to one ground truth."""
+        reader = SegmentReader.open(str(DATA_DIR / "golden_v3.trace.bin"))
+        assert reader.version == 3
+        expected = load_trace(str(DATA_DIR / "golden_v1.trace.json.gz"))
+        assert reader.to_trace().to_dict() == expected.to_dict()
+
+    def test_committed_v1_segment_upgrades_to_v3(self, tmp_path):
+        directory = str(tmp_path / "s")
+        os.makedirs(directory)
+        shutil.copy(
+            DATA_DIR / "golden_v1.trace.bin",
+            os.path.join(directory, f"golden{SEGMENT_SUFFIX}"),
+        )
+        store = TraceStore(directory)
+        store.convert_legacy(upgrade=True)
+        assert store.format_version("golden") == 3
+        expected = load_trace(str(DATA_DIR / "golden_v1.trace.json.gz"))
+        assert store.load("golden").to_dict() == expected.to_dict()
+
+    def test_committed_v3_sections_stay_selective(self):
+        path = str(DATA_DIR / "golden_v3.trace.bin")
+        entries = peek_sections(path)
+        assert any(entry.comp == SECTION_COMP_ZLIB for entry in entries)
+        reader = SegmentReader.open(path)
+        for _ in reader.walk_rows(0):
+            pass
+        assert 0 < reader.bytes_inflated < reader.body_bytes
+
+
+# ---------------------------------------------------------------------------
+# The uncompressed segment cache
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentCache:
+    def _recorded_store(self, traces, directory, cache_dir=None):
+        os.makedirs(directory, exist_ok=True)
+        for index, trace in enumerate(traces):
+            write_segment(
+                trace, os.path.join(directory, f"run{index:03d}{SEGMENT_SUFFIX}")
+            )
+        return TraceStore(directory, cache_dir=cache_dir)
+
+    def test_cached_open_is_equivalent_and_inflates_nothing(
+        self, fusion_traces, tmp_path
+    ):
+        directory = str(tmp_path / "s")
+        cache = str(tmp_path / "cache")
+        plain = self._recorded_store(fusion_traces[:2], directory)
+        cached = TraceStore(directory, cache_dir=cache)
+        for run_id in plain.run_ids():
+            assert (
+                cached.load(run_id).to_dict() == plain.load(run_id).to_dict()
+            )
+        reader = cached.open(plain.run_ids()[0])
+        reader.to_trace()
+        assert reader.bytes_inflated == 0
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_cached_synthesis_is_byte_identical(
+        self, fusion_traces, tmp_path, jobs
+    ):
+        directory = str(tmp_path / "s")
+        cache = str(tmp_path / "cache")
+        self._recorded_store(fusion_traces[:3], directory)
+        expected = synthesize_from_trace(Trace.merge(fusion_traces[:3]))
+        actual = synthesize_from_store(
+            TraceStore(directory, cache_dir=cache), jobs=jobs
+        )
+        assert dag_to_json(actual) == dag_to_json(expected)
+        assert to_dot(actual) == to_dot(expected)
+
+    def test_warm_cache_is_idempotent(self, fusion_traces, tmp_path):
+        directory = str(tmp_path / "s")
+        cache = str(tmp_path / "cache")
+        store = self._recorded_store(fusion_traces[:2], directory, cache)
+        first = store.warm_cache()
+        assert len(first) == 2
+        assert sorted(os.listdir(cache)) == sorted(
+            os.path.basename(p) for p in first
+        )
+        assert store.warm_cache() == first  # reuses, no rewrite
+
+    def test_warm_cache_without_cache_dir_raises(self, fusion_traces, tmp_path):
+        store = self._recorded_store(fusion_traces[:1], str(tmp_path / "s"))
+        with pytest.raises(Exception, match="cache"):
+            store.warm_cache()
+
+    def test_stale_cache_entries_are_swept(self, fusion_traces, tmp_path):
+        directory = str(tmp_path / "s")
+        cache = str(tmp_path / "cache")
+        store = self._recorded_store(fusion_traces[:1], directory, cache)
+        store.warm_cache()
+        (old_entry,) = os.listdir(cache)
+        # rewrite the run with different content: size/mtime key changes
+        write_segment(
+            fusion_traces[1],
+            os.path.join(directory, f"run000{SEGMENT_SUFFIX}"),
+        )
+        fresh = TraceStore(directory, cache_dir=cache)
+        assert fresh.load("run000").to_dict() == fusion_traces[1].to_dict()
+        entries = os.listdir(cache)
+        assert len(entries) == 1 and entries[0] != old_entry
+
+    def test_convert_cache_cli(self, fusion_traces, tmp_path, capsys):
+        directory = str(tmp_path / "s")
+        cache = str(tmp_path / "cache")
+        os.makedirs(directory)
+        write_segment(
+            fusion_traces[0],
+            os.path.join(directory, f"run000{SEGMENT_SUFFIX}"),
+            format_version=1,
+        )
+        assert main(
+            ["convert", directory, "--upgrade", "--cache", cache]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "format v3" in out
+        assert "cached 1 uncompressed segment(s)" in out
+        assert len(os.listdir(cache)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Per-section error diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestSectionErrorDiagnostics:
+    def _write(self, trace, tmp_path, name="seg"):
+        path = str(tmp_path / f"{name}{SEGMENT_SUFFIX}")
+        write_segment(trace, path)
+        return path
+
+    def test_corrupt_section_names_path_section_and_offset(
+        self, syn_trace, tmp_path
+    ):
+        path = self._write(syn_trace, tmp_path)
+        body_start, entries = _body_start(path)
+        entry = next(
+            e for e in entries
+            if e.comp == SECTION_COMP_ZLIB and e.comp_len > 20
+        )
+        with open(path, "r+b") as handle:
+            handle.seek(body_start + entry.offset + 5)
+            handle.write(b"\x00" * 10)
+        with pytest.raises(StoreFormatError) as excinfo:
+            SegmentReader.open(path).to_trace()
+        message = str(excinfo.value)
+        assert path in message
+        assert entry.name in message
+        assert str(body_start + entry.offset) in message
+
+    def test_truncated_section_names_path_section_and_offset(
+        self, syn_trace, tmp_path
+    ):
+        path = self._write(syn_trace, tmp_path)
+        body_start, entries = _body_start(path)
+        last = max(
+            (entry for entry in entries if entry.comp_len > 0),
+            key=lambda entry: entry.offset,
+        )
+        cut = body_start + last.offset + last.comp_len // 2
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+        # the directory-vs-file-size check catches this at open();
+        # either way the diagnostic names the path and the truncation
+        with pytest.raises(StoreFormatError) as excinfo:
+            SegmentReader.open(path).to_trace()
+        message = str(excinfo.value)
+        assert path in message and "truncated" in message
+
+    def test_section_errors_never_leak_raw_exceptions(self, syn_trace, tmp_path):
+        """Stomping any deflated section stream must diagnose as
+        StoreFormatError, never a bare zlib.error / struct.error.
+        (Raw sections hold plain values -- garbage there is semantic,
+        not a stream decode failure, and out of this contract.)"""
+        pristine = self._write(syn_trace, tmp_path)
+        body_start, entries = _body_start(pristine)
+        raw = open(pristine, "rb").read()
+        for index, entry in enumerate(entries):
+            if entry.comp != SECTION_COMP_ZLIB or entry.comp_len < 4:
+                continue
+            stomped = bytearray(raw)
+            start = body_start + entry.offset
+            middle = start + entry.comp_len // 2
+            stomped[middle:middle + 4] = b"\xff\x00\xff\x00"
+            path = str(tmp_path / f"stomp{index}{SEGMENT_SUFFIX}")
+            with open(path, "wb") as handle:
+                handle.write(bytes(stomped))
+            try:
+                reader = SegmentReader.open(path)
+                reader.to_trace()
+                for _ in reader.walk_rows(0):
+                    pass
+            except StoreFormatError:
+                pass  # the only acceptable failure type
+            except (zlib.error, struct.error) as error:  # pragma: no cover
+                pytest.fail(
+                    f"section {entry.name}: raw {type(error).__name__} leaked"
+                )
+
+    def test_corrupt_pid_map_section_diagnoses_in_read_pid_map(
+        self, syn_trace, tmp_path
+    ):
+        path = self._write(syn_trace, tmp_path)
+        body_start, entries = _body_start(path)
+        entry = next(e for e in entries if e.name == "pid_map")
+        with open(path, "r+b") as handle:
+            handle.seek(body_start + entry.offset + 2)
+            handle.write(b"\xff" * min(8, max(1, entry.comp_len - 2)))
+        with pytest.raises(StoreFormatError) as excinfo:
+            read_pid_map(path)
+        assert "pid_map" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# store-info --json
+# ---------------------------------------------------------------------------
+
+
+class TestStoreInfoJson:
+    def test_json_document_is_stable_and_sectioned(
+        self, fusion_traces, tmp_path, capsys
+    ):
+        directory = str(tmp_path / "s")
+        os.makedirs(directory)
+        write_segment(
+            fusion_traces[0],
+            os.path.join(directory, f"run000{SEGMENT_SUFFIX}"),
+        )
+        write_segment(
+            fusion_traces[1],
+            os.path.join(directory, f"run001{SEGMENT_SUFFIX}"),
+            format_version=2,
+        )
+        assert main(["store-info", directory, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["directory"] == directory
+        assert [run["run_id"] for run in payload["runs"]] == ["run000", "run001"]
+        v3_run, v2_run = payload["runs"]
+        assert v3_run["format_version"] == 3
+        assert v3_run["events"] > 0 and v3_run["bytes_per_event"] > 0
+        names = [section["name"] for section in v3_run["sections"]]
+        assert "pid_map" in names and "string table" in names
+        stored = sum(section["stored_bytes"] for section in v3_run["sections"])
+        assert stored <= v3_run["size_bytes"]
+        assert "sections" not in v2_run  # v1/v2 have no directory
+        assert payload["total_events"] == sum(
+            run["events"] for run in payload["runs"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# walk_fastpath reassembly + InMemorySegment parity (property tests)
+# ---------------------------------------------------------------------------
+
+
+PROBES = st.sampled_from(
+    [
+        sorted(CB_START_PROBES)[0],
+        P3_TIMER_CALL,
+        P6_TAKE,
+        P16_DDS_WRITE,
+        "custom:probe",  # code 0: dropped by walks, kept by round trips
+    ]
+)
+
+_SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.text(max_size=6),
+)
+
+# Association fields ("cb_id", "topic", "src_ts") must stay hashable --
+# Alg. 1 keys its write/dispatch tables on them -- so nested containers
+# (which force the SHAPE_JSON fallback rows) ride on a neutral key.
+PAYLOADS = st.dictionaries(
+    st.sampled_from(["cb_id", "topic", "src_ts"]), _SCALARS, max_size=3
+).flatmap(
+    lambda base: st.one_of(
+        st.just(base),
+        st.fixed_dictionaries(
+            {"odd key": st.lists(st.integers(), max_size=2)}
+        ).map(lambda extra: {**base, **extra}),
+    )
+)
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    single_pid = draw(st.booleans())
+    events = []
+    ts = 0
+    for _ in range(n):
+        ts += draw(st.integers(min_value=0, max_value=50))
+        pid = 7 if single_pid else draw(st.integers(min_value=1, max_value=3))
+        events.append(
+            TraceEvent(ts, pid, draw(PROBES), draw(PAYLOADS))
+        )
+    return Trace(
+        ros_events=events,
+        pid_map={1: "a", 2: None, 3: "c", 7: "solo"},
+        start_ts=0,
+        stop_ts=ts + 1,
+    )
+
+
+def _rows_from_fastpath(reader, order):
+    """Reassemble walk rows from the raw fastpath columns -- an
+    independent re-derivation the generator must match exactly."""
+    from repro.core.index import (
+        CODE_CB_START,
+        CODE_TAKE_TYPE_ERASED,
+        CODE_TIMER_CALL,
+    )
+
+    kind, cols = reader.walk_fastpath()
+    out = []
+    if kind == 2:
+        (
+            ts_col, pid_col, probe_col, shape_col, vidx_col,
+            codes, start_types, shapes, json_payload,
+        ) = cols
+        n_shapes = len(shapes)
+        for i in range(len(ts_col)):
+            string_id = probe_col[i]
+            code = codes[string_id]
+            if CODE_TIMER_CALL <= code <= CODE_TAKE_TYPE_ERASED:
+                sid = shape_col[i]
+                if sid < n_shapes:
+                    aux = shapes[sid].rows()[vidx_col[i]]
+                elif sid == SHAPE_JSON:
+                    aux = json_payload(vidx_col[i])
+                else:
+                    aux = {}
+            elif code == CODE_CB_START:
+                aux = start_types[string_id]
+            else:
+                aux = None
+            out.append((ts_col[i], order, i, pid_col[i], code, aux))
+        return out
+    (
+        ts_col, pid_col, probe_col, data_col,
+        codes, start_types, _payload_cache, payload,
+    ) = cols
+    for i in range(len(ts_col)):
+        string_id = probe_col[i]
+        code = codes[string_id]
+        if CODE_TIMER_CALL <= code <= CODE_TAKE_TYPE_ERASED:
+            aux = payload(data_col[i])
+        elif code == CODE_CB_START:
+            aux = start_types[string_id]
+        else:
+            aux = None
+        out.append((ts_col[i], order, i, pid_col[i], code, aux))
+    return out
+
+
+class TestWalkFastpathProperties:
+    @given(trace=traces())
+    @settings(max_examples=60, deadline=None)
+    def test_fastpath_reassembles_to_walk_rows(self, trace):
+        reference = list(InMemorySegment(trace).walk_rows(0))
+        for version in (1, 2, 3):
+            reader = SegmentReader(
+                encode_trace(trace, format_version=version)
+            )
+            assert list(reader.walk_rows(0)) == reference
+            assert _rows_from_fastpath(reader, 0) == reference
+
+    @given(trace=traces())
+    @settings(max_examples=30, deadline=None)
+    def test_store_index_ignores_numpy_availability(self, trace, ):
+        def build(version):
+            return StoreTraceIndex(
+                [SegmentReader(encode_trace(trace, format_version=version))]
+            )
+
+        saved_np, saved_floor = npcompat.np, npcompat.MIN_VECTOR_ROWS
+        try:
+            npcompat.MIN_VECTOR_ROWS = 1  # force vector path when numpy
+            vectored = {v: build(v) for v in (2, 3)}
+            npcompat.np = None  # scalar path
+            scalar = {v: build(v) for v in (2, 3)}
+        finally:
+            npcompat.np, npcompat.MIN_VECTOR_ROWS = saved_np, saved_floor
+        for version in (2, 3):
+            a, b = vectored[version], scalar[version]
+            assert a.pids() == b.pids()
+            for pid in a.pids():
+                assert a.walk_for_pid(pid) == b.walk_for_pid(pid)
+            assert a.writes == b.writes
+            assert a.writer_cb == b.writer_cb
+            assert a.take_responses == b.take_responses
+            assert a.dispatch_after == b.dispatch_after
+
+
+class TestNoNumpySynthesis:
+    def test_scenario_synthesis_matches_without_numpy(self, syn_trace, tmp_path):
+        directory = str(tmp_path / "s")
+        os.makedirs(directory)
+        write_segment(
+            syn_trace, os.path.join(directory, f"run000{SEGMENT_SUFFIX}")
+        )
+        expected = synthesize_from_trace(syn_trace)
+        saved = npcompat.np
+        try:
+            npcompat.np = None
+            degraded = synthesize_from_store(TraceStore(directory), jobs=1)
+        finally:
+            npcompat.np = saved
+        vectored = synthesize_from_store(TraceStore(directory), jobs=1)
+        assert dag_to_json(degraded) == dag_to_json(expected)
+        assert dag_to_json(vectored) == dag_to_json(expected)
+
+    def test_exec_time_vector_floor_forced(self, syn_trace):
+        """Every Alg. 2 window answered by the vectorized integral must
+        equal the scalar fold on a real scenario's sched stream."""
+        from repro.core.exec_time import SchedIndex
+
+        index = SchedIndex(syn_trace.sched_events)
+        saved = npcompat.MIN_VECTOR_ROWS
+        windows = []
+        for pid in index.pids()[:6]:
+            times, _flags = index._buckets[pid]
+            if len(times) < 2:
+                continue
+            windows.append((times[0], times[-1], pid))
+            mid = len(times) // 2
+            windows.append((times[mid] - 1, times[mid] + 1, pid))
+        try:
+            npcompat.MIN_VECTOR_ROWS = 10 ** 9  # scalar everywhere
+            scalar = [index.exec_time(*w) for w in windows]
+            npcompat.MIN_VECTOR_ROWS = 0  # vector everywhere
+            vector = [
+                SchedIndex(syn_trace.sched_events).exec_time(*w)
+                for w in windows
+            ]
+        finally:
+            npcompat.MIN_VECTOR_ROWS = saved
+        assert scalar == vector
