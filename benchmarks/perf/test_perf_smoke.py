@@ -2,9 +2,9 @@
 
 Runs the full suite at the reduced ``smoke`` scale (a couple of
 seconds), prints the report for comparison with the committed
-``BENCH_6.smoke.json`` baseline, and sanity-checks the
+``BENCH_7.smoke.json`` baseline, and sanity-checks the
 machine-independent speedup ratios.  CI's perf-smoke job additionally runs
-``repro perf --check BENCH_6.smoke.json`` to fail on >2x regressions.
+``repro perf --check BENCH_7.smoke.json`` to fail on >2x regressions.
 
 Set ``REPRO_FULL=1`` to run at the ``full`` scale instead.
 """
@@ -22,7 +22,7 @@ SCALE = "full" if os.environ.get("REPRO_FULL", "") == "1" else "smoke"
 
 #: Baselines are per-scale: speedup ratios shrink with trace size, so a
 #: smoke run is only comparable to the committed smoke-scale baseline.
-BASELINE_PATH = REPO_ROOT / ("BENCH_6.smoke.json" if SCALE == "smoke" else "BENCH_6.json")
+BASELINE_PATH = REPO_ROOT / ("BENCH_7.smoke.json" if SCALE == "smoke" else "BENCH_7.json")
 
 
 @pytest.fixture(scope="module")
@@ -96,10 +96,21 @@ def test_selective_reads_inflate_a_strict_subset(suite):
     assert sel["walk_fraction"] < 0.9
 
 
+def test_service_ingest_beats_per_commit_rebuild(suite):
+    """In-order arrivals must take the extend fast path, and the
+    incremental maintenance must beat rebuilding from scratch at every
+    commit (both sides do identical model extraction per commit; only
+    the rebuild re-consumes every prior segment's columns)."""
+    ingest = suite["service"]["ingest"]
+    assert ingest["extends"] == ingest["runs"]
+    assert ingest["rebuilds"] == 0
+    assert ingest["speedup_vs_rebuild"] > 1.0
+
+
 def test_no_regression_vs_committed_baseline(suite):
     """The >2x gate CI enforces, exercised in-process as well."""
     if not BASELINE_PATH.exists():
-        pytest.skip("no committed BENCH_6 baseline")
+        pytest.skip("no committed BENCH_7 baseline")
     committed = json.loads(BASELINE_PATH.read_text())
     failures = check_regression(suite, committed, factor=2.0)
     assert failures == [], "\n".join(failures)

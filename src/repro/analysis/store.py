@@ -77,15 +77,24 @@ def _store_rows(
 
 
 def latency_index_from_store(
-    store: StoreLike, pids: Optional[Iterable[int]] = None
+    store: StoreLike,
+    pids: Optional[Iterable[int]] = None,
+    run_ids: Optional[Sequence[str]] = None,
 ) -> LatencyIndex:
     """Build a :class:`LatencyIndex` by streaming a store's segments.
 
     ``pids`` restricts the analysis to those nodes' events (takes,
     writes and windows of other PIDs are then invisible, exactly as if
-    the in-memory trace had been filtered before indexing).
+    the in-memory trace had been filtered before indexing).  ``run_ids``
+    restricts it to a frozen run list in the given order -- how a live
+    service snapshot analyzes exactly its retained runs while newer
+    segments keep landing in the same directory.
     """
-    readers = as_store(store).readers()
+    resolved = as_store(store)
+    if run_ids is None:
+        readers = resolved.readers()
+    else:
+        readers = [resolved.open(run_id) for run_id in run_ids]
     wanted = None if pids is None else frozenset(pids)
     # Two int columns per segment instead of SchedWakeup objects (on v3
     # the other three wakeup streams never inflate); heapq.merge breaks

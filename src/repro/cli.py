@@ -11,12 +11,20 @@ Usage::
     python -m repro scenarios
     python -m repro batch <scenario> [--runs 8] [--jobs 4] [--duration 10]
                           [--seed 1000] [--dot out.dot] [--json out.json]
-    python -m repro record <scenario> --out DIR [--runs 8] [--jobs 4]
-                          [--duration 10] [--seed 1000] [--segment-every 1.0]
-                          [--force] [--format-version 3]
+    python -m repro record <scenario> [--out DIR] [--push ADDR] [--runs 8]
+                          [--jobs 4] [--duration 10] [--seed 1000]
+                          [--segment-every 1.0] [--force] [--format-version 3]
     python -m repro synthesize DIR [--jobs 4] [--strategy merge-traces]
                           [--pids 1,2,...] [--dot out.dot] [--json out.json]
-    python -m repro store-info DIR [--json]
+    python -m repro store-info DIR [--json] [--watch] [--interval 0.5]
+                          [--watch-count N]
+    python -m repro serve DIR [--socket 127.0.0.1:0] [--drop-dir DIR]
+                          [--retain-window N] [--poll-interval 0.5]
+                          [--max-seconds S] [--log FILE]
+    python -m repro ingest ADDR FILE [FILE ...] [--remove]
+    python -m repro query ADDR {status,model,chains,latency,store-info,
+                          ping,shutdown} [--format dot] [--out FILE]
+                          [--topics a,b] [--sources k1] [--sinks k2]
     python -m repro convert DIR [--remove] [--upgrade] [--format-version 3]
                           [--cache DIR]
     python -m repro diff OLD NEW [--drift-threshold 0.10] [--percentile 99]
@@ -43,6 +51,14 @@ and ``convert`` re-encodes legacy gzip-JSON runs -- and, with
 ``--upgrade``, older binary segments -- into the current segment
 format; ``--cache DIR`` additionally materializes the store's
 mmap-ready uncompressed segment cache.
+
+``serve`` runs the live synthesis service over a store directory:
+segments arriving over the socket (``repro record --push``, ``repro
+ingest``) or a watched drop directory fold incrementally into the
+maintained timing model, which ``query`` reads back (``model`` /
+``chains`` / ``latency`` / ``store-info`` / ``status``) while ingestion
+continues.  ``store-info --watch`` re-prints the listing whenever the
+directory changes -- in-flight staging files are never listed.
 
 ``diff`` compares two timing models -- each side a store directory
 (synthesized out-of-core), one recorded run of a store (``--old-run`` /
@@ -194,8 +210,12 @@ def _positive_int(text: str) -> int:
 
 def _cmd_record(args) -> int:
     from .experiments.batch import BatchConfig as _BatchConfig
+    from .service.client import ServiceError
     from .store import record_batch
 
+    if args.out is None and args.push is None:
+        print("error: record needs --out and/or --push", file=sys.stderr)
+        return 2
     duration_ns = int(args.duration * SEC) if args.duration is not None else None
     segment_every = (
         int(args.segment_every * SEC) if args.segment_every is not None else None
@@ -206,32 +226,51 @@ def _cmd_record(args) -> int:
         base_seed=args.seed,
         segment_every_ns=segment_every,
     )
+    tempdir = None
+    out = args.out
+    if out is None:
+        # Push-only recording: segments live in the service's store; the
+        # local copies are staging only.
+        import tempfile
+
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-record-")
+        out = tempdir.name
     try:
-        result = record_batch(
-            args.scenario, runs=args.runs, directory=args.out, jobs=args.jobs,
-            config=config, force=args.force,
-            format_version=args.format_version,
-        )
-    except ValueError as error:
-        # E.g. recording over a store that already holds the run ids:
-        # a clear refusal, not a traceback (--force overrides).
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(
-        f"recorded {args.scenario} -- {len(result.runs)} run(s) on "
-        f"{result.jobs} worker(s) -> {result.directory}\n"
-    )
-    print(f"{'run':<10} {'ros events':>10} {'sched events':>12} {'bytes':>10}")
-    for run in result.runs:
+        try:
+            result = record_batch(
+                args.scenario, runs=args.runs, directory=out, jobs=args.jobs,
+                config=config, force=args.force,
+                format_version=args.format_version,
+                push_to=args.push,
+            )
+        except (ValueError, OSError, ServiceError) as error:
+            # E.g. recording over a store that already holds the run ids
+            # (--force overrides), or an unreachable --push endpoint: a
+            # clear refusal, not a traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        destination = args.push if args.out is None else result.directory
         print(
-            f"{run.run_id:<10} {run.ros_events:>10} "
-            f"{run.sched_events:>12} {run.bytes_written:>10}"
+            f"recorded {args.scenario} -- {len(result.runs)} run(s) on "
+            f"{result.jobs} worker(s) -> {destination}\n"
         )
-    print(
-        f"\ntotal {result.total_events} events, {result.total_bytes} bytes "
-        f"({result.total_bytes / max(1, result.total_events):.1f} B/event)"
-    )
-    return 0
+        print(f"{'run':<10} {'ros events':>10} {'sched events':>12} {'bytes':>10}")
+        for run in result.runs:
+            print(
+                f"{run.run_id:<10} {run.ros_events:>10} "
+                f"{run.sched_events:>12} {run.bytes_written:>10}"
+            )
+        print(
+            f"\ntotal {result.total_events} events, {result.total_bytes} bytes "
+            f"({result.total_bytes / max(1, result.total_events):.1f} B/event)"
+        )
+        if args.push is not None:
+            pushed = sum(1 for run in result.runs if run.pushed)
+            print(f"pushed {pushed} segment(s) to {args.push}")
+        return 0
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()
 
 
 def _parse_pids(text: str) -> List[int]:
@@ -282,19 +321,9 @@ def _cmd_synthesize(args) -> int:
     return 0
 
 
-def _cmd_store_info(args) -> int:
-    from .store import StoreError, StoreFormatError, TraceStore
-
-    try:
-        store = TraceStore(args.store, allow_empty=True, strict=args.strict)
-        infos = store.run_infos()
-    except (FileNotFoundError, StoreError, StoreFormatError) as error:
-        # An unreadable run fails the listing under the default strict
-        # mode; --no-strict downgrades it to a warning + skip.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if args.as_json:
-        return _store_info_json(store, infos)
+def _print_store_infos(store, infos) -> None:
+    """The human-readable ``store-info`` table (shared by the one-shot
+    listing and every ``--watch`` reprint)."""
     print(f"trace store {store.directory} -- {len(infos)} run(s)\n")
     print(
         f"{'run':<12} {'format':>8} {'events':>9} {'ros':>9} {'sched':>9} "
@@ -318,6 +347,64 @@ def _cmd_store_info(args) -> int:
             f"({totals['bytes'] / max(1, totals['events']):.1f} B/event), "
             f"formats: {', '.join(sorted(versions))}"
         )
+
+
+def _store_info_watch(store, args) -> int:
+    """``store-info --watch``: poll the directory and re-print whenever
+    the committed run set changes.  Only finished segments participate
+    -- writers' in-flight ``*.tmp`` staging files are invisible to the
+    store scan, so a listing never reads a half-written run."""
+    import time as time_module
+
+    from .store import StoreError, StoreFormatError
+
+    printed = 0
+    signature = None
+    while True:
+        store.refresh()
+        try:
+            infos = store.run_infos()
+        except (StoreError, StoreFormatError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        current = tuple(
+            (info.run_id, info.format_version, info.size_bytes)
+            for info in infos
+        )
+        if current != signature:
+            signature = current
+            if printed:
+                print()
+            if args.as_json:
+                _store_info_json(store, infos)
+            else:
+                _print_store_infos(store, infos)
+            sys.stdout.flush()
+            printed += 1
+            if args.watch_count is not None and printed >= args.watch_count:
+                return 0
+        time_module.sleep(args.interval)
+
+
+def _cmd_store_info(args) -> int:
+    from .store import StoreError, StoreFormatError, TraceStore
+
+    try:
+        store = TraceStore(args.store, allow_empty=True, strict=args.strict)
+        infos = store.run_infos()
+    except (FileNotFoundError, StoreError, StoreFormatError) as error:
+        # An unreadable run fails the listing under the default strict
+        # mode; --no-strict downgrades it to a warning + skip.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.watch:
+        try:
+            return _store_info_watch(store, args)
+        except KeyboardInterrupt:
+            return 0
+    if args.as_json:
+        return _store_info_json(store, infos)
+    _print_store_infos(store, infos)
     return 0
 
 
@@ -362,6 +449,120 @@ def _store_info_json(store, infos) -> int:
         "total_bytes": total_bytes,
         "bytes_per_event": round(total_bytes / max(1, total_events), 3),
     }, indent=2))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import SynthesisService
+
+    log_handle = open(args.log, "a", buffering=1) if args.log else None
+
+    def log(message: str) -> None:
+        print(message, flush=True)
+        if log_handle is not None:
+            log_handle.write(message + "\n")
+
+    try:
+        try:
+            service = SynthesisService(
+                args.store,
+                retain_window=args.retain_window,
+                drop_dir=args.drop_dir,
+                poll_interval=args.poll_interval,
+                log=log,
+            )
+            counters = service.serve_forever(
+                args.socket, max_seconds=args.max_seconds
+            )
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", flush=True)
+            return 0
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    finally:
+        if log_handle is not None:
+            log_handle.close()
+    print(
+        f"served {counters.queries_served} request(s); "
+        f"{counters.segments_ingested} segment(s) ingested "
+        f"({counters.extends} extend(s), {counters.rebuilds} rebuild(s)), "
+        f"{counters.segments_rejected} rejected, "
+        f"{counters.runs_evicted} run(s) evicted"
+    )
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    import os
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.address)
+    total_events = 0
+    total_bytes = 0
+    for path in args.files:
+        try:
+            result = client.push_file(path)
+        except (OSError, ServiceError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+        total_events += result["events"]
+        total_bytes += result["bytes"]
+        print(
+            f"pushed {result['run_id']} -- {result['events']} events, "
+            f"{result['bytes']} bytes"
+        )
+        if args.remove:
+            os.remove(path)
+    print(
+        f"\n{len(args.files)} segment(s), {total_events} events, "
+        f"{total_bytes} bytes -> {args.address}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as json_module
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.address)
+    try:
+        if args.query == "ping":
+            client.ping()
+            print(f"pong from {args.address}")
+            return 0
+        if args.query == "shutdown":
+            client.shutdown()
+            print(f"shutdown requested at {args.address}")
+            return 0
+        if args.query == "status":
+            text = json_module.dumps(client.status(), indent=2, sort_keys=True)
+        elif args.query == "model":
+            text = client.model(args.format)
+        elif args.query == "chains":
+            text = client.chains_text(sources=args.sources, sinks=args.sinks)
+        elif args.query == "latency":
+            if not args.topics:
+                print("error: query latency needs --topics", file=sys.stderr)
+                return 2
+            text = json_module.dumps(
+                client.latency(args.topics), indent=2, sort_keys=True
+            )
+        else:  # store-info (choices= rejects anything else at parse time)
+            text = json_module.dumps(
+                client.store_info(), indent=2, sort_keys=True
+            )
+    except (OSError, ServiceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
     return 0
 
 
@@ -734,8 +935,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="store seeded scenario runs as binary trace segments",
     )
     record.add_argument("scenario", help="registry name (see `repro scenarios`)")
-    record.add_argument("--out", required=True,
-                        help="store directory (created if missing)")
+    record.add_argument("--out", default=None,
+                        help="store directory (created if missing); optional "
+                             "when --push streams the segments to a live "
+                             "service instead")
+    record.add_argument("--push", metavar="ADDR", default=None,
+                        help="push every finished segment to a `repro serve` "
+                             "endpoint (host:port or unix socket path) right "
+                             "after its local commit")
     record.add_argument("--runs", type=int, default=8)
     record.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes (store identical for any value)")
@@ -788,6 +995,83 @@ def build_parser() -> argparse.ArgumentParser:
                             help="machine-readable output: per-run format "
                                  "version, event counts, bytes, B/event, and "
                                  "per-section sizes for v3 segments")
+    store_info.add_argument("--watch", action="store_true",
+                            help="keep polling the directory and re-print "
+                                 "the listing whenever the committed run set "
+                                 "changes (writers' in-flight *.tmp staging "
+                                 "files never appear)")
+    store_info.add_argument("--interval", type=float, default=0.5,
+                            help="--watch poll interval in seconds "
+                                 "(default 0.5)")
+    store_info.add_argument("--watch-count", type=_positive_int, default=None,
+                            help="stop --watch after this many printed "
+                                 "listings (default: watch until ^C)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live synthesis service over a store directory",
+    )
+    serve.add_argument("store",
+                       help="store directory to serve (created if missing)")
+    serve.add_argument("--socket", default="127.0.0.1:0",
+                       help="listen address: host:port (port 0 picks an "
+                            "ephemeral port, printed as 'listening on ...') "
+                            "or a unix socket path (default 127.0.0.1:0)")
+    serve.add_argument("--drop-dir", default=None,
+                       help="also watch this directory; dropped *.trace.bin "
+                            "files are validated, committed into the store "
+                            "and removed")
+    serve.add_argument("--retain-window", type=_positive_int, default=None,
+                       help="keep only the newest N runs in the live model, "
+                            "evicting older ones (default: retain everything)")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       help="drop-dir / store re-scan cadence in seconds "
+                            "(default 0.5)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="stop serving after this long -- a CI guard "
+                            "(default: serve until a shutdown request)")
+    serve.add_argument("--log", default=None,
+                       help="append the service log to this file as well as "
+                            "stdout")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="push recorded .trace.bin segments to a live service",
+    )
+    ingest.add_argument("address",
+                        help="service endpoint (host:port or unix socket "
+                             "path)")
+    ingest.add_argument("files", nargs="+",
+                        help=".trace.bin segment files to push (run id = "
+                             "file stem)")
+    ingest.add_argument("--remove", action="store_true",
+                        help="delete each local file after a successful push")
+
+    query = sub.add_parser(
+        "query", help="query a running live synthesis service"
+    )
+    query.add_argument("address",
+                       help="service endpoint (host:port or unix socket "
+                            "path)")
+    query.add_argument("query",
+                       choices=["status", "model", "chains", "latency",
+                                "store-info", "ping", "shutdown"],
+                       help="what to ask the service")
+    query.add_argument("--format", default="dot",
+                       choices=["dot", "json", "edges", "exec"],
+                       help="model rendering for the model query "
+                            "(default dot; matches `repro synthesize` "
+                            "byte-for-byte)")
+    query.add_argument("--out", default=None,
+                       help="write the response body to this file instead "
+                            "of stdout")
+    query.add_argument("--topics", type=_parse_keys, default=None,
+                       help="comma-separated topic chain (latency query)")
+    query.add_argument("--sources", type=_parse_keys, default=None,
+                       help="comma-separated chain source keys (chains "
+                            "query)")
+    query.add_argument("--sinks", type=_parse_keys, default=None,
+                       help="comma-separated chain sink keys (chains query)")
 
     convert = sub.add_parser(
         "convert",
@@ -897,6 +1181,9 @@ COMMANDS = {
     "record": _cmd_record,
     "synthesize": _cmd_synthesize,
     "store-info": _cmd_store_info,
+    "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
+    "query": _cmd_query,
     "convert": _cmd_convert,
     "diff": _cmd_diff,
     "analyze": _cmd_analyze,
@@ -906,7 +1193,15 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro ... | head`); swallow the
+        # dangling-flush noise and exit like a well-behaved filter.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -5,6 +5,7 @@ from .bench import (
     SCALES,
     BenchScale,
     bench_jobs_scaling,
+    bench_service_ingest,
     bench_sim,
     bench_store,
     bench_synthesis,
@@ -21,6 +22,7 @@ __all__ = [
     "SCALES",
     "BenchScale",
     "bench_jobs_scaling",
+    "bench_service_ingest",
     "bench_sim",
     "bench_store",
     "bench_synthesis",

@@ -1,6 +1,6 @@
 """Micro + macro performance benchmarks behind ``repro perf``.
 
-Five benchmarks, each reporting wall-clock and a derived throughput:
+Six benchmarks, each reporting wall-clock and a derived throughput:
 
 * **synthesis micro** -- trace -> DAG synthesis on a merged multi-run
   trace (Sec. V strategy 1, the O(P·N) pathology the ``TraceIndex``
@@ -25,7 +25,13 @@ Five benchmarks, each reporting wall-clock and a derived throughput:
   gains stay visible run over run, and a ``selective_read`` sub-section
   reports how few section bytes the v3 layout inflates for partial
   reads (Alg. 1 walk only, sched/wakeup analysis only, PID subsets) via
-  the readers' ``bytes_inflated`` counter.
+  the readers' ``bytes_inflated`` counter;
+* **service ingest** -- the live synthesis service's incremental
+  maintenance: segments committed one at a time into a
+  :class:`~repro.service.live.LiveSynthesizer` (extend-in-place + model
+  per commit) against re-running a from-scratch
+  ``synthesize_from_store`` at every commit point -- the win the
+  ``repro serve`` worker banks on every arrival.
 
 Speedup ratios (new vs frozen legacy, measured in the same process) are
 machine-independent and are what the CI regression gate compares;
@@ -562,6 +568,74 @@ def bench_store(scale: BenchScale) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Service: incremental ingest vs per-commit rebuild
+# ---------------------------------------------------------------------------
+
+def bench_service_ingest(scale: BenchScale) -> Dict[str, Any]:
+    """Live-service maintenance cost per arriving segment.
+
+    Both sides commit the identical pre-encoded segments one at a time
+    and produce a model after every commit; the incremental side folds
+    each arrival into the maintained :class:`LiveStoreIndex`, the
+    rebuild side re-runs ``synthesize_from_store`` from scratch -- what
+    a query-after-every-arrival service would cost without the
+    incremental layer.  Encoding and simulation stay outside the timed
+    regions.
+    """
+    import tempfile
+
+    from ..service.live import LiveSynthesizer, ServiceCounters
+    from ..store import TraceStore, synthesize_from_store
+    from ..store.writer import encode_trace
+
+    duration_ns = scale.batch_duration_s * SEC
+    runs = scale.batch_runs
+    traces = [_simulate(i, duration_ns) for i in range(runs)]
+    events = sum(
+        len(t.ros_events) + len(t.sched_events) + len(t.wakeup_events)
+        for t in traces
+    )
+    blobs = [encode_trace(trace) for trace in traces]
+
+    def deliver(directory: str, index: int) -> None:
+        path = os.path.join(directory, f"run{index:03d}.trace.bin")
+        with open(path, "wb") as handle:
+            handle.write(blobs[index])
+
+    def incremental(counters: Optional[ServiceCounters] = None) -> None:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            live = LiveSynthesizer(TraceStore.create(tmp), counters=counters)
+            for index in range(runs):
+                deliver(tmp, index)
+                live.refresh()
+                live.model()
+
+    def rebuild_every_commit() -> None:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            for index in range(runs):
+                deliver(tmp, index)
+                synthesize_from_store(TraceStore(tmp), jobs=1)
+
+    incremental_s = _best_of(incremental, scale.reps)
+    rebuild_s = _best_of(rebuild_every_commit, scale.reps)
+    counters = ServiceCounters()
+    incremental(counters)  # one instrumented pass for the counters
+
+    return {
+        "runs": runs,
+        "duration_s": scale.batch_duration_s,
+        "events": events,
+        "incremental_s": round(incremental_s, 6),
+        "rebuild_s": round(rebuild_s, 6),
+        "speedup_vs_rebuild": round(rebuild_s / incremental_s, 3),
+        "per_segment_ms": round(incremental_s / runs * 1000, 3),
+        "extends": counters.extends,
+        "rebuilds": counters.rebuilds,
+        "saved_s": round(counters.saved_s, 6),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Suite + regression gate
 # ---------------------------------------------------------------------------
 
@@ -589,6 +663,9 @@ def run_perf_suite(
             "jobs_scaling": bench_jobs_scaling(scale),
         },
         "store": bench_store(scale),
+        "service": {
+            "ingest": bench_service_ingest(scale),
+        },
     }
     if baseline_ref is not None:
         payload["meta"]["baseline_ref"] = baseline_ref
@@ -608,6 +685,7 @@ REGRESSION_METRICS = (
     # Deterministic bytes ratio, not a timing: v3 selective reads must
     # keep inflating far fewer section bytes than a full decode.
     ("store.selective_read.walk_inflate_ratio", "selective walk read inflation ratio"),
+    ("service.ingest.speedup_vs_rebuild", "incremental service ingest vs per-commit rebuild"),
 )
 
 
@@ -722,6 +800,15 @@ def format_report(payload: Dict[str, Any]) -> str:
                 f"pid subset ({sel['pid_subset']}/{sel['pids']} pids) "
                 f"{sel['pid_subset_bytes'] / max(1, sel['full_decode_bytes']) * 100:.0f}%"
             )
+    ingest = payload.get("service", {}).get("ingest")
+    if ingest:
+        lines.append(
+            f"service ingest    ({ingest['runs']} arrivals, "
+            f"{ingest['events']} events): "
+            f"{ingest['per_segment_ms']:.1f} ms/segment incremental, "
+            f"{ingest['speedup_vs_rebuild']:.2f}x vs per-commit rebuild "
+            f"({ingest['extends']} extend(s), {ingest['rebuilds']} rebuild(s))"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,121 @@
+"""Client side of the synthesis service protocol.
+
+One :class:`ServiceClient` call is one connection, one framed request,
+one framed response -- stateless on the wire, so pushers (``repro
+record --push``, ``repro ingest``) and queriers (``repro query``) never
+hold the server's accept loop hostage and a crashed client leaves
+nothing to clean up.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..store.format import SEGMENT_SUFFIX
+from .protocol import connect, recv_message, send_message
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceError(RuntimeError):
+    """The service answered ``ok: false``."""
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` endpoint at ``address``."""
+
+    def __init__(self, address: str, timeout: float = DEFAULT_TIMEOUT_S):
+        self.address = address
+        self.timeout = timeout
+
+    def _request(
+        self, payload: Dict[str, Any], body: bytes = b""
+    ) -> Tuple[Dict[str, Any], bytes]:
+        sock = connect(self.address, timeout=self.timeout)
+        try:
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            send_message(wfile, payload, body)
+            message = recv_message(rfile)
+        finally:
+            sock.close()
+        if message is None:
+            raise ServiceError(
+                f"service at {self.address!r} closed the connection"
+            )
+        response, response_body = message
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "service reported an unknown error")
+            )
+        return response, response_body
+
+    # -- ingest ------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._request({"cmd": "ping"})[0].get("pong"))
+
+    def push_segment(self, run_id: str, data: bytes) -> Dict[str, Any]:
+        return self._request({"cmd": "put", "run_id": run_id}, data)[0]
+
+    def push_file(self, path: str, run_id: Optional[str] = None) -> Dict[str, Any]:
+        if run_id is None:
+            name = os.path.basename(path)
+            if not name.endswith(SEGMENT_SUFFIX):
+                raise ServiceError(
+                    f"{path!r} does not end in {SEGMENT_SUFFIX!r}; "
+                    "pass an explicit run id"
+                )
+            run_id = name[: -len(SEGMENT_SUFFIX)]
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return self.push_segment(run_id, data)
+
+    # -- queries -----------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        response, _ = self._request({"cmd": "status"})
+        response.pop("ok", None)
+        return response
+
+    def model(self, fmt: str = "dot") -> str:
+        _, body = self._request({"cmd": "model", "format": fmt})
+        return body.decode()
+
+    def chains(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        sinks: Optional[Sequence[str]] = None,
+    ) -> List[List[str]]:
+        payload: Dict[str, Any] = {"cmd": "chains"}
+        if sources:
+            payload["sources"] = list(sources)
+        if sinks:
+            payload["sinks"] = list(sinks)
+        return self._request(payload)[0]["chains"]
+
+    def chains_text(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        sinks: Optional[Sequence[str]] = None,
+    ) -> str:
+        payload: Dict[str, Any] = {"cmd": "chains"}
+        if sources:
+            payload["sources"] = list(sources)
+        if sinks:
+            payload["sinks"] = list(sinks)
+        return self._request(payload)[1].decode()
+
+    def latency(self, topics: Sequence[str]) -> Dict[str, Any]:
+        response, _ = self._request({"cmd": "latency", "topics": list(topics)})
+        response.pop("ok", None)
+        return response
+
+    def store_info(self) -> Dict[str, Any]:
+        response, _ = self._request({"cmd": "store-info"})
+        response.pop("ok", None)
+        return response
+
+    def shutdown(self) -> None:
+        self._request({"cmd": "shutdown"})

@@ -111,17 +111,7 @@ class TraceStore:
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         if not os.path.isdir(self.directory):
             raise FileNotFoundError(f"no such trace store: {self.directory!r}")
-        self._files: Dict[str, str] = {}
-        for name in sorted(os.listdir(self.directory)):
-            if name.endswith(SEGMENT_SUFFIX):
-                run_id = name[: -len(SEGMENT_SUFFIX)]
-            elif name.endswith(TRACE_SUFFIX):
-                run_id = name[: -len(TRACE_SUFFIX)]
-                if run_id in self._files:
-                    continue  # binary segment shadows the legacy copy
-            else:
-                continue
-            self._files[run_id] = name
+        self._files: Dict[str, str] = self._scan()
         if not self._files and not allow_empty:
             raise StoreError(
                 f"trace store {self.directory!r} contains no "
@@ -134,6 +124,37 @@ class TraceStore:
         #: binary segments stay uncached (their planning reads are
         #: cheap file-prefix decodes).
         self._legacy_readers: Dict[str, InMemorySegment] = {}
+
+    def _scan(self) -> Dict[str, str]:
+        """Map run id -> file name from one directory listing.  Only the
+        two store suffixes participate, so writers' in-flight staging
+        files (``*.tmp``) are invisible to every listing path."""
+        files: Dict[str, str] = {}
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(SEGMENT_SUFFIX):
+                run_id = name[: -len(SEGMENT_SUFFIX)]
+            elif name.endswith(TRACE_SUFFIX):
+                run_id = name[: -len(TRACE_SUFFIX)]
+                if run_id in files:
+                    continue  # binary segment shadows the legacy copy
+            else:
+                continue
+            files[run_id] = name
+        return files
+
+    def refresh(self) -> List[str]:
+        """Re-list the directory, picking up runs another process added
+        (or removed) after this handle was created; returns the newly
+        discovered run ids, sorted.  Cached legacy readers survive only
+        for runs whose backing file name is unchanged -- a converted or
+        vanished run drops its cache entry."""
+        files = self._scan()
+        added = sorted(run_id for run_id in files if run_id not in self._files)
+        for run_id in list(self._legacy_readers):
+            if files.get(run_id) != self._files.get(run_id):
+                del self._legacy_readers[run_id]
+        self._files = files
+        return added
 
     # -- listing -----------------------------------------------------------
 

@@ -50,6 +50,7 @@ class RecordedRun:
     ros_events: int
     sched_events: int
     bytes_written: int
+    pushed: bool = False
 
 
 @dataclass
@@ -81,9 +82,15 @@ def record_run(
     config: BatchConfig,
     directory: str,
     format_version: int = VERSION,
+    push_to: Optional[str] = None,
 ) -> RecordedRun:
     """One seeded, traced, spooled scenario run -> one binary segment
-    (``format_version`` selects the segment encoding; default v2)."""
+    (``format_version`` selects the segment encoding; default v2).
+
+    ``push_to`` additionally streams the finished segment to a running
+    ``repro serve`` endpoint as soon as it commits locally -- the
+    recorder side of the live-ingestion workflow.
+    """
     spec = build_scenario_spec(
         scenario,
         run_index=run_index,
@@ -139,6 +146,12 @@ def record_run(
     ros_events = spool.num_ros
     sched_events = spool.num_sched
     written = spool.finish_path(path, session.pid_map(), start_ts, stop_ts)
+    pushed = False
+    if push_to is not None:
+        from ..service.client import ServiceClient
+
+        ServiceClient(push_to).push_file(path, run_id=run_id)
+        pushed = True
     return RecordedRun(
         run_index=run_index,
         run_id=run_id,
@@ -146,18 +159,19 @@ def record_run(
         ros_events=ros_events,
         sched_events=sched_events,
         bytes_written=written,
+        pushed=pushed,
     )
 
 
 def _record_shard(
-    args: Tuple[str, Tuple[int, ...], int, BatchConfig, str, int],
+    args: Tuple[str, Tuple[int, ...], int, BatchConfig, str, int, Optional[str]],
 ) -> List[RecordedRun]:
     """Record a shard of run indices (module-level for pickling)."""
-    scenario, run_indices, runs, config, directory, format_version = args
+    scenario, run_indices, runs, config, directory, format_version, push_to = args
     return [
         record_run(
             scenario, run_index, runs, config, directory,
-            format_version=format_version,
+            format_version=format_version, push_to=push_to,
         )
         for run_index in run_indices
     ]
@@ -171,6 +185,7 @@ def record_batch(
     config: Optional[BatchConfig] = None,
     force: bool = False,
     format_version: int = VERSION,
+    push_to: Optional[str] = None,
 ) -> RecordResult:
     """Record ``runs`` seeded runs of ``scenario`` into ``directory``.
 
@@ -184,6 +199,11 @@ def record_batch(
     larger recording) are left in place and will merge into any later
     synthesis over the directory -- delete the directory first when a
     fresh store is wanted.
+
+    ``push_to`` streams every finished segment to a ``repro serve``
+    endpoint right after its local commit; with ``jobs > 1`` each
+    worker pushes its own runs, so segments arrive roughly in
+    completion order, not run order (the service handles either).
     """
     if runs < 1:
         raise ValueError("need at least one run")
@@ -224,7 +244,8 @@ def record_batch(
     jobs = min(jobs, runs)
     if jobs == 1:
         recorded = _record_shard(
-            (scenario, tuple(run_indices), runs, config, directory, format_version)
+            (scenario, tuple(run_indices), runs, config, directory,
+             format_version, push_to)
         )
     else:
         shards = _shard(run_indices, jobs)
@@ -233,7 +254,8 @@ def record_batch(
             for shard_result in pool.map(
                 _record_shard,
                 [
-                    (scenario, tuple(shard), runs, config, directory, format_version)
+                    (scenario, tuple(shard), runs, config, directory,
+                     format_version, push_to)
                     for shard in shards
                 ],
             ):

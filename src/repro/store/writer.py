@@ -437,8 +437,25 @@ class SegmentSpool:
         stop_ts: int,
         compress: bool = True,
     ) -> int:
-        with open(path, "wb") as handle:
-            return self.finish(handle, pid_map, start_ts, stop_ts, compress=compress)
+        """Write the packed segment at ``path`` via a same-directory
+        staging file + atomic rename, so a crashed or killed writer can
+        never leave a truncated segment at the final name -- concurrent
+        store readers (``TraceStore(strict=True)``, the live ingest
+        service) see either the complete file or nothing."""
+        staging = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(staging, "wb") as handle:
+                written = self.finish(
+                    handle, pid_map, start_ts, stop_ts, compress=compress
+                )
+            os.replace(staging, path)
+        finally:
+            if os.path.exists(staging):
+                try:
+                    os.remove(staging)
+                except OSError:  # pragma: no cover - cleanup best effort
+                    pass
+        return written
 
 
 def write_segment(
