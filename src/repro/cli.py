@@ -8,9 +8,13 @@ Usage::
     python -m repro table2 [--runs 50] [--duration 10] [--jobs 4]
     python -m repro fig4   [--runs 50] [--duration 10] [--jobs 4]
     python -m repro overhead [--duration 60]
-    python -m repro scenarios
+    python -m repro scenarios [--json]
     python -m repro batch <scenario> [--runs 8] [--jobs 4] [--duration 10]
-                          [--seed 1000] [--dot out.dot] [--json out.json]
+                          [--seed 1000] [--policy psjf] [--dot out.dot]
+                          [--json out.json]
+    python -m repro fuzz  [--seed 0] [--count 100] [--policy edf ...]
+                          [--jobs 4] [--duration 1.5] [--fail-dir DIR]
+                          [--replay FILE]
     python -m repro record <scenario> [--out DIR] [--push ADDR] [--runs 8]
                           [--jobs 4] [--duration 10] [--seed 1000]
                           [--segment-every 1.0] [--force] [--format-version 3]
@@ -60,6 +64,15 @@ maintained timing model, which ``query`` reads back (``model`` /
 continues.  ``store-info --watch`` re-prints the listing whenever the
 directory changes -- in-flight staging files are never listed.
 
+``fuzz`` samples random-but-valid scenario specs from a seeded
+generator, runs each under its scheduling policy (all registered
+policies in rotation, or the ``--policy`` subset) and self-checks the
+synthesized DAG against the spec-derived oracle; failing specs are
+dumped as replayable JSON (``--fail-dir``, re-checked via ``--replay``)
+and any mismatch exits 1.  ``batch --policy`` runs a registered
+scenario under a non-default scheduling policy; ``scenarios --json``
+emits the registry as one machine-readable document.
+
 ``diff`` compares two timing models -- each side a store directory
 (synthesized out-of-core), one recorded run of a store (``--old-run`` /
 ``--new-run``), or an exported model JSON -- applying the structural
@@ -84,6 +97,7 @@ from .experiments.table1 import run_table1
 from .experiments.table2 import Table2Config, run_table2
 from .scenarios import build_scenario_spec, get_scenario, scenario_names
 from .sim.kernel import SEC
+from .sim.policies import POLICY_NAMES
 
 
 def _write_artifacts(dag, args) -> None:
@@ -160,6 +174,26 @@ def _cmd_fig4(args) -> int:
 
 
 def _cmd_scenarios(args) -> int:
+    if getattr(args, "as_json", False):
+        import json as json_module
+
+        entries = []
+        for name in scenario_names():
+            entry = get_scenario(name)
+            spec = build_scenario_spec(name)
+            entries.append({
+                "name": name,
+                "summary": entry.summary,
+                "tags": list(entry.tags),
+                "nodes": len(spec.nodes),
+                "callbacks": len(spec.callback_labels()),
+                "edges": len(spec.expected_edge_pairs()),
+                "policy": spec.policy,
+                "num_cpus": spec.num_cpus,
+                "duration_ns": spec.duration_ns,
+            })
+        print(json_module.dumps({"scenarios": entries}, indent=2))
+        return 0
     print(f"{'scenario':<18} {'nodes':>5} {'CBs':>4} {'edges':>5}  summary")
     print("-" * 78)
     for name in scenario_names():
@@ -180,12 +214,14 @@ def _cmd_batch(args) -> int:
         num_cpus=args.cpus,
         base_seed=args.seed,
         collect_traces=False,
+        sched_policy=args.policy,
     )
     result = run_batch(args.scenario, runs=args.runs, jobs=args.jobs, config=config)
     seconds = (duration_ns if duration_ns is not None else result.spec.duration_ns) / SEC
+    policy_note = f", policy {args.policy}" if args.policy else ""
     print(
         f"batch {args.scenario} -- {args.runs} runs x {seconds:.0f} s "
-        f"on {result.jobs} worker(s)\n"
+        f"on {result.jobs} worker(s){policy_note}\n"
     )
     print(format_edges(result.merged_dag))
     print()
@@ -195,17 +231,96 @@ def _cmd_batch(args) -> int:
 
 
 def _positive_int(text: str) -> int:
-    """argparse type for ``--jobs``: zero/negative worker counts become
-    a clean usage error (exit code 2), not a deep ValueError traceback."""
+    """argparse type for ``--jobs`` / ``--runs`` / ``--count``: zero or
+    negative counts become a clean usage error (exit code 2), not a deep
+    ValueError traceback."""
     try:
         value = int(text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(
-            f"invalid jobs value {text!r} (need at least 1 worker)"
+            f"invalid value {text!r} (need a positive integer)"
         )
     return value
+
+
+def _cmd_fuzz(args) -> int:
+    import json as json_module
+    import os
+
+    from .scenarios.fuzz import (
+        DEFAULT_FUZZ_DURATION_NS,
+        check_spec,
+        run_fuzz,
+        spec_from_json,
+        world_seed_for,
+    )
+
+    if args.replay is not None:
+        # Re-check a dumped failing spec (or any spec_to_json document).
+        try:
+            with open(args.replay) as handle:
+                data = json_module.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        dump = data.get("spec", data)  # failure dump or bare spec
+        spec = spec_from_json(dump)
+        base_seed = data.get(
+            "world_seed", world_seed_for(data.get("seed", 0), data.get("index", 0))
+        )
+        ok, mismatches = check_spec(spec, base_seed=base_seed)
+        print(f"replay {spec.name} ({spec.policy}, {spec.num_cpus} CPU(s)): "
+              f"{'OK' if ok else 'MISMATCH'}")
+        for line in mismatches:
+            print(f"  {line}")
+        return 0 if ok else 1
+
+    duration_ns = (
+        int(args.duration * SEC)
+        if args.duration is not None
+        else DEFAULT_FUZZ_DURATION_NS
+    )
+    policies = tuple(args.policy) if args.policy else None
+    report = run_fuzz(
+        args.seed, args.count, policies=policies, jobs=args.jobs,
+        duration_ns=duration_ns,
+    )
+    print(
+        f"fuzz -- seed {report.seed}, {report.count} sampled scenario(s) "
+        f"over {', '.join(report.policies)} on {report.jobs} worker(s)\n"
+    )
+    print(f"{'policy':<10} {'pass':>6} {'fail':>6}")
+    for policy, (passed, failed) in sorted(report.by_policy().items()):
+        print(f"{policy:<10} {passed:>6} {failed:>6}")
+    failures = report.failures
+    if failures and args.fail_dir:
+        os.makedirs(args.fail_dir, exist_ok=True)
+        for verdict in failures:
+            path = os.path.join(
+                args.fail_dir, f"fuzz-{verdict.seed}-{verdict.index}.json"
+            )
+            with open(path, "w") as handle:
+                json_module.dump({
+                    "seed": verdict.seed,
+                    "index": verdict.index,
+                    "policy": verdict.policy,
+                    "world_seed": world_seed_for(verdict.seed, verdict.index),
+                    "mismatches": list(verdict.mismatches),
+                    "spec": json_module.loads(verdict.spec_json),
+                }, handle, indent=2, sort_keys=True)
+            print(f"wrote {path}")
+    for verdict in failures:
+        print(f"\nMISMATCH {verdict.scenario} ({verdict.policy}):")
+        for line in verdict.mismatches:
+            print(f"  {line}")
+    if failures:
+        print(f"\n{len(failures)}/{report.count} sampled scenario(s) failed "
+              f"their self-check")
+        return 1
+    print(f"\nall {report.count} sampled scenario(s) passed their self-check")
+    return 0
 
 
 def _cmd_record(args) -> int:
@@ -913,22 +1028,57 @@ def build_parser() -> argparse.ArgumentParser:
     overhead = sub.add_parser("overhead", help="tracing overheads")
     overhead.add_argument("--duration", type=float, default=60.0)
 
-    sub.add_parser("scenarios", help="list the scenario registry")
+    scenarios = sub.add_parser("scenarios", help="list the scenario registry")
+    scenarios.add_argument("--json", dest="as_json", action="store_true",
+                           help="machine-readable listing: name, summary, "
+                                "tags, node/callback/edge counts, scheduling "
+                                "policy, CPU count")
 
     batch = sub.add_parser(
         "batch", help="run a registered scenario N times across workers"
     )
     batch.add_argument("scenario", help="registry name (see `repro scenarios`)")
-    batch.add_argument("--runs", type=int, default=8)
-    batch.add_argument("--jobs", type=int, default=1,
+    batch.add_argument("--runs", type=_positive_int, default=8)
+    batch.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes (results identical for any value)")
     batch.add_argument("--duration", type=float, default=None,
                        help="seconds per run (default: the scenario's own)")
     batch.add_argument("--seed", type=int, default=1000)
     batch.add_argument("--cpus", type=int, default=None,
                        help="simulated CPUs (default: the scenario's own)")
+    batch.add_argument("--policy", default=None, choices=POLICY_NAMES,
+                       help="scheduling policy for every run (default: the "
+                            "scenario's own, usually 'priority')")
     batch.add_argument("--dot", help="write the merged DAG as Graphviz DOT")
     batch.add_argument("--json", help="write the merged DAG as JSON")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="sample random scenario specs and self-check each synthesized "
+             "DAG against its spec-derived oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzz stream seed (same seed -> byte-identical "
+                           "spec sequence and verdicts)")
+    fuzz.add_argument("--count", type=_positive_int, default=100,
+                      help="number of sampled scenarios (default 100)")
+    fuzz.add_argument("--policy", action="append", choices=POLICY_NAMES,
+                      default=None, metavar="POLICY",
+                      help="restrict the policy rotation (repeatable; "
+                           f"choices: {', '.join(POLICY_NAMES)}; default: "
+                           "all policies)")
+    fuzz.add_argument("--jobs", type=_positive_int, default=1,
+                      help="worker processes (verdicts identical for any "
+                           "value)")
+    fuzz.add_argument("--duration", type=float, default=None,
+                      help="simulated seconds per sampled scenario "
+                           "(default 1.5)")
+    fuzz.add_argument("--fail-dir", default=None,
+                      help="dump each failing spec as replayable JSON "
+                           "under this directory")
+    fuzz.add_argument("--replay", default=None, metavar="FILE",
+                      help="re-check one dumped failing spec instead of "
+                           "sampling")
 
     record = sub.add_parser(
         "record",
@@ -1178,6 +1328,7 @@ COMMANDS = {
     "overhead": _cmd_overhead,
     "scenarios": _cmd_scenarios,
     "batch": _cmd_batch,
+    "fuzz": _cmd_fuzz,
     "record": _cmd_record,
     "synthesize": _cmd_synthesize,
     "store-info": _cmd_store_info,

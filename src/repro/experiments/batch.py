@@ -58,9 +58,14 @@ class BatchConfig:
     #: payload by orders of magnitude on 50-run batches.  Enable
     #: explicitly when the traces themselves are the product.
     collect_traces: bool = False
+    #: Scheduling-policy override for every run (None: the scenario
+    #: spec's own policy, which defaults to ``"priority"``).
+    sched_policy: Optional[str] = None
     scenario_params: Dict[str, Any] = field(default_factory=dict)
 
-    def run_config(self, duration_ns: int, num_cpus: int) -> RunConfig:
+    def run_config(
+        self, duration_ns: int, num_cpus: int, sched_policy: Optional[str] = None
+    ) -> RunConfig:
         return RunConfig(
             duration_ns=duration_ns,
             warmup_ns=self.warmup_ns,
@@ -70,6 +75,7 @@ class BatchConfig:
             kernel_filter=self.kernel_filter,
             segment_every_ns=self.segment_every_ns,
             dds_latency_ns=self.dds_latency_ns,
+            sched_policy=sched_policy,
         )
 
 
@@ -99,11 +105,15 @@ def _execute_run(
         run_index=run_index,
         runs=runs,
         duration_ns=config.duration_ns,
+        policy=config.sched_policy,
         **config.scenario_params,
     )
     duration = config.duration_ns if config.duration_ns is not None else spec.duration_ns
     num_cpus = config.num_cpus if config.num_cpus is not None else spec.num_cpus
-    run_config = config.run_config(duration, num_cpus)
+    # "priority" maps to None (the scheduler's default) so default-policy
+    # batches keep working with injected legacy scheduler classes.
+    policy = spec.policy if spec.policy != "priority" else None
+    run_config = config.run_config(duration, num_cpus, sched_policy=policy)
     result = run_once(lambda world, i: spec.build(world), run_config, run_index=run_index)
     dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
     return (run_index, dag, result.trace if config.collect_traces else None)
@@ -157,6 +167,7 @@ def run_batch(
         run_index=0,
         runs=runs,
         duration_ns=config.duration_ns,
+        policy=config.sched_policy,
         **config.scenario_params,
     )
 

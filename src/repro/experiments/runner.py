@@ -53,6 +53,10 @@ class RunConfig:
     #: into one stream (Fig. 2's "merge traces" strategy).
     stagger_runs: bool = True
     pid_stride: int = 10_000
+    #: Scheduling policy name for the world's scheduler (None keeps the
+    #: default priority/RR policy and stays compatible with injected
+    #: legacy scheduler classes that predate the policy parameter).
+    sched_policy: Optional[str] = None
 
     def seed_for(self, run_index: int) -> int:
         return self.base_seed + run_index
@@ -81,6 +85,7 @@ def run_once(
         dds_latency_ns=config.dds_latency_ns,
         start_time_ns=config.time_base_for(run_index),
         first_pid=config.pid_base_for(run_index),
+        sched_policy=config.sched_policy,
     )
     apps = builder(world, run_index)
     session = TracingSession(world, kernel_filter=config.kernel_filter)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
-from ..sim.threads import SchedPolicy
+from ..sim.threads import SchedPolicy, ThreadSchedParams
 from .client import Client
 from .dds import DdsWriter, Msg
 from .executor import SingleThreadedExecutor
@@ -77,6 +77,10 @@ class Node:
         Scheduling configuration of the executor thread.
     start_delay_ns:
         Extra boot delay relative to ``World.launch``.
+    sched_params:
+        Optional :class:`~repro.sim.threads.ThreadSchedParams` for the
+        executor thread, consumed by the pluggable scheduling policies
+        (deadline / expected job length / CFS weight).
     """
 
     def __init__(
@@ -87,6 +91,7 @@ class Node:
         policy: SchedPolicy = SchedPolicy.OTHER,
         affinity: Optional[Sequence[int]] = None,
         start_delay_ns: int = 0,
+        sched_params: Optional[ThreadSchedParams] = None,
     ):
         if any(n.name == name for n in world.nodes):
             raise ValueError(f"duplicate node name {name!r}")
@@ -96,6 +101,7 @@ class Node:
         self.policy = policy
         self.affinity = list(affinity) if affinity is not None else None
         self.start_delay_ns = start_delay_ns
+        self.sched_params = sched_params
         self.timers: List[Timer] = []
         self.subscriptions: List[Subscription] = []
         self.services: List[Service] = []
@@ -190,6 +196,9 @@ class Node:
 
     def _spawn(self, start: int) -> None:
         """Create the executor thread (called by ``World.launch``)."""
+        # Forwarded only when set: the frozen legacy scheduler (injected
+        # by the perf harness) predates the sched_params parameter.
+        extra = {} if self.sched_params is None else {"sched_params": self.sched_params}
         self._thread = self.world.scheduler.spawn(
             self.executor.activity(),
             priority=self.priority,
@@ -197,6 +206,7 @@ class Node:
             affinity=self.affinity,
             name=self.name,
             start=start + self.start_delay_ns,
+            **extra,
         )
         self.pid = self._thread.pid
 

@@ -9,6 +9,16 @@ import cycle) -- use :func:`scenario_names` / :func:`get_scenario` /
 :func:`build_scenario_spec` rather than importing it directly.
 """
 
+from .fuzz import (
+    FuzzReport,
+    FuzzVerdict,
+    check_sample,
+    check_spec,
+    run_fuzz,
+    sample_spec,
+    spec_from_json,
+    spec_to_json,
+)
 from .registry import (
     ScenarioEntry,
     build_scenario_spec,
@@ -32,6 +42,14 @@ from .spec import (
 )
 
 __all__ = [
+    "FuzzReport",
+    "FuzzVerdict",
+    "check_sample",
+    "check_spec",
+    "run_fuzz",
+    "sample_spec",
+    "spec_from_json",
+    "spec_to_json",
     "ScenarioEntry",
     "build_scenario_spec",
     "get_scenario",

@@ -88,13 +88,17 @@ def build_scenario_spec(
     run_index: Optional[int] = None,
     runs: Optional[int] = None,
     duration_ns: Optional[int] = None,
+    policy: Optional[str] = None,
     **params,
 ) -> ScenarioSpec:
     """Instantiate a registered scenario's spec.
 
     ``run_index`` / ``runs`` / ``duration_ns`` are forwarded only to
     factories that declare them; unknown ``params`` raise immediately
-    with the factory's actual signature in the message.
+    with the factory's actual signature in the message.  ``policy``
+    overrides the spec's scheduling policy after construction (every
+    scenario's ground truth is policy-independent, so any registered
+    scenario can run under any policy).
     """
     entry = get_scenario(name)
     signature = inspect.signature(entry.factory)
@@ -118,5 +122,7 @@ def build_scenario_spec(
                 f"{sorted(unknown)}; signature: {signature}"
             )
     spec = entry.factory(**kwargs)
+    if policy is not None and policy != spec.policy:
+        spec = spec.with_overrides(policy=policy)
     spec.validate()
     return spec

@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..ros2 import ExternalPublisher, Msg, Node
 from ..ros2.service import request_topic
-from ..sim.threads import SchedPolicy
+from ..sim.policies import POLICY_NAMES
+from ..sim.threads import SchedPolicy, ThreadSchedParams
 from ..sim.workload import WorkloadModel, ms
 
 #: Default first-tick phase: after the runtime tracers attach (the
@@ -46,13 +47,22 @@ class ScenarioError(ValueError):
 
 @dataclass(frozen=True)
 class NodeSpec:
-    """One ROS2 node and the scheduling setup of its executor thread."""
+    """One ROS2 node and the scheduling setup of its executor thread.
+
+    ``deadline_ns`` / ``weight`` pin the per-thread parameters consumed
+    by the pluggable scheduling policies (EDF relative deadline, CFS
+    load weight); left None, :meth:`ScenarioSpec.build` derives a
+    deadline from the node's driving timer period and lets the policy
+    derive the weight from the priority.
+    """
 
     name: str
     affinity: Optional[Tuple[int, ...]] = None
     priority: int = 0
     policy: SchedPolicy = SchedPolicy.OTHER
     start_delay_ns: int = 0
+    deadline_ns: Optional[int] = None
+    weight: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -188,6 +198,12 @@ class ScenarioSpec:
     duration_ns: int = 10_000_000_000
     #: Subset of node names the synthesis should model (None: all).
     trace_nodes: Optional[Tuple[str, ...]] = None
+    #: Scheduling policy the scenario runs under (a
+    #: :data:`repro.sim.policies.POLICY_NAMES` entry).  Ground-truth
+    #: derivation is policy-independent -- the topology, and therefore
+    #: the expected DAG, never changes with the policy; only the
+    #: interleaving (and hence execution times / latencies) does.
+    policy: str = "priority"
 
     # ------------------------------------------------------------------
     # introspection
@@ -226,6 +242,11 @@ class ScenarioSpec:
     # validation
 
     def validate(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ScenarioError(
+                f"{self.name}: unknown scheduling policy {self.policy!r}; "
+                f"expected one of {', '.join(POLICY_NAMES)}"
+            )
         names = [n.name for n in self.nodes]
         if not names:
             raise ScenarioError(f"{self.name}: scenario needs at least one node")
@@ -431,11 +452,55 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     # construction
 
+    def derived_sched_params(self, node_name: str) -> ThreadSchedParams:
+        """Per-thread parameters for ``node_name``'s executor thread.
+
+        The EDF relative deadline is the node's smallest driving timer
+        period (a periodic chain stage must finish before its next
+        input), falling back to the scenario's smallest period anywhere
+        (downstream nodes inherit the pipeline rate), then to the run
+        duration.  The PSJF seed estimate is the largest known mean
+        work of the node's callbacks.  Explicit ``NodeSpec`` overrides
+        win.
+        """
+        node = next(n for n in self.nodes if n.name == node_name)
+        deadline = node.deadline_ns
+        if deadline is None:
+            own = [t.period_ns for t in self.timers if t.node == node_name]
+            everywhere = [t.period_ns for t in self.timers]
+            everywhere += [e.period_ns for e in self.external_publishers]
+            if own:
+                deadline = min(own)
+            elif everywhere:
+                deadline = min(everywhere)
+            else:
+                deadline = self.duration_ns
+        expected: Optional[int] = None
+        for spec in (*self.services, *self.timers, *self.subscriptions, *self.clients):
+            if spec.node != node_name:
+                continue
+            lo, hi = spec.work.bounds()
+            if lo is not None and hi is not None:
+                mid = (lo + hi) // 2
+                if expected is None or mid > expected:
+                    expected = mid
+        return ThreadSchedParams(
+            deadline_ns=deadline, expected_ns=expected, weight=node.weight
+        )
+
     def build(self, world) -> ScenarioApp:
         """Instantiate the scenario on ``world`` (deterministic order)."""
         self.validate()
         node_by_name: Dict[str, Node] = {}
         for ns in self.nodes:
+            # Derived params only matter to the non-default policies;
+            # omitting them under "priority" keeps the build compatible
+            # with the frozen legacy substrate the perf harness injects.
+            params = (
+                self.derived_sched_params(ns.name)
+                if self.policy != "priority"
+                else None
+            )
             node_by_name[ns.name] = Node(
                 world,
                 ns.name,
@@ -443,6 +508,7 @@ class ScenarioSpec:
                 policy=ns.policy,
                 affinity=list(ns.affinity) if ns.affinity is not None else None,
                 start_delay_ns=ns.start_delay_ns,
+                sched_params=params,
             )
         # Late-binding client registry: callbacks resolve the client at
         # call time, so declaration order never constrains call graphs.
@@ -569,6 +635,7 @@ def combine_specs(
     num_cpus: Optional[int] = None,
     duration_ns: Optional[int] = None,
     trace_nodes: Optional[Sequence[str]] = None,
+    policy: Optional[str] = None,
 ) -> ScenarioSpec:
     """Concatenate scenarios into one machine-wide deployment.
 
@@ -594,6 +661,7 @@ def combine_specs(
             else max(s.duration_ns for s in specs)
         ),
         trace_nodes=tuple(trace_nodes) if trace_nodes is not None else None,
+        policy=policy if policy is not None else specs[0].policy,
     )
     combined.validate()
     return combined

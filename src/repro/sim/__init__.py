@@ -8,6 +8,16 @@ simulation.
 """
 
 from .kernel import EventHandle, MSEC, SEC, SimKernel, USEC
+from .policies import (
+    CompletelyFair,
+    EarliestDeadlineFirst,
+    POLICIES,
+    POLICY_NAMES,
+    PriorityRoundRobin,
+    SchedulingPolicy,
+    ShortestJobFirst,
+    make_policy,
+)
 from .scheduler import (
     DEFAULT_TIMESLICE,
     IDLE_PID,
@@ -20,6 +30,7 @@ from .threads import (
     Compute,
     SchedPolicy,
     SimThread,
+    ThreadSchedParams,
     ThreadState,
     YieldCpu,
 )
@@ -48,10 +59,19 @@ __all__ = [
     "SchedSwitch",
     "SchedWakeup",
     "Scheduler",
+    "CompletelyFair",
+    "EarliestDeadlineFirst",
+    "POLICIES",
+    "POLICY_NAMES",
+    "PriorityRoundRobin",
+    "SchedulingPolicy",
+    "ShortestJobFirst",
+    "make_policy",
     "Block",
     "Compute",
     "SchedPolicy",
     "SimThread",
+    "ThreadSchedParams",
     "ThreadState",
     "YieldCpu",
     "Constant",

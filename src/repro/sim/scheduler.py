@@ -21,23 +21,30 @@ Threads execute generator *activities* (see :mod:`repro.sim.threads`).
 Context-switch points exist only at ``yield`` boundaries, which mirrors a
 kernel with preemption points: Python code between two yields runs
 atomically at one simulated instant while the thread owns a CPU.
+
+The scheduler implements dispatch *mechanism* only; every policy
+decision -- which thread runs next, who gets preempted on a wakeup,
+whether a quantum is armed -- is delegated to a pluggable
+:class:`~repro.sim.policies.SchedulingPolicy` strategy object.  The
+default :class:`~repro.sim.policies.PriorityRoundRobin` policy
+reproduces the historical hardwired behaviour byte-for-byte (pinned by
+``tests/test_perf_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from bisect import insort
 from functools import partial
-from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional, Union
-
-from collections import deque
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Union
 
 from .kernel import EventHandle, MSEC, SimKernel
+from .policies import SchedulingPolicy, make_policy
 from .threads import (
     Activity,
     Block,
     Compute,
     SchedPolicy,
     SimThread,
+    ThreadSchedParams,
     ThreadState,
     YieldCpu,
 )
@@ -111,6 +118,10 @@ class Scheduler:
         Number of CPUs in the machine.
     timeslice:
         Round-robin quantum (ns) for ``SCHED_OTHER`` / ``SCHED_RR``.
+    policy:
+        Scheduling policy: a :class:`~repro.sim.policies.SchedulingPolicy`
+        instance, a registry name (``"priority"``, ``"psjf"``, ``"edf"``,
+        ``"cfs"``), or None for the default priority/RR policy.
     """
 
     def __init__(
@@ -119,6 +130,7 @@ class Scheduler:
         num_cpus: int = 4,
         timeslice: int = DEFAULT_TIMESLICE,
         first_pid: int = 1,
+        policy: Union[str, SchedulingPolicy, None] = None,
     ):
         if num_cpus < 1:
             raise ValueError("need at least one CPU")
@@ -129,14 +141,10 @@ class Scheduler:
         self.kernel = kernel
         self.cpus = [_Cpu(i) for i in range(num_cpus)]
         self.timeslice = timeslice
+        self.policy = make_policy(policy)
+        self.policy.attach(self)
         self._threads: Dict[int, SimThread] = {}
         self._next_pid = first_pid
-        self._ready: Dict[int, Deque[SimThread]] = {}
-        #: Priorities with a non-empty ready deque, kept ascending by
-        #: bisect insertion.  Dispatch walks it in reverse instead of
-        #: calling ``sorted(self._ready)`` on every pick -- same order,
-        #: maintained incrementally.
-        self._ready_prios: List[int] = []
         self._switch_hooks: List[Callable[[SchedSwitch], None]] = []
         self._wakeup_hooks: List[Callable[[SchedWakeup], None]] = []
         self._resched_pending = False
@@ -180,6 +188,7 @@ class Scheduler:
         name: str = "",
         start: int = 0,
         pid: Optional[int] = None,
+        sched_params: Optional[ThreadSchedParams] = None,
     ) -> SimThread:
         """Create a thread and make it runnable at time ``start``."""
         if affinity is not None:
@@ -199,6 +208,7 @@ class Scheduler:
             policy=policy,
             affinity=affinity,
             name=name,
+            sched_params=sched_params,
         )
         self._threads[pid] = thread
 
@@ -249,41 +259,15 @@ class Scheduler:
         return [min(1.0, cpu.busy_time / horizon) for cpu in self.cpus]
 
     # ------------------------------------------------------------------
-    # Ready queue management
+    # Ready queue management (representation owned by the policy)
     # ------------------------------------------------------------------
 
     def _enqueue_ready(self, thread: SimThread, front: bool = False) -> None:
+        # NEW/BLOCKED -> READY is a genuine wakeup; READY/RUNNING ->
+        # READY is a requeue (preemption, yield, slice rotation).
+        woke = thread.state in (ThreadState.NEW, ThreadState.BLOCKED)
         thread.state = ThreadState.READY
-        dq = self._ready.get(thread.priority)
-        if dq is None:
-            dq = self._ready[thread.priority] = deque()
-            insort(self._ready_prios, thread.priority)
-        if front:
-            dq.appendleft(thread)
-        else:
-            dq.append(thread)
-
-    def _drop_ready_prio(self, prio: int) -> None:
-        """Remove a priority whose deque just drained."""
-        del self._ready[prio]
-        self._ready_prios.remove(prio)
-
-    def _pick_ready(self, cpu_id: int) -> Optional[SimThread]:
-        for prio in reversed(self._ready_prios):
-            dq = self._ready[prio]
-            for thread in dq:
-                if thread.can_run_on(cpu_id):
-                    dq.remove(thread)
-                    if not dq:
-                        self._drop_ready_prio(prio)
-                    return thread
-        return None
-
-    def _best_ready_priority(self, cpu_id: int) -> Optional[int]:
-        for prio in reversed(self._ready_prios):
-            if any(t.can_run_on(cpu_id) for t in self._ready[prio]):
-                return prio
-        return None
+        self.policy.enqueue(thread, front=front, woke=woke)
 
     # ------------------------------------------------------------------
     # Rescheduling (the "IPI" path)
@@ -313,64 +297,30 @@ class Scheduler:
         self._resched_pending = False
         for cpu in self.cpus:
             cpu.dirty = False
+        policy = self.policy
         failed: Dict[SimThread, None] = {}
         placed = True
         while placed:
             placed = False
-            # Snapshot: the loop body mutates the ladder, then breaks.
-            for prio in list(reversed(self._ready_prios)):
-                if prio not in self._ready:
+            # Fresh snapshot per sweep: the loop body mutates the ready
+            # queue on a placement, then breaks out to re-scan.
+            for thread in policy.placement_order():
+                retry = thread in failed
+                cpu = policy.find_cpu(thread, dirty_only=retry)
+                if cpu is None:
+                    if not retry:
+                        failed[thread] = None
                     continue
-                for thread in list(self._ready[prio]):
-                    retry = thread in failed
-                    cpu = self._find_cpu_for(thread, dirty_only=retry)
-                    if cpu is None:
-                        if not retry:
-                            failed[thread] = None
-                        continue
-                    self._remove_ready(thread)
-                    failed.pop(thread, None)
-                    prev = cpu.current
-                    if prev is not None:
-                        self._deschedule_current(cpu, requeue_front=True)
-                    self._emit_switch(cpu, prev, "R", thread)
-                    self._install(cpu, thread)
-                    cpu.dirty = True
-                    placed = True
-                    break
-                if placed:
-                    break
-
-    def _find_cpu_for(
-        self, thread: SimThread, dirty_only: bool = False
-    ) -> Optional[_Cpu]:
-        """Pick an idle allowed CPU, else the allowed CPU running the
-        lowest-priority thread strictly below ``thread``'s priority.
-
-        ``dirty_only`` restricts the scan to CPUs touched since the
-        thread last failed to place (see :meth:`_resched`): clean CPUs
-        rejected it in an identical state, so filtering them preserves
-        the full scan's pick exactly.
-        """
-        victim: Optional[_Cpu] = None
-        for cpu in self.cpus:
-            if dirty_only and not cpu.dirty:
-                continue
-            if not thread.can_run_on(cpu.id):
-                continue
-            if cpu.current is None:
-                return cpu
-            if cpu.current.priority < thread.priority:
-                if victim is None or cpu.current.priority < victim.current.priority:
-                    victim = cpu
-        return victim
-
-    def _remove_ready(self, thread: SimThread) -> None:
-        dq = self._ready.get(thread.priority)
-        if dq is not None and thread in dq:
-            dq.remove(thread)
-            if not dq:
-                self._drop_ready_prio(thread.priority)
+                policy.remove(thread)
+                failed.pop(thread, None)
+                prev = cpu.current
+                if prev is not None:
+                    self._deschedule_current(cpu, requeue_front=True)
+                self._emit_switch(cpu, prev, "R", thread)
+                self._install(cpu, thread)
+                cpu.dirty = True
+                placed = True
+                break
 
     # ------------------------------------------------------------------
     # Dispatch machinery
@@ -381,9 +331,13 @@ class Scheduler:
         thread.state = ThreadState.RUNNING
         thread.cpu = cpu.id
         cpu.dispatch_time = self.kernel.now
-        if thread.policy != SchedPolicy.FIFO:
+        # The quantum is armed *before* the completion event so the two
+        # keep their historical kernel-queue insertion order (trace
+        # byte-equality depends on event sequence numbers).
+        slice_ns = self.policy.timeslice_for(thread)
+        if slice_ns is not None:
             cpu.slice_handle = self.kernel.schedule_after(
-                self.timeslice, partial(self._slice_expired, cpu, thread)
+                slice_ns, partial(self._slice_expired, cpu, thread)
             )
         if thread.remaining > 0:
             cpu.completion = self.kernel.schedule_after(
@@ -414,6 +368,7 @@ class Scheduler:
                 if request.duration == 0:
                     continue
                 thread.remaining = request.duration
+                self.policy.on_compute(thread, request.duration)
                 cpu.dispatch_time = self.kernel.now
                 cpu.completion = self.kernel.schedule_after(
                     request.duration, partial(self._compute_done, cpu, thread)
@@ -439,7 +394,7 @@ class Scheduler:
         cpu.current = None
         if new_state == ThreadState.READY:
             self._enqueue_ready(thread)  # sched_yield: tail of own prio
-        nxt = self._pick_ready(cpu.id)
+        nxt = self.policy.pick(cpu.id)
         self._emit_switch(cpu, thread, new_state.sched_char(), nxt)
         if nxt is not None:
             self._install(cpu, nxt)
@@ -455,6 +410,7 @@ class Scheduler:
             assert thread.remaining >= 0, "compute segment over-ran its deadline"
         thread.cpu_time += elapsed
         cpu.busy_time += elapsed
+        self.policy.on_run(thread, elapsed)
         self._cancel_cpu_timers(cpu)
         thread.cpu = None
         cpu.current = None
@@ -474,6 +430,7 @@ class Scheduler:
         elapsed = self.kernel.now - cpu.dispatch_time
         thread.cpu_time += elapsed
         cpu.busy_time += elapsed
+        self.policy.on_run(thread, elapsed)
         thread.remaining = 0
         cpu.completion = None
         self._continue(cpu, thread, None)
@@ -482,13 +439,12 @@ class Scheduler:
         if cpu.current is not thread:
             return
         cpu.slice_handle = None
-        competitor = self._best_ready_priority(cpu.id)
-        if competitor is not None and competitor >= thread.priority:
+        if self.policy.should_rotate(cpu.id, thread):
             self._deschedule_current(cpu, requeue_front=False)
-            nxt = self._pick_ready(cpu.id)
+            nxt = self.policy.pick(cpu.id)
             assert nxt is not None
             if nxt is thread:
-                # Round-robin found nobody better after all; keep running.
+                # Rotation found nobody better after all; keep running.
                 self._install(cpu, thread)
                 return
             self._emit_switch(cpu, thread, "R", nxt)
@@ -496,11 +452,9 @@ class Scheduler:
             self._request_resched()
         else:
             cpu.slice_handle = self.kernel.schedule_after(
-                self.timeslice, partial(self._slice_expired, cpu, thread)
+                self.policy.timeslice_for(thread),
+                partial(self._slice_expired, cpu, thread),
             )
-
-    def _remove_ready_if_present(self, thread: SimThread) -> None:
-        self._remove_ready(thread)
 
     # ------------------------------------------------------------------
     # Tracepoint emission

@@ -20,6 +20,7 @@ observes the timestamp at which the traced thread is actually running.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from typing import Any, Generator, Iterable, Optional, Set
 
@@ -93,6 +94,29 @@ class SchedPolicy(enum.Enum):
     RR = "SCHED_RR"  # real-time, timesliced within priority
 
 
+@dataclasses.dataclass(frozen=True)
+class ThreadSchedParams:
+    """Per-thread parameters consumed by the pluggable scheduling
+    policies (:mod:`repro.sim.policies`).  All fields are optional --
+    a policy falls back to its own defaults for anything unset, so the
+    same thread description runs under every policy.
+
+    deadline_ns:
+        Relative deadline for ``edf``: each wakeup arms an absolute
+        deadline of ``wake time + deadline_ns``.  Scenario specs derive
+        it from the node's driving timer period.
+    expected_ns:
+        Expected compute-request length for ``psjf``, used until the
+        policy has observed real requests to average.
+    weight:
+        Explicit CFS load weight, overriding the priority-derived one.
+    """
+
+    deadline_ns: Optional[int] = None
+    expected_ns: Optional[int] = None
+    weight: Optional[int] = None
+
+
 class SimThread:
     """A schedulable thread of execution.
 
@@ -112,6 +136,9 @@ class SimThread:
         Set of CPU ids the thread may run on.  ``None`` means all CPUs.
     name:
         Human-readable label (``comm`` in Linux parlance).
+    sched_params:
+        Optional :class:`ThreadSchedParams` consumed by the pluggable
+        scheduling policies (deadline, expected job length, weight).
     """
 
     def __init__(
@@ -122,6 +149,7 @@ class SimThread:
         policy: SchedPolicy = SchedPolicy.OTHER,
         affinity: Optional[Iterable[int]] = None,
         name: str = "",
+        sched_params: Optional[ThreadSchedParams] = None,
     ):
         if pid <= 0:
             raise ValueError("pid must be positive (0 is the idle/swapper pid)")
@@ -130,6 +158,7 @@ class SimThread:
         self.activity = activity
         self.priority = priority
         self.policy = policy
+        self.sched_params = sched_params
         self.affinity: Optional[Set[int]] = set(affinity) if affinity is not None else None
         self.state = ThreadState.NEW
 

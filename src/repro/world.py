@@ -56,6 +56,12 @@ class World:
         (Fig. 2's "merge traces" strategy) exactly as successive runs on
         a real machine -- whose uptime clock and PID counter both keep
         advancing -- can.
+    sched_policy:
+        Scheduling policy name (``"priority"``, ``"psjf"``, ``"edf"``,
+        ``"cfs"``) or a :class:`~repro.sim.policies.SchedulingPolicy`
+        instance.  None keeps the scheduler's default priority/RR
+        policy -- and keeps ``scheduler_cls`` injection working for
+        substrate classes that predate the policy parameter.
     kernel_cls / scheduler_cls:
         Substrate implementations (defaults: the production kernel and
         scheduler).  The perf harness injects the frozen
@@ -71,12 +77,18 @@ class World:
         dds_latency_ns: int = DEFAULT_DDS_LATENCY_NS,
         start_time_ns: int = 0,
         first_pid: int = 1,
+        sched_policy=None,
         kernel_cls: type = SimKernel,
         scheduler_cls: type = Scheduler,
     ):
         self.kernel = kernel_cls(start=start_time_ns)
+        sched_kwargs = {} if sched_policy is None else {"policy": sched_policy}
         self.scheduler = scheduler_cls(
-            self.kernel, num_cpus=num_cpus, timeslice=timeslice, first_pid=first_pid
+            self.kernel,
+            num_cpus=num_cpus,
+            timeslice=timeslice,
+            first_pid=first_pid,
+            **sched_kwargs,
         )
         self.rng = np.random.default_rng(seed)
         self.symbols = SymbolTable(self._probe_context)

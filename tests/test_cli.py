@@ -77,6 +77,18 @@ class TestScenariosCommand:
         # header plus one row per scenario
         assert "nodes" in out and "edges" in out
 
+    def test_json_listing_is_machine_readable(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in doc["scenarios"]}
+        assert set(by_name) == set(scenario_names())
+        for entry in doc["scenarios"]:
+            assert entry["nodes"] >= 1
+            assert entry["policy"] == "priority"
+            assert entry["num_cpus"] >= 1
+            assert isinstance(entry["tags"], list)
+        assert by_name["avp"]["callbacks"] == 6
+
 
 class TestBatchCommand:
     def test_unknown_scenario_fails_loudly(self):
@@ -101,6 +113,28 @@ class TestBatchCommand:
         model = json.loads(js.read_text())
         assert len(model["vertices"]) == 9  # SRC + S1..S8
         assert len(model["edges"]) == 8
+
+    def test_batch_policy_override(self, capsys):
+        code = main(["batch", "deep-pipeline", "--runs", "1", "--duration", "2",
+                     "--policy", "edf"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy edf" in out and "S8" in out
+
+    def test_zero_runs_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", "syn", "--runs", "0"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_policy_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", "syn", "--policy", "lottery"])
+        assert excinfo.value.code == 2
+
+    def test_negative_jobs_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", "syn", "--jobs", "-2"])
+        assert excinfo.value.code == 2
 
     def test_batch_dot_matches_golden(self, capsys, tmp_path):
         """Golden-file regression: the merged small-DAG artefact is

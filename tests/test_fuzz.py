@@ -1,0 +1,222 @@
+"""Tests for the self-checking scenario fuzzer: determinism, validity,
+JSON round-trips, the self-check oracle, and the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios.fuzz import (
+    FuzzVerdict,
+    check_sample,
+    check_spec,
+    run_fuzz,
+    sample_spec,
+    spec_from_json,
+    spec_to_json,
+    world_seed_for,
+)
+from repro.sim.policies import POLICY_NAMES
+
+FUZZ_SEED = 2024
+SWEEP = 24  # full policy rotation x 6
+
+
+class TestSamplingDeterminism:
+    def test_same_seed_same_index_byte_identical(self):
+        for index in range(6):
+            first = json.dumps(spec_to_json(sample_spec(FUZZ_SEED, index)),
+                               sort_keys=True)
+            second = json.dumps(spec_to_json(sample_spec(FUZZ_SEED, index)),
+                                sort_keys=True)
+            assert first == second
+
+    def test_sequence_byte_identical_across_processes_worth_of_state(self):
+        # Sampling index i must not depend on having sampled 0..i-1
+        # (workers jump straight to their shard's indices).
+        forward = [
+            json.dumps(spec_to_json(sample_spec(FUZZ_SEED, i)), sort_keys=True)
+            for i in range(8)
+        ]
+        backward = [
+            json.dumps(spec_to_json(sample_spec(FUZZ_SEED, i)), sort_keys=True)
+            for i in reversed(range(8))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = json.dumps(spec_to_json(sample_spec(1, 0)), sort_keys=True)
+        b = json.dumps(spec_to_json(sample_spec(2, 0)), sort_keys=True)
+        assert a != b
+
+    def test_policy_rotation_covers_all_policies(self):
+        policies = {sample_spec(FUZZ_SEED, i).policy for i in range(len(POLICY_NAMES))}
+        assert policies == set(POLICY_NAMES)
+
+    def test_topology_independent_of_policy_subset(self):
+        # Restricting the rotation changes only the policy field, never
+        # the sampled topology.
+        full = sample_spec(FUZZ_SEED, 1)
+        restricted = sample_spec(FUZZ_SEED, 1, policies=("edf",))
+        a, b = spec_to_json(full), spec_to_json(restricted)
+        a.pop("policy"), b.pop("policy")
+        a.pop("description"), b.pop("description")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestSampledValidity:
+    def test_sweep_validates(self):
+        for index in range(SWEEP):
+            spec = sample_spec(FUZZ_SEED, index)
+            spec.validate()  # raises on any inconsistency
+            assert spec.policy in POLICY_NAMES
+            assert 1 <= spec.num_cpus <= 3
+            assert spec.timers  # at least one root activation source
+
+    def test_every_subscription_topic_is_published(self):
+        for index in range(SWEEP):
+            spec = sample_spec(FUZZ_SEED, index)
+            published = {
+                t
+                for s in (*spec.timers, *spec.subscriptions, *spec.clients)
+                for t in s.publishes
+            }
+            published |= {t for y in spec.synchronizers for t in y.publishes}
+            published |= {e.topic for e in spec.external_publishers}
+            for sub in spec.subscriptions:
+                assert sub.topic in published
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_identity(self):
+        for index in range(SWEEP):
+            spec = sample_spec(FUZZ_SEED, index)
+            dumped = spec_to_json(spec)
+            rebuilt = spec_to_json(spec_from_json(dumped))
+            assert json.dumps(dumped, sort_keys=True) == json.dumps(
+                rebuilt, sort_keys=True
+            )
+
+    def test_round_trip_survives_json_text(self):
+        spec = sample_spec(FUZZ_SEED, 3)
+        text = json.dumps(spec_to_json(spec))
+        rebuilt = spec_from_json(json.loads(text))
+        assert rebuilt.name == spec.name
+        assert rebuilt.policy == spec.policy
+        assert rebuilt.num_cpus == spec.num_cpus
+        assert len(rebuilt.timers) == len(spec.timers)
+
+    def test_unknown_workload_kind_rejected(self):
+        data = spec_to_json(sample_spec(FUZZ_SEED, 0))
+        data["timers"][0]["work"] = {"kind": "pareto"}
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            spec_from_json(data)
+
+
+class TestSelfCheck:
+    def test_small_sweep_all_pass(self):
+        report = run_fuzz(FUZZ_SEED, 8, jobs=1)
+        assert report.count == 8
+        assert [v.index for v in report.verdicts] == list(range(8))
+        assert not report.failures
+
+    def test_jobs_do_not_change_verdicts(self):
+        serial = run_fuzz(FUZZ_SEED, 8, jobs=1)
+        parallel = run_fuzz(FUZZ_SEED, 8, jobs=4)
+        assert [
+            (v.index, v.policy, v.scenario, v.ok, v.mismatches)
+            for v in serial.verdicts
+        ] == [
+            (v.index, v.policy, v.scenario, v.ok, v.mismatches)
+            for v in parallel.verdicts
+        ]
+
+    def test_by_policy_counts(self):
+        report = run_fuzz(FUZZ_SEED, len(POLICY_NAMES), jobs=1)
+        stats = report.by_policy()
+        assert set(stats) == set(POLICY_NAMES)
+        assert all(counts == (1, 0) for counts in stats.values())
+
+    def test_check_detects_broken_oracle(self):
+        # Corrupt the spec after sampling: claim an extra vertex that
+        # the trace can never contain -> the self-check must flag it.
+        spec = sample_spec(FUZZ_SEED, 0)
+        ok, _ = check_spec(spec, base_seed=world_seed_for(FUZZ_SEED, 0))
+        assert ok
+
+        class Corrupted(type(spec)):
+            def expected_vertex_keys(self):
+                return super().expected_vertex_keys() | {"ghost/CB"}
+
+        broken = Corrupted(**{
+            field: getattr(spec, field) for field in spec.__dataclass_fields__
+        })
+        ok, mismatches = check_spec(broken, base_seed=world_seed_for(FUZZ_SEED, 0))
+        assert not ok
+        assert any("ghost/CB" in line for line in mismatches)
+
+    def test_failing_verdict_carries_replayable_spec(self):
+        verdict = FuzzVerdict(
+            index=0, seed=1, policy="edf", scenario="x", ok=False,
+            mismatches=("missing vertex: a",),
+            spec_json=json.dumps(spec_to_json(sample_spec(1, 0))),
+        )
+        rebuilt = spec_from_json(json.loads(verdict.spec_json))
+        rebuilt.validate()
+
+    def test_run_fuzz_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_fuzz(1, 0)
+        with pytest.raises(ValueError):
+            run_fuzz(1, 1, jobs=0)
+        with pytest.raises(ValueError, match="unknown policies"):
+            run_fuzz(1, 1, policies=("sporadic-server",))
+
+
+class TestFuzzCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "9", "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "all 4 sampled scenario(s) passed" in out
+
+    def test_policy_subset(self, capsys):
+        assert main(["fuzz", "--seed", "9", "--count", "2",
+                     "--policy", "edf", "--policy", "cfs"]) == 0
+        out = capsys.readouterr().out
+        assert "over cfs, edf" in out or "over edf, cfs" in out
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        spec = sample_spec(11, 2)
+        dump = tmp_path / "dump.json"
+        dump.write_text(json.dumps({
+            "seed": 11,
+            "index": 2,
+            "world_seed": world_seed_for(11, 2),
+            "spec": spec_to_json(spec),
+        }))
+        assert main(["fuzz", "--replay", str(dump)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_replay_bare_spec_document(self, capsys, tmp_path):
+        dump = tmp_path / "bare.json"
+        dump.write_text(json.dumps(spec_to_json(sample_spec(11, 0))))
+        assert main(["fuzz", "--replay", str(dump)]) == 0
+
+    def test_replay_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["fuzz", "--replay", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_zero_count_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--count", "0"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_policy_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--policy", "lottery"])
+        assert excinfo.value.code == 2
+
+    def test_zero_jobs_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--jobs", "0"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,339 @@
+"""Tests for the pluggable scheduling policies: PSJF/EDF/CFS ordering,
+the FIFO no-timeslice branch, affinity interaction, and end-to-end
+topology recovery under every policy."""
+
+import pytest
+
+from repro.sim import (
+    Block,
+    Compute,
+    MSEC,
+    POLICY_NAMES,
+    SchedPolicy,
+    Scheduler,
+    SimKernel,
+    ThreadSchedParams,
+    make_policy,
+)
+from repro.sim.policies import (
+    CompletelyFair,
+    EarliestDeadlineFirst,
+    PriorityRoundRobin,
+    ShortestJobFirst,
+)
+
+
+def make(num_cpus=1, timeslice=4 * MSEC, policy=None):
+    kernel = SimKernel()
+    sched = Scheduler(kernel, num_cpus=num_cpus, timeslice=timeslice, policy=policy)
+    return kernel, sched
+
+
+def compute_once(kernel, duration, done, name):
+    def activity():
+        yield Compute(duration)
+        done.append((name, kernel.now))
+
+    return activity()
+
+
+class TestMakePolicy:
+    def test_none_is_priority_round_robin(self):
+        assert isinstance(make_policy(None), PriorityRoundRobin)
+
+    def test_each_registered_name_resolves(self):
+        classes = {
+            "priority": PriorityRoundRobin,
+            "psjf": ShortestJobFirst,
+            "edf": EarliestDeadlineFirst,
+            "cfs": CompletelyFair,
+        }
+        assert set(classes) == set(POLICY_NAMES)
+        for name, cls in classes.items():
+            assert isinstance(make_policy(name), cls)
+
+    def test_names_give_fresh_instances(self):
+        assert make_policy("psjf") is not make_policy("psjf")
+
+    def test_instance_passes_through(self):
+        policy = ShortestJobFirst()
+        assert make_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("fifo2")
+
+    def test_policy_cannot_attach_twice(self):
+        policy = ShortestJobFirst()
+        make(policy=policy)
+        with pytest.raises(RuntimeError, match="already attached"):
+            make(policy=policy)
+
+
+class TestShortestJobFirst:
+    def test_shorter_job_runs_first(self):
+        # Both become ready at t=0 on one CPU; the 1 ms job must finish
+        # before the 10 ms job starts (spawn order puts long first).
+        kernel, sched = make(policy="psjf")
+        done = []
+        sched.spawn(compute_once(kernel, 10 * MSEC, done, "long"), start=0)
+        sched.spawn(compute_once(kernel, 1 * MSEC, done, "short"), start=0)
+        kernel.run()
+        assert [name for name, _ in done] == ["short", "long"]
+
+    def test_preemptive_on_wake(self):
+        # A short job arriving mid-run preempts the long one (PSJF).
+        kernel, sched = make(policy="psjf")
+        done = []
+        sched.spawn(compute_once(kernel, 20 * MSEC, done, "long"), start=0)
+        sched.spawn(compute_once(kernel, 1 * MSEC, done, "short"), start=5 * MSEC)
+        kernel.run()
+        assert done[0] == ("short", 6 * MSEC)
+        assert done[1] == ("long", 21 * MSEC)
+
+    def test_expected_ns_hint_orders_first_jobs(self):
+        # Before any history, the sched_params hint is the estimate.
+        kernel, sched = make(policy="psjf")
+        done = []
+        sched.spawn(
+            compute_once(kernel, 3 * MSEC, done, "hinted-long"),
+            start=0,
+            sched_params=ThreadSchedParams(expected_ns=50 * MSEC),
+        )
+        sched.spawn(
+            compute_once(kernel, 3 * MSEC, done, "hinted-short"),
+            start=0,
+            sched_params=ThreadSchedParams(expected_ns=1 * MSEC),
+        )
+        kernel.run()
+        assert [name for name, _ in done] == ["hinted-short", "hinted-long"]
+
+    def test_no_timeslice_rotation(self):
+        # Equal-length jobs with matching hints run to completion one
+        # after the other (no RR rotation mid-job despite a 1 ms slice).
+        kernel, sched = make(policy="psjf", timeslice=1 * MSEC)
+        done = []
+        hint = ThreadSchedParams(expected_ns=8 * MSEC)
+        sched.spawn(
+            compute_once(kernel, 8 * MSEC, done, "a"), start=0, sched_params=hint
+        )
+        sched.spawn(
+            compute_once(kernel, 8 * MSEC, done, "b"), start=0, sched_params=hint
+        )
+        kernel.run()
+        assert done == [("a", 8 * MSEC), ("b", 16 * MSEC)]
+
+
+class TestEarliestDeadlineFirst:
+    def test_tight_deadline_runs_first(self):
+        kernel, sched = make(policy="edf")
+        done = []
+        sched.spawn(
+            compute_once(kernel, 2 * MSEC, done, "loose"),
+            start=0,
+            sched_params=ThreadSchedParams(deadline_ns=80 * MSEC),
+        )
+        sched.spawn(
+            compute_once(kernel, 2 * MSEC, done, "tight"),
+            start=0,
+            sched_params=ThreadSchedParams(deadline_ns=10 * MSEC),
+        )
+        kernel.run()
+        assert [name for name, _ in done] == ["tight", "loose"]
+
+    def test_wake_preempts_later_deadline(self):
+        kernel, sched = make(policy="edf")
+        done = []
+        sched.spawn(
+            compute_once(kernel, 30 * MSEC, done, "loose"),
+            start=0,
+            sched_params=ThreadSchedParams(deadline_ns=100 * MSEC),
+        )
+        sched.spawn(
+            compute_once(kernel, 2 * MSEC, done, "tight"),
+            start=4 * MSEC,
+            sched_params=ThreadSchedParams(deadline_ns=10 * MSEC),
+        )
+        kernel.run()
+        assert done[0] == ("tight", 6 * MSEC)
+        assert done[1] == ("loose", 32 * MSEC)
+
+    def test_deadline_rearms_on_each_wake(self):
+        # A blocking thread re-arms its absolute deadline when it wakes,
+        # so a late wake still beats a much looser competitor.
+        kernel, sched = make(policy="edf")
+        done = []
+
+        def sleeper():
+            yield Block()
+            yield Compute(1 * MSEC)
+            done.append(("sleeper", kernel.now))
+
+        thread = sched.spawn(
+            sleeper(), start=0, sched_params=ThreadSchedParams(deadline_ns=5 * MSEC)
+        )
+        sched.spawn(
+            compute_once(kernel, 40 * MSEC, done, "background"),
+            start=0,
+            sched_params=ThreadSchedParams(deadline_ns=200 * MSEC),
+        )
+        kernel.schedule_at(20 * MSEC, lambda: sched.wakeup(thread))
+        kernel.run()
+        assert done[0] == ("sleeper", 21 * MSEC)
+
+
+class TestCompletelyFair:
+    def test_weights_split_cpu_time(self):
+        # Two always-runnable threads, weights 1:3 -> cpu_time 1:3 over
+        # any window (CFS min-vruntime scheduling).
+        kernel, sched = make(policy="cfs")
+
+        def spin():
+            while True:
+                yield Compute(1 * MSEC)
+
+        light = sched.spawn(
+            spin(), start=0, sched_params=ThreadSchedParams(weight=1024)
+        )
+        heavy = sched.spawn(
+            spin(), start=0, sched_params=ThreadSchedParams(weight=3 * 1024)
+        )
+        kernel.run(until=80 * MSEC)
+        assert light.cpu_time + heavy.cpu_time == 80 * MSEC
+        ratio = heavy.cpu_time / light.cpu_time
+        assert 2.5 < ratio < 3.5
+
+    def test_sleeper_not_starved_on_wake(self):
+        # A thread that slept keeps only the min-vruntime watermark, so
+        # it gets the CPU promptly instead of owing its sleep time back.
+        kernel, sched = make(policy="cfs")
+        done = []
+
+        def sleeper():
+            yield Block()
+            yield Compute(1 * MSEC)
+            done.append(("sleeper", kernel.now))
+
+        def spin():
+            while True:
+                yield Compute(1 * MSEC)
+
+        thread = sched.spawn(sleeper(), start=0)
+        sched.spawn(spin(), start=0)
+        kernel.schedule_at(50 * MSEC, lambda: sched.wakeup(thread))
+        kernel.run(until=70 * MSEC)
+        assert done and done[0][1] <= 55 * MSEC
+
+
+class TestFifoNoTimeslice:
+    def test_fifo_thread_never_rotated(self):
+        # SCHED_FIFO threads get no quantum under the default policy:
+        # an equal-priority FIFO pair runs strictly in sequence.
+        kernel, sched = make(timeslice=1 * MSEC)
+        done = []
+        sched.spawn(
+            compute_once(kernel, 6 * MSEC, done, "f1"),
+            start=0,
+            priority=50,
+            policy=SchedPolicy.FIFO,
+        )
+        sched.spawn(
+            compute_once(kernel, 6 * MSEC, done, "f2"),
+            start=0,
+            priority=50,
+            policy=SchedPolicy.FIFO,
+        )
+        kernel.run()
+        assert done == [("f1", 6 * MSEC), ("f2", 12 * MSEC)]
+
+    def test_fifo_no_timeslice_under_cfs(self):
+        # timeslice_for honours SCHED_FIFO under every policy override.
+        kernel, sched = make(policy="cfs", timeslice=1 * MSEC)
+        thread = sched.spawn(
+            compute_once(kernel, 1 * MSEC, [], "f"),
+            priority=50,
+            policy=SchedPolicy.FIFO,
+        )
+        assert sched.policy.timeslice_for(thread) is None
+
+
+class TestAffinityAcrossPolicies:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_pinned_threads_serialize_on_their_cpu(self, policy):
+        # Four threads all pinned to CPU 1 of 2: the idle CPU 0 may
+        # never pick them, so they serialize on CPU 1 under every
+        # policy (8 ms wall time for 4 x 2 ms of work).
+        kernel, sched = make(num_cpus=2, policy=policy)
+        done = []
+        threads = [
+            sched.spawn(
+                compute_once(kernel, 2 * MSEC, done, f"t{i}"),
+                start=0,
+                affinity=[1],
+            )
+            for i in range(4)
+        ]
+        records = []
+        sched.on_sched_switch(records.append)
+        kernel.run()
+        assert kernel.now == 8 * MSEC
+        assert len(done) == 4
+        pids = {t.pid for t in threads}
+        assert {r.cpu for r in records if r.next_pid in pids} == {1}
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_pick_skips_ineligible_best_candidate(self, policy):
+        # Direct policy-object check: the queued thread with the best
+        # key is pinned to CPU 1, so pick(0) must hand CPU 0 to the
+        # runner-up, and pick(1) then takes the pinned one.
+        kernel, sched = make(num_cpus=2, policy=policy)
+        best = sched.spawn(
+            compute_once(kernel, MSEC, [], "best"),
+            affinity=[1],
+            priority=5,
+            sched_params=ThreadSchedParams(deadline_ns=MSEC, expected_ns=MSEC),
+        )
+        other = sched.spawn(
+            compute_once(kernel, MSEC, [], "other"),
+            priority=0,
+            sched_params=ThreadSchedParams(
+                deadline_ns=100 * MSEC, expected_ns=10 * MSEC
+            ),
+        )
+        pol = sched.policy
+        pol.enqueue(best, woke=True)
+        pol.enqueue(other, woke=True)
+        # Sanity: with no affinity constraint the best key wins CPU 1.
+        assert pol.pick(1) is best
+        pol.enqueue(best, woke=False)
+        assert pol.pick(0) is other
+        assert pol.pick(1) is best
+        assert pol.pick(0) is None
+
+
+class TestTopologyRecoveryUnderEveryPolicy:
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_syn_oracle_holds(self, policy):
+        # The synthesized DAG topology is scheduling-invariant: the SYN
+        # scenario recovers its exact spec-derived vertex/edge sets
+        # under every registered policy.
+        from repro.core.pipeline import synthesize_from_trace
+        from repro.experiments.runner import RunConfig, run_once
+        from repro.scenarios import build_scenario_spec
+
+        spec = build_scenario_spec("syn", policy=policy)
+        assert spec.policy == policy
+        config = RunConfig(
+            duration_ns=4_000 * MSEC,
+            base_seed=123,
+            num_cpus=spec.num_cpus,
+            sched_policy=policy if policy != "priority" else None,
+        )
+        result = run_once(lambda world, i: spec.build(world), config)
+        dag = synthesize_from_trace(result.trace, pids=result.apps.pids)
+        dag.validate()
+        assert {v.key for v in dag.vertices()} == spec.expected_vertex_keys()
+        assert {(e.src, e.dst) for e in dag.edges()} == spec.expected_edge_pairs()
+        assert {
+            v.key for v in dag.vertices() if v.is_or_junction
+        } == spec.expected_or_junctions()
