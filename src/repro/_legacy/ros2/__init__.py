@@ -1,0 +1,14 @@
+"""Frozen pre-optimization ROS2 executor + DDS bus (PR 10 freeze).
+
+Verbatim copies of :mod:`repro.ros2.executor` and :mod:`repro.ros2.dds`
+as they stood *before* the simulator hot-loop overhaul (flattened
+executor dispatch, per-write DDS delivery batching).  They extend the
+PR-2 freeze in :mod:`repro._legacy`: the legacy ``World`` wires them in
+so the perf harness and the equivalence pins compare the optimized
+stack against the genuinely unoptimized call chains.
+
+Shared *data* classes (``Compute``/``Block``, ``MessageInfo``,
+``ResponseEnvelope``, QoS profiles) are imported from the production
+tree -- they are plain containers, and the live scheduler dispatches on
+their exact types.  Do not optimize anything in this package.
+"""

@@ -1,0 +1,160 @@
+"""Frozen pre-optimization copy (perf baseline; see repro._legacy.ros2). Do not optimize.
+
+The simulated DDS layer as it stood before per-write delivery batching:
+``_dds_write_impl`` schedules one kernel event -- and allocates one
+``functools.partial`` closure -- per (writer, reader) pair, and the
+reader queue drops oldest samples with an explicit Python-level length
+check instead of a bounded ring.
+
+All ROS2 communication -- topics, service requests and service responses
+-- flows through this bus, mirroring the layered architecture described
+in Sec. II-A.  The single choke point is ``dds_write_impl``, the function
+the paper probes as **P16**.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
+
+from ...ros2.qos import DEFAULT_QOS, QoSProfile
+
+#: Symbol name of the probed write function (Table I, P16).
+DDS_WRITE_SYMBOL = "cyclonedds:dds_write_impl"
+
+
+@dataclass
+class Msg:
+    """A ROS2 message (see :class:`repro.ros2.dds.Msg`)."""
+
+    stamp: Optional[int] = None
+    data: Any = None
+
+
+class Sample(NamedTuple):
+    """A sample as it travels on the wire."""
+
+    payload: Any
+    src_ts: int
+    kind: str  # "data" | "request" | "response"
+    writer_pid: int
+
+
+class DdsReader:
+    """A DataReader bound to one topic, with a bounded KEEP_LAST queue."""
+
+    def __init__(
+        self,
+        topic: "DdsTopic",
+        qos: QoSProfile,
+        listener: Callable[["DdsReader"], None],
+        kind: str = "data",
+    ):
+        self.topic = topic
+        self.qos = qos
+        self.listener = listener
+        self.kind = kind
+        self.queue: Deque[Sample] = deque()
+        self.dropped = 0
+        self.received = 0
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.queue)
+
+    def deliver(self, sample: Sample) -> None:
+        self.received += 1
+        if len(self.queue) >= self.qos.depth:
+            self.queue.popleft()
+            self.dropped += 1
+        self.queue.append(sample)
+        self.listener(self)
+
+    def take(self) -> Sample:
+        if not self.queue:
+            raise RuntimeError(f"take() on empty reader for {self.topic.name!r}")
+        return self.queue.popleft()
+
+
+class DdsWriter:
+    """A DataWriter bound to one topic."""
+
+    def __init__(self, bus: "DdsBus", topic: "DdsTopic", kind: str = "data"):
+        self.bus = bus
+        self.topic = topic
+        self.kind = kind
+        self.written = 0
+
+
+class DdsTopic:
+    """A named topic connecting writers to readers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.readers: List[DdsReader] = []
+        self.writers: List[DdsWriter] = []
+
+
+class DdsBus:
+    """The machine-wide DDS domain."""
+
+    def __init__(self, world, latency_ns: int = 50_000):
+        if latency_ns < 0:
+            raise ValueError("latency must be >= 0")
+        self.world = world
+        self.latency_ns = latency_ns
+        self.topics: Dict[str, DdsTopic] = {}
+        self.total_writes = 0
+        # The probeable symbol of this "shared object".
+        world.symbols.register("cyclonedds", "dds_write_impl")
+
+    def topic(self, name: str) -> DdsTopic:
+        top = self.topics.get(name)
+        if top is None:
+            top = DdsTopic(name)
+            self.topics[name] = top
+        return top
+
+    def create_writer(self, topic_name: str, kind: str = "data") -> DdsWriter:
+        topic = self.topic(topic_name)
+        writer = DdsWriter(self, topic, kind=kind)
+        topic.writers.append(writer)
+        return writer
+
+    def create_reader(
+        self,
+        topic_name: str,
+        listener: Callable[[DdsReader], None],
+        qos: QoSProfile = DEFAULT_QOS,
+        kind: str = "data",
+    ) -> DdsReader:
+        topic = self.topic(topic_name)
+        reader = DdsReader(topic, qos, listener, kind=kind)
+        topic.readers.append(reader)
+        return reader
+
+    # ------------------------------------------------------------------
+
+    def write(self, writer: DdsWriter, payload: Any) -> int:
+        """Publish ``payload`` through the probed ``dds_write_impl``."""
+        src_ts = self.world.now
+        self.world.symbols.call(
+            DDS_WRITE_SYMBOL, self._dds_write_impl, writer, payload, src_ts
+        )
+        return src_ts
+
+    def _dds_write_impl(self, writer: DdsWriter, payload: Any, src_ts: int) -> None:
+        writer.written += 1
+        self.total_writes += 1
+        pid = self._current_pid()
+        sample = Sample(payload, src_ts, writer.kind, pid)
+        schedule_after = self.world.kernel.schedule_after
+        latency = self.latency_ns
+        for reader in writer.topic.readers:
+            schedule_after(latency, partial(reader.deliver, sample))
+
+    def _current_pid(self) -> int:
+        thread = self.world.scheduler._advancing
+        return thread.pid if thread is not None else 0

@@ -1,0 +1,201 @@
+"""Frozen pre-optimization copy (perf baseline; see repro._legacy.ros2). Do not optimize.
+
+The single-threaded ROS2 executor as it stood before the flattened
+dispatch loop: every dispatch routes through ``SymbolTable.call_gen``
+and a nested ``yield from`` chain (``activity`` -> ``call_gen`` ->
+``_execute_*`` -> ``_run_callback`` -> user callback).
+
+One executor thread per node dispatches all its callbacks sequentially:
+a callback runs from start to end before the executor looks at the ready
+set again (the model assumed in Sec. II-A).  Dispatch routes through the
+middleware symbols of Table I, so attached probes observe:
+
+* ``execute_timer`` / ``execute_subscription`` / ``execute_service`` /
+  ``execute_client`` entry and exit (P2/P4, P5/P8, P9/P11, P12/P15),
+* ``rcl_timer_call`` (P3), ``rmw_take_int`` (P6), ``rmw_take_request``
+  (P10), ``rmw_take_response`` (P13), ``take_type_erased_response``
+  (P14) and ``message_filters:operator()`` (P7) inside them.
+
+Ready-set polling order mirrors rclcpp's wait-set ordering: timers,
+then subscriptions, then services, then clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ...sim.threads import Block, Compute
+from ...sim.workload import WorkloadModel
+from ...ros2.message_filters import SYNC_OPERATOR_SYMBOL
+from ...ros2.subscription import MessageInfo
+from ...ros2.service import ResponseEnvelope
+
+
+class CallbackApi:
+    """Facilities available to user callbacks while they run.
+
+    Instances are created per dispatch and passed as the first argument
+    to every user callback.
+    """
+
+    def __init__(self, node):
+        self.node = node
+        self.world = node.world
+
+    @property
+    def now(self) -> int:
+        """Current simulated time (ns)."""
+        return self.world.now
+
+    def compute(self, duration_ns: int) -> Compute:
+        """Request ``duration_ns`` of CPU time: ``yield api.compute(...)``."""
+        return Compute(duration_ns)
+
+    def work(self, model: WorkloadModel) -> Compute:
+        """Request CPU time drawn from a workload model."""
+        return Compute(model.sample(self.world.rng))
+
+    def publish(self, publisher, msg: Any = None) -> int:
+        """Publish on a topic from within the running callback."""
+        return publisher.publish(msg)
+
+    def call(self, client, data: Any = None) -> int:
+        """Send an asynchronous service request from the running callback."""
+        return client.call_async(data)
+
+
+class SingleThreadedExecutor:
+    """Dispatch loop bound to one node (and one OS thread)."""
+
+    def __init__(self, node):
+        self.node = node
+        self.dispatches = 0
+
+    # ------------------------------------------------------------------
+
+    def notify(self) -> None:
+        """Wake the executor thread: new data or a timer tick."""
+        thread = self.node._thread
+        if thread is not None:
+            self.node.world.scheduler.wakeup(thread)
+
+    # ------------------------------------------------------------------
+
+    def activity(self):
+        """The executor thread's activity generator."""
+        world = self.node.world
+        # Node init: announce name->PID (ROS2-INIT tracer's P1).
+        world.symbols.call(
+            "rmw_cyclonedds_cpp:rmw_create_node", self.node._rmw_create_node, self.node
+        )
+        for timer in self.node.timers:
+            timer._start()
+        while True:
+            item = self._pick_ready()
+            if item is None:
+                yield Block()
+                continue
+            self.dispatches += 1
+            kind, entity = item
+            if kind == "timer":
+                yield from world.symbols.call_gen(
+                    "rclcpp:execute_timer", self._execute_timer, entity
+                )
+            elif kind == "subscription":
+                yield from world.symbols.call_gen(
+                    "rclcpp:execute_subscription", self._execute_subscription, entity
+                )
+            elif kind == "service":
+                yield from world.symbols.call_gen(
+                    "rclcpp:execute_service", self._execute_service, entity
+                )
+            else:
+                yield from world.symbols.call_gen(
+                    "rclcpp:execute_client", self._execute_client, entity
+                )
+
+    def _pick_ready(self) -> Optional[tuple]:
+        node = self.node
+        for timer in node.timers:
+            if timer.ready:
+                return ("timer", timer)
+        for sub in node.subscriptions:
+            if sub.reader.queue:
+                return ("subscription", sub)
+        for service in node.services:
+            if service.reader.queue:
+                return ("service", service)
+        for client in node.clients:
+            if client.reader.queue:
+                return ("client", client)
+        return None
+
+    # -- per-kind dispatch bodies (the probed execute_* functions) -----------
+
+    def _execute_timer(self, timer):
+        world = self.node.world
+        world.symbols.call("rcl:rcl_timer_call", timer._rcl_call, timer)
+        api = CallbackApi(self.node)
+        yield from self._run_callback(timer.callback, api, None)
+
+    def _execute_subscription(self, sub):
+        world = self.node.world
+        msg_info = MessageInfo()
+        payload = world.symbols.call(
+            "rmw_cyclonedds_cpp:rmw_take_int", sub._rmw_take, sub, msg_info
+        )
+        api = CallbackApi(self.node)
+        if sub.sync_filter is not None:
+            yield from world.symbols.call_gen(
+                SYNC_OPERATOR_SYMBOL, sub.sync_filter.add, sub, payload, api
+            )
+        else:
+            yield from self._run_callback(sub.callback, api, payload)
+
+    def _execute_service(self, service):
+        world = self.node.world
+        msg_info = MessageInfo()
+        request = world.symbols.call(
+            "rmw_cyclonedds_cpp:rmw_take_request",
+            service._rmw_take_request,
+            service,
+            msg_info,
+        )
+        api = CallbackApi(self.node)
+        response_data = yield from self._run_callback(
+            service.handler, api, request.data
+        )
+        envelope = ResponseEnvelope(
+            client_id=request.client_id, seq=request.seq, data=response_data
+        )
+        world.dds.write(service.response_writer, envelope)
+
+    def _execute_client(self, client):
+        world = self.node.world
+        msg_info = MessageInfo()
+        envelope = world.symbols.call(
+            "rmw_cyclonedds_cpp:rmw_take_response",
+            client._rmw_take_response,
+            client,
+            msg_info,
+        )
+        dispatched = world.symbols.call(
+            "rclcpp:take_type_erased_response", client._take_type_erased, envelope
+        )
+        if dispatched:
+            api = CallbackApi(self.node)
+            yield from self._run_callback(client.callback, api, envelope.data)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _run_callback(callback: Optional[Callable], api: CallbackApi, msg: Any):
+        """Run a user callback: plain function or compute-yielding
+        generator; returns the callback's return value."""
+        if callback is None:
+            return None
+        result = callback(api, msg)
+        if result is not None and hasattr(result, "__next__"):
+            value = yield from result
+            return value
+        return result

@@ -1,5 +1,10 @@
 """Frozen pre-optimization copy (perf baseline; see repro._legacy). Do not optimize.
 
+Wires the whole frozen substrate stack together: the PR-2 freeze of the
+kernel/scheduler/tracing chain plus the PR-10 freeze of the executor and
+DDS bus (:mod:`repro._legacy.ros2`), so ``repro perf`` measures the
+optimized tree against genuinely unoptimized hot loops.
+
 The simulated machine: clock, CPUs, middleware symbols and DDS bus.
 
 A :class:`World` is the top-level container every experiment starts from.
@@ -80,10 +85,14 @@ class World:
             "sched:sched_switch": self.scheduler.on_sched_switch,
             "sched:sched_wakeup": self.scheduler.on_sched_wakeup,
         }
-        # DDS bus (import here to avoid a package cycle at import time).
-        from ..ros2.dds import DdsBus
+        # Frozen DDS bus + executor (imports here avoid a package cycle
+        # at import time).  Nodes consult ``executor_cls`` so a node
+        # built on a legacy world gets the pre-overhaul dispatch loop.
+        from .ros2.dds import DdsBus
+        from .ros2.executor import SingleThreadedExecutor
 
         self.dds = DdsBus(self, latency_ns=dds_latency_ns)
+        self.executor_cls = SingleThreadedExecutor
         #: Nodes registered on this world (populated by Node.__init__).
         self.nodes: List = []
         self._launched = False

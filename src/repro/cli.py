@@ -951,9 +951,11 @@ def _cmd_perf(args) -> int:
     import json
 
     from .perf import (
+        PROFILE_SECTIONS,
         SCALES,
         check_regression,
         format_report,
+        profile_section,
         run_perf_suite,
         write_payload,
     )
@@ -962,6 +964,18 @@ def _cmd_perf(args) -> int:
         print(f"unknown scale {args.scale!r}; choose from {sorted(SCALES)}",
               file=sys.stderr)
         return 2
+    if args.profile:
+        if args.profile not in PROFILE_SECTIONS:
+            print(
+                f"unknown profile section {args.profile!r}; "
+                f"choose from {sorted(PROFILE_SECTIONS)}",
+                file=sys.stderr,
+            )
+            return 2
+        out = args.out or f"{args.profile}.pstats"
+        print(profile_section(args.profile, args.scale, out=out, top=args.top))
+        print(f"wrote {out}")
+        return 0
     payload = run_perf_suite(
         args.scale,
         baseline_src=args.baseline_src,
@@ -1315,6 +1329,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "--factor")
     perf.add_argument("--factor", type=float, default=2.0,
                       help="allowed regression factor for --check")
+    perf.add_argument("--profile",
+                      help="cProfile one section (sim | sim-legacy | "
+                           "synthesis | batch) instead of running the "
+                           "suite; writes a .pstats artifact (--out "
+                           "overrides the path)")
+    perf.add_argument("--top", type=int, default=25,
+                      help="rows of the --profile top-N report")
 
     return parser
 

@@ -2,6 +2,7 @@
 
 from .bench import (
     BENCH_SCENARIO,
+    PROFILE_SECTIONS,
     SCALES,
     BenchScale,
     bench_jobs_scaling,
@@ -13,12 +14,14 @@ from .bench import (
     check_regression,
     format_report,
     measure_baseline_batch,
+    profile_section,
     run_perf_suite,
     write_payload,
 )
 
 __all__ = [
     "BENCH_SCENARIO",
+    "PROFILE_SECTIONS",
     "SCALES",
     "BenchScale",
     "bench_jobs_scaling",
@@ -30,6 +33,7 @@ __all__ = [
     "check_regression",
     "format_report",
     "measure_baseline_batch",
+    "profile_section",
     "run_perf_suite",
     "write_payload",
 ]

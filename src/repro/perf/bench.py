@@ -205,8 +205,37 @@ def bench_synthesis(scale: BenchScale) -> Dict[str, Any]:
 # Micro: simulation
 # ---------------------------------------------------------------------------
 
+def _count_calls(fn) -> int:
+    """Python function calls made by ``fn()``, via ``sys.setprofile``.
+
+    Counts ``call`` events only (C calls excluded): the flattened
+    dispatch work of this PR removes Python frames, and that is the
+    machine-independent quantity worth pinning.  Run separately from the
+    timed reps -- the profile hook itself costs more than the workload.
+    """
+    calls = 0
+
+    def tracer(frame, event, arg):
+        nonlocal calls
+        if event == "call":
+            calls += 1
+
+    sys.setprofile(tracer)
+    try:
+        fn()
+    finally:
+        sys.setprofile(None)
+    return calls
+
+
 def bench_sim(scale: BenchScale) -> Dict[str, Any]:
-    """Traced-simulation wall-clock, new stack vs frozen legacy stack."""
+    """Traced-simulation wall-clock, new stack vs frozen legacy stack.
+
+    Both stacks replay the identical workload and -- pinned by
+    ``tests/test_perf_equivalence.py`` -- emit byte-identical traces, so
+    one event count serves as the denominator for both sides'
+    calls-per-event figures.
+    """
     duration_ns = scale.sim_duration_s * SEC
     new_s = _best_of(lambda: _simulate(0, duration_ns), scale.reps)
     legacy_s = _best_of(
@@ -215,13 +244,22 @@ def bench_sim(scale: BenchScale) -> Dict[str, Any]:
     )
     trace = _simulate(0, duration_ns)
     events = len(trace.ros_events) + len(trace.sched_events)
+    new_calls = _count_calls(lambda: _simulate(0, duration_ns))
+    legacy_calls = _count_calls(
+        lambda: _simulate(0, duration_ns, LegacyWorld, LegacyTracingSession)
+    )
     return {
         "sim_seconds": scale.sim_duration_s,
         "trace_events": events,
         "new_s": round(new_s, 6),
         "legacy_s": round(legacy_s, 6),
-        "speedup": round(legacy_s / new_s, 3),
+        "speedup_vs_legacy": round(legacy_s / new_s, 3),
         "events_per_sec": round(events / new_s),
+        "python_calls": new_calls,
+        "legacy_python_calls": legacy_calls,
+        "calls_per_event": round(new_calls / max(1, events), 2),
+        "legacy_calls_per_event": round(legacy_calls / max(1, events), 2),
+        "call_reduction_vs_legacy": round(legacy_calls / max(1, new_calls), 3),
     }
 
 
@@ -636,6 +674,80 @@ def bench_service_ingest(scale: BenchScale) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# Profiling: repro perf --profile SECTION
+# ---------------------------------------------------------------------------
+
+#: Sections accepted by :func:`profile_section` and the CLI's
+#: ``--profile`` flag, with what each one profiles.
+PROFILE_SECTIONS: Dict[str, str] = {
+    "sim": "one traced simulation run on the new stack",
+    "sim-legacy": "one traced simulation run on the frozen legacy stack",
+    "synthesis": "trace -> DAG synthesis of a merged multi-run trace",
+    "batch": "the reduced Table II serial batch",
+}
+
+
+def profile_section(
+    section: str,
+    scale_name: str = "default",
+    out: Optional[str] = None,
+    top: int = 25,
+) -> str:
+    """cProfile one benchmark section and return a top-``top`` report.
+
+    Setup work (building the traces a synthesis profile consumes) runs
+    outside the profiled region, so the report shows only the section's
+    own frames.  When ``out`` is given the raw stats are dumped there as
+    a ``.pstats`` artifact -- loadable with ``pstats.Stats(out)`` or any
+    flamegraph converter -- alongside the returned text.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if section not in PROFILE_SECTIONS:
+        raise ValueError(
+            f"unknown profile section {section!r}; "
+            f"choose from {sorted(PROFILE_SECTIONS)}"
+        )
+    scale = SCALES[scale_name]
+
+    if section == "sim":
+        target = lambda: _simulate(0, scale.sim_duration_s * SEC)
+    elif section == "sim-legacy":
+        target = lambda: _simulate(
+            0, scale.sim_duration_s * SEC, LegacyWorld, LegacyTracingSession
+        )
+    elif section == "synthesis":
+        duration_ns = scale.synthesis_duration_s * SEC
+        merged = Trace.merge(
+            [_simulate(i, duration_ns) for i in range(scale.synthesis_runs)]
+        )
+        target = lambda: synthesize_from_trace(merged)
+    else:  # batch
+        target = lambda: _batch_once(
+            scale.batch_runs, scale.batch_duration_s, jobs=1
+        )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    target()
+    profiler.disable()
+
+    if out is not None:
+        profiler.dump_stats(out)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(top)
+    header = (
+        f"profile section={section} scale={scale_name}"
+        + (f" pstats={out}" if out else "")
+        + f"\n{PROFILE_SECTIONS[section]}\n"
+    )
+    return header + stream.getvalue()
+
+
+# ---------------------------------------------------------------------------
 # Suite + regression gate
 # ---------------------------------------------------------------------------
 
@@ -678,7 +790,11 @@ def run_perf_suite(
 REGRESSION_METRICS = (
     ("micro.synthesis.merged.speedup", "merged-trace synthesis speedup"),
     ("micro.synthesis.single.speedup", "single-trace synthesis speedup"),
-    ("micro.sim.speedup", "sim stack speedup"),
+    ("micro.sim.speedup_vs_legacy", "sim stack speedup"),
+    # Deterministic Python-call ratio, not a timing: the flattened
+    # dispatch must keep doing several times fewer frames per trace
+    # event than the legacy stack.
+    ("micro.sim.call_reduction_vs_legacy", "sim stack call reduction"),
     ("store.encode.speedup_vs_json", "binary store encode speedup"),
     ("store.decode.speedup_vs_json", "binary store decode speedup"),
     ("store.synthesis.speedup_vs_inline", "store synthesis vs inline ratio"),
@@ -747,7 +863,10 @@ def format_report(payload: Dict[str, Any]) -> str:
         f"sim               ({sim['trace_events']} trace events / "
         f"{sim['sim_seconds']} sim-s): {sim['new_s']:.3f} s, "
         f"{sim['events_per_sec'] / 1e3:.0f} kev/s, "
-        f"{sim['speedup']:.2f}x vs legacy stack",
+        f"{sim['speedup_vs_legacy']:.2f}x vs legacy stack, "
+        f"{sim['calls_per_event']:.1f} calls/event "
+        f"(legacy {sim['legacy_calls_per_event']:.1f}, "
+        f"{sim['call_reduction_vs_legacy']:.2f}x fewer)",
         f"table2 batch      ({batch['runs']} x {batch['duration_s']} s): "
         f"{batch['new_s']:.3f} s"
         + (

@@ -12,13 +12,31 @@ Delivery is asynchronous: samples arrive at reader queues after the
 configured one-way latency, then the reader's listener (the owning
 node's executor) is notified.  Reader queues honour ``KEEP_LAST`` QoS
 depth with oldest-drop semantics.
+
+Hot-loop engineering (pinned byte-identical to the pre-overhaul copy in
+:mod:`repro._legacy.ros2.dds` by ``tests/test_perf_equivalence.py``):
+
+* one write schedules *one* kernel event regardless of reader count.
+  The pre-overhaul bus scheduled one event -- and allocated one
+  ``functools.partial`` closure -- per (writer, reader) pair.  All
+  deliveries of a write happen at the same instant with consecutive
+  sequence numbers and no other event can interleave between them
+  (every kernel event in the production stack runs at priority 0, and
+  anything scheduled during the fanout gets a larger sequence number
+  either way), so collapsing them into one event that fans out over the
+  reader list in order is observationally identical: sequence numbers
+  are not traced;
+* reader queues are ``deque(maxlen=depth)`` rings: the oldest-drop on
+  overflow happens inside the C ring instead of an explicit
+  length-check + ``popleft``.  The ``dropped`` counter is maintained by
+  checking fullness *before* the append, which is equivalent because
+  the length never exceeds ``maxlen``.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from functools import partial
 from typing import Any, Callable, Deque, Dict, List, NamedTuple, Optional
 
 from .qos import DEFAULT_QOS, QoSProfile
@@ -63,7 +81,10 @@ class DdsReader:
         self.qos = qos
         self.listener = listener
         self.kind = kind
-        self.queue: Deque[Sample] = deque()
+        # KEEP_LAST ring: the deque's maxlen drops the oldest sample on
+        # overflow at C level (QoS depth is always >= 1).
+        self.queue: Deque[Sample] = deque(maxlen=qos.depth)
+        self._depth = qos.depth
         self.dropped = 0
         self.received = 0
 
@@ -73,16 +94,26 @@ class DdsReader:
 
     def deliver(self, sample: Sample) -> None:
         self.received += 1
-        if len(self.queue) >= self.qos.depth:
-            self.queue.popleft()
+        queue = self.queue
+        if len(queue) == self._depth:  # full: the append evicts the oldest
             self.dropped += 1
-        self.queue.append(sample)
+        queue.append(sample)
         self.listener(self)
 
     def take(self) -> Sample:
         if not self.queue:
             raise RuntimeError(f"take() on empty reader for {self.topic.name!r}")
         return self.queue.popleft()
+
+
+def _deliver_fanout(readers: tuple, sample: Sample) -> None:
+    """Deliver one write to every reader of a multi-reader topic.
+
+    Module-level (not a closure) so the batched write path allocates
+    nothing beyond the reader-snapshot tuple.
+    """
+    for reader in readers:
+        reader.deliver(sample)
 
 
 class DdsWriter:
@@ -114,8 +145,11 @@ class DdsBus:
         self.latency_ns = latency_ns
         self.topics: Dict[str, DdsTopic] = {}
         self.total_writes = 0
-        # The probeable symbol of this "shared object".
-        world.symbols.register("cyclonedds", "dds_write_impl")
+        # The probeable symbol of this "shared object".  Cached: write()
+        # inlines the probe trampoline around _dds_write_impl, checking
+        # the (live, mutated-in-place) probe lists directly instead of
+        # routing through SymbolTable.call's frame + name lookup.
+        self._write_symbol = world.symbols.register("cyclonedds", "dds_write_impl")
 
     def topic(self, name: str) -> DdsTopic:
         top = self.topics.get(name)
@@ -153,21 +187,48 @@ class DdsBus:
         function arguments -- the same struct traversal the paper's
         eBPF program performs.
         """
-        src_ts = self.world.now
-        self.world.symbols.call(
-            DDS_WRITE_SYMBOL, self._dds_write_impl, writer, payload, src_ts
-        )
+        world = self.world
+        src_ts = world.kernel._now
+        # Inlined SymbolTable.call (one write per traced message makes
+        # the frame + name lookup measurable): same contract -- one
+        # context serves entry and exit, probes fire around the body.
+        symbol = self._write_symbol
+        entry = symbol.entry_probes
+        exits = symbol.exit_probes
+        if entry or exits:
+            args = (writer, payload, src_ts)
+            ctx = world._probe_context()
+            for probe in entry:
+                probe(ctx, args)
+            result = self._dds_write_impl(writer, payload, src_ts)
+            for probe in exits:
+                probe(ctx, args, result)
+        else:
+            self._dds_write_impl(writer, payload, src_ts)
         return src_ts
 
     def _dds_write_impl(self, writer: DdsWriter, payload: Any, src_ts: int) -> None:
         writer.written += 1
         self.total_writes += 1
-        pid = self._current_pid()
-        sample = Sample(payload, src_ts, writer.kind, pid)
-        schedule_after = self.world.kernel.schedule_after
-        latency = self.latency_ns
-        for reader in writer.topic.readers:
-            schedule_after(latency, partial(reader.deliver, sample))
+        thread = self.world.scheduler._advancing
+        sample = tuple.__new__(
+            Sample,
+            (payload, src_ts, writer.kind, thread.pid if thread is not None else 0),
+        )
+        readers = writer.topic.readers
+        if not readers:
+            return
+        # One kernel event per write (see module docstring for why this
+        # is observationally identical to one event per reader).  The
+        # single-reader topic -- the overwhelmingly common case -- posts
+        # the delivery directly; fanout snapshots the reader list so a
+        # reader created between write and delivery is not included.
+        if len(readers) == 1:
+            self.world.kernel.post_after(self.latency_ns, readers[0].deliver, (sample,))
+        else:
+            self.world.kernel.post_after(
+                self.latency_ns, _deliver_fanout, (tuple(readers), sample)
+            )
 
     def _current_pid(self) -> int:
         thread = self.world.scheduler._advancing

@@ -108,7 +108,10 @@ class Node:
         self.clients: List[Client] = []
         self.publishers: List[Publisher] = []
         self.synchronizers: List[TimeSynchronizer] = []
-        self.executor = SingleThreadedExecutor(self)
+        # Legacy/reference worlds override ``executor_cls`` to pin the
+        # frozen pre-overhaul dispatch loop (see repro._legacy.ros2).
+        executor_cls = getattr(world, "executor_cls", SingleThreadedExecutor)
+        self.executor = executor_cls(self)
         self.pid: Optional[int] = None
         self._thread = None
         self._cb_counter = 0

@@ -56,14 +56,23 @@ class Timer:
         if self._started:
             return
         self._started = True
+        # Cache the arming call for the per-tick re-arm: the token API
+        # (``post_after``) when the kernel has one, else plain
+        # ``schedule_after`` so the timer stays usable on every kernel,
+        # including the frozen legacy one.
         kernel = self.node.world.kernel
-        kernel.schedule_after(self.phase_ns, self._tick)
+        post_after = getattr(kernel, "post_after", None)
+        if post_after is not None:
+            self._arm = post_after
+        else:
+            self._arm = lambda delay, fn: kernel.schedule_after(delay, fn)
+        self._arm(self.phase_ns, self._tick)
 
     def _tick(self) -> None:
         self.ticks += 1
         self.ready = True
         self.node.executor.notify()
-        self.node.world.kernel.schedule_after(self.period_ns, self._tick)
+        self._arm(self.period_ns, self._tick)
 
     def _rcl_call(self, timer: "Timer") -> str:
         """``rcl_timer_call``: consume readiness, return the CB id (P3)."""

@@ -140,10 +140,11 @@ class SchedulingPolicy:
         """
         victim = None
         victim_badness = None
+        affinity = thread.affinity  # inlined can_run_on: one scan per placement
         for cpu in self.scheduler.cpus:
             if dirty_only and not cpu.dirty:
                 continue
-            if not thread.can_run_on(cpu.id):
+            if affinity is not None and cpu.id not in affinity:
                 continue
             current = cpu.current
             if current is None:
@@ -223,7 +224,8 @@ class PriorityRoundRobin(SchedulingPolicy):
         for prio in reversed(self._ready_prios):
             dq = self._ready[prio]
             for thread in dq:
-                if thread.can_run_on(cpu_id):
+                affinity = thread.affinity  # inlined can_run_on (hot: every dispatch)
+                if affinity is None or cpu_id in affinity:
                     dq.remove(thread)
                     if not dq:
                         self._drop_ready_prio(prio)
@@ -245,8 +247,9 @@ class PriorityRoundRobin(SchedulingPolicy):
 
     def _best_ready_priority(self, cpu_id: int) -> Optional[int]:
         for prio in reversed(self._ready_prios):
-            if any(t.can_run_on(cpu_id) for t in self._ready[prio]):
-                return prio
+            for t in self._ready[prio]:  # inlined can_run_on (fires per quantum expiry)
+                if t.affinity is None or cpu_id in t.affinity:
+                    return prio
         return None
 
     def should_rotate(self, cpu_id: int, thread: SimThread) -> bool:
@@ -304,7 +307,10 @@ class _KeyedPolicy(SchedulingPolicy):
     def pick(self, cpu_id: int) -> Optional[SimThread]:
         best = None
         for entry in self._queue:
-            if entry[2].can_run_on(cpu_id) and (best is None or entry[:2] < best[:2]):
+            affinity = entry[2].affinity  # inlined can_run_on
+            if (affinity is None or cpu_id in affinity) and (
+                best is None or entry[:2] < best[:2]
+            ):
                 best = entry
         if best is None:
             return None
@@ -327,7 +333,11 @@ class _KeyedPolicy(SchedulingPolicy):
         return self._key(running)
 
     def should_rotate(self, cpu_id: int, thread: SimThread) -> bool:
-        return any(entry[2].can_run_on(cpu_id) for entry in self._queue)
+        for entry in self._queue:  # inlined can_run_on
+            affinity = entry[2].affinity
+            if affinity is None or cpu_id in affinity:
+                return True
+        return False
 
 
 class ShortestJobFirst(_KeyedPolicy):

@@ -36,9 +36,10 @@ from __future__ import annotations
 from functools import partial
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Union
 
-from .kernel import EventHandle, MSEC, SimKernel
+from .kernel import MSEC, SimKernel
 from .policies import SchedulingPolicy, make_policy
 from .threads import (
+    _SCHED_CHARS,
     Activity,
     Block,
     Compute,
@@ -90,16 +91,29 @@ class SchedWakeup(NamedTuple):
 
 class _Cpu:
     __slots__ = (
-        "id", "current", "dispatch_time", "completion", "slice_handle",
-        "busy_time", "dirty",
+        "id", "current", "dispatch_time", "completion", "completion_time",
+        "slice_handle", "slice_deadline", "busy_time", "dirty", "swapper_comm",
     )
 
     def __init__(self, cpu_id: int):
         self.id = cpu_id
         self.current: Optional[SimThread] = None
         self.dispatch_time = 0
-        self.completion: Optional[EventHandle] = None
-        self.slice_handle: Optional[EventHandle] = None
+        #: Idle-task comm, prebuilt: formatting it per idle switch costs
+        #: more than the rest of the sched_switch record combined.
+        self.swapper_comm = f"swapper/{cpu_id}"
+        #: Kernel tokens (or legacy handles) for the armed completion /
+        #: quantum timers; None when unarmed.
+        self.completion: Optional[Any] = None
+        #: Absolute fire time of the armed completion (valid while
+        #: ``completion`` is set); lets the lazy quantum check whether a
+        #: compute segment crosses the slice deadline.
+        self.completion_time = 0
+        self.slice_handle: Optional[Any] = None
+        #: Absolute expiry of the current thread's quantum, tracked even
+        #: while no slice event is armed (see Scheduler._install for the
+        #: lazy-arming rules); None for untimesliced (FIFO) threads.
+        self.slice_deadline: Optional[int] = None
         self.busy_time = 0
         #: Touched by a placement during the current ``_resched`` call
         #: (see there); only dirty CPUs can newly accept a thread that
@@ -150,6 +164,22 @@ class Scheduler:
         self._resched_pending = False
         self._advancing: Optional[SimThread] = None
         self.context_switches = 0
+        # Timer fast path: the slab kernel's token API schedules the
+        # per-dispatch completion/quantum timers without allocating a
+        # ``functools.partial`` per dispatch.  Pre-token kernels (the
+        # frozen legacy kernel) are adapted through handles.
+        post_after = getattr(kernel, "post_after", None)
+        if post_after is not None:
+            self._post_after: Callable = post_after
+            self._cancel_timer: Callable = kernel.cancel
+        else:
+            schedule_after = kernel.schedule_after
+
+            def _post_after(delay: int, fn: Callable, args: tuple = ()):
+                return schedule_after(delay, partial(fn, *args) if args else fn)
+
+            self._post_after = _post_after
+            self._cancel_timer = lambda handle: handle.cancel()
 
     # ------------------------------------------------------------------
     # Public API
@@ -229,15 +259,23 @@ class Scheduler:
         """
         if isinstance(thread, int):
             thread = self._threads[thread]
-        if thread.state == ThreadState.DEAD:
-            return
-        if thread.state == ThreadState.BLOCKED:
+        state = thread.state
+        if state is ThreadState.BLOCKED:
             thread.resume_value = payload
-            self._emit_wakeup(thread)
-            self._enqueue_ready(thread)
-            self._request_resched()
-        else:
-            thread.queue_wakeup(payload)
+            if self._wakeup_hooks:
+                self._emit_wakeup(thread)
+            # Inlined _enqueue_ready + _request_resched (the hottest
+            # wakeup path: every delivery and timer tick lands here).
+            thread.state = ThreadState.READY
+            self.policy.enqueue(thread, front=False, woke=True)
+            if not self._resched_pending:
+                self._resched_pending = True
+                self._post_after(0, self._resched)
+        elif state is not ThreadState.DEAD:
+            # Inlined queue_wakeup (hot: wakeups racing a runnable
+            # thread coalesce here).
+            thread._pending_wakeup = True
+            thread._wakeup_payload = payload
 
     def on_sched_switch(self, hook: Callable[[SchedSwitch], None]) -> Callable[[], None]:
         """Register a ``sched_switch`` tracepoint consumer.
@@ -276,7 +314,7 @@ class Scheduler:
     def _request_resched(self) -> None:
         if not self._resched_pending:
             self._resched_pending = True
-            self.kernel.schedule_after(0, self._resched)
+            self._post_after(0, self._resched)
 
     def _resched(self) -> None:
         """Place ready threads, one ladder sweep per placement.
@@ -298,21 +336,28 @@ class Scheduler:
         for cpu in self.cpus:
             cpu.dirty = False
         policy = self.policy
-        failed: Dict[SimThread, None] = {}
+        placement_order = policy.placement_order
+        find_cpu = policy.find_cpu
+        # Lazily allocated: the common resched places one thread with no
+        # placement failures at all.
+        failed: Optional[Dict[SimThread, None]] = None
         placed = True
         while placed:
             placed = False
             # Fresh snapshot per sweep: the loop body mutates the ready
             # queue on a placement, then breaks out to re-scan.
-            for thread in policy.placement_order():
-                retry = thread in failed
-                cpu = policy.find_cpu(thread, dirty_only=retry)
+            for thread in placement_order():
+                retry = failed is not None and thread in failed
+                cpu = find_cpu(thread, dirty_only=retry)
                 if cpu is None:
                     if not retry:
+                        if failed is None:
+                            failed = {}
                         failed[thread] = None
                     continue
                 policy.remove(thread)
-                failed.pop(thread, None)
+                if failed is not None:
+                    failed.pop(thread, None)
                 prev = cpu.current
                 if prev is not None:
                     self._deschedule_current(cpu, requeue_front=True)
@@ -327,21 +372,44 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _install(self, cpu: _Cpu, thread: SimThread) -> None:
+        """Put ``thread`` on ``cpu`` and resume it.
+
+        Quantum timers are armed *lazily*: the slice event can only ever
+        fire while its thread still owns the CPU at the deadline, which
+        (threads occupy simulated time only inside Compute segments)
+        happens exactly when a completion is armed at or past the
+        deadline.  So instead of posting a slice event on every install
+        and cancelling it on almost every retire -- the single largest
+        source of kernel-queue traffic -- the deadline is recorded on
+        the CPU and the event is posted only when a completion crosses
+        it.  The slice is always posted immediately *before* the
+        crossing completion, reproducing the historical queue order for
+        same-instant ties: a pre-existing completion keeps its smaller
+        sequence number (fires first), the crossing completion gets a
+        larger one (slice fires first) -- exactly as when the slice was
+        armed eagerly at install/expiry time.
+        """
         cpu.current = thread
         thread.state = ThreadState.RUNNING
         thread.cpu = cpu.id
-        cpu.dispatch_time = self.kernel.now
-        # The quantum is armed *before* the completion event so the two
-        # keep their historical kernel-queue insertion order (trace
-        # byte-equality depends on event sequence numbers).
+        now = self.kernel._now
+        cpu.dispatch_time = now
+        post_after = self._post_after
         slice_ns = self.policy.timeslice_for(thread)
+        remaining = thread.remaining
         if slice_ns is not None:
-            cpu.slice_handle = self.kernel.schedule_after(
-                slice_ns, partial(self._slice_expired, cpu, thread)
-            )
-        if thread.remaining > 0:
-            cpu.completion = self.kernel.schedule_after(
-                thread.remaining, partial(self._compute_done, cpu, thread)
+            deadline = now + slice_ns
+            cpu.slice_deadline = deadline
+            if remaining > 0 and now + remaining >= deadline:
+                cpu.slice_handle = post_after(
+                    slice_ns, self._slice_expired, (cpu, thread)
+                )
+        else:
+            cpu.slice_deadline = None
+        if remaining > 0:
+            cpu.completion_time = now + remaining
+            cpu.completion = post_after(
+                remaining, self._compute_done, (cpu, thread)
             )
         else:
             value = thread.resume_value
@@ -349,41 +417,71 @@ class Scheduler:
             self._continue(cpu, thread, value)
 
     def _continue(self, cpu: _Cpu, thread: SimThread, value: Any) -> None:
-        """Advance the activity until it computes, blocks, yields or exits."""
-        while True:
-            self._advancing = thread
-            try:
-                request = thread.advance(value)
-            finally:
-                self._advancing = None
-            value = None
-            if request is None:
-                self._retire(cpu, thread, ThreadState.DEAD)
-                return
-            # Exact-type dispatch first (the requests are concrete
-            # protocol classes); isinstance fallback keeps subclasses
-            # working.
-            request_type = type(request)
-            if request_type is Compute or isinstance(request, Compute):
-                if request.duration == 0:
-                    continue
-                thread.remaining = request.duration
-                self.policy.on_compute(thread, request.duration)
-                cpu.dispatch_time = self.kernel.now
-                cpu.completion = self.kernel.schedule_after(
-                    request.duration, partial(self._compute_done, cpu, thread)
-                )
-                return
-            if request_type is Block or isinstance(request, Block):
-                if thread.has_pending_wakeup:
-                    value = thread.consume_wakeup()
-                    continue
-                self._retire(cpu, thread, ThreadState.BLOCKED)
-                return
-            if request_type is YieldCpu or isinstance(request, YieldCpu):
-                self._retire(cpu, thread, ThreadState.READY)
-                return
-            raise TypeError(f"activity of {thread} yielded {request!r}")
+        """Advance the activity until it computes, blocks, yields or exits.
+
+        ``_advancing`` is set once for the whole advance loop rather
+        than around each ``thread.advance`` call: only activity code
+        (which runs *inside* ``advance``) fires probes or publishes, so
+        the post-request bookkeeping running with ``_advancing`` still
+        set is unobservable -- and a nested install of the next thread
+        (via ``_retire``) re-enters ``_continue``, which maintains the
+        field itself.  Kernel events never run here (``kernel.run`` is
+        not reentrant), so interrupt-context consumers still see None.
+        """
+        advance = thread.advance
+        policy = self.policy
+        post_after = self._post_after
+        self._advancing = thread
+        try:
+            while True:
+                request = advance(value)
+                value = None
+                if request is None:
+                    self._retire(cpu, thread, ThreadState.DEAD)
+                    return
+                # Exact-type dispatch first (the requests are concrete
+                # protocol classes); isinstance fallback keeps subclasses
+                # working.
+                request_type = type(request)
+                if request_type is Compute or isinstance(request, Compute):
+                    duration = request.duration
+                    if duration == 0:
+                        continue
+                    thread.remaining = duration
+                    policy.on_compute(thread, duration)
+                    now = self.kernel._now
+                    cpu.dispatch_time = now
+                    end = now + duration
+                    # Lazy quantum (see _install): this segment crossing
+                    # the recorded deadline is what arms the slice event,
+                    # posted before the completion to keep legacy tie
+                    # order.
+                    deadline = cpu.slice_deadline
+                    if (
+                        deadline is not None
+                        and cpu.slice_handle is None
+                        and end >= deadline
+                    ):
+                        cpu.slice_handle = post_after(
+                            deadline - now, self._slice_expired, (cpu, thread)
+                        )
+                    cpu.completion_time = end
+                    cpu.completion = post_after(
+                        duration, self._compute_done, (cpu, thread)
+                    )
+                    return
+                if request_type is Block or isinstance(request, Block):
+                    if thread._pending_wakeup:
+                        value = thread.consume_wakeup()
+                        continue
+                    self._retire(cpu, thread, ThreadState.BLOCKED)
+                    return
+                if request_type is YieldCpu or isinstance(request, YieldCpu):
+                    self._retire(cpu, thread, ThreadState.READY)
+                    return
+                raise TypeError(f"activity of {thread} yielded {request!r}")
+        finally:
+            self._advancing = None
 
     def _retire(self, cpu: _Cpu, thread: SimThread, new_state: ThreadState) -> None:
         """Detach ``thread`` from ``cpu`` (blocked/dead/yielded) and
@@ -392,10 +490,10 @@ class Scheduler:
         thread.cpu = None
         thread.state = new_state
         cpu.current = None
-        if new_state == ThreadState.READY:
+        if new_state is ThreadState.READY:
             self._enqueue_ready(thread)  # sched_yield: tail of own prio
         nxt = self.policy.pick(cpu.id)
-        self._emit_switch(cpu, thread, new_state.sched_char(), nxt)
+        self._emit_switch(cpu, thread, _SCHED_CHARS[new_state], nxt)
         if nxt is not None:
             self._install(cpu, nxt)
 
@@ -404,7 +502,7 @@ class Scheduler:
         the thread back on the ready queue (front keeps FIFO semantics)."""
         thread = cpu.current
         assert thread is not None
-        elapsed = self.kernel.now - cpu.dispatch_time
+        elapsed = self.kernel._now - cpu.dispatch_time
         if thread.remaining > 0:
             thread.remaining -= elapsed
             assert thread.remaining >= 0, "compute segment over-ran its deadline"
@@ -417,17 +515,20 @@ class Scheduler:
         self._enqueue_ready(thread, front=requeue_front)
 
     def _cancel_cpu_timers(self, cpu: _Cpu) -> None:
+        # A token may be stale (its event fired, e.g. the completion
+        # behind a _compute_done that lost a preemption race); the
+        # kernel's generation tag makes cancelling it a no-op.
         if cpu.completion is not None:
-            cpu.completion.cancel()
+            self._cancel_timer(cpu.completion)
             cpu.completion = None
         if cpu.slice_handle is not None:
-            cpu.slice_handle.cancel()
+            self._cancel_timer(cpu.slice_handle)
             cpu.slice_handle = None
 
     def _compute_done(self, cpu: _Cpu, thread: SimThread) -> None:
         if cpu.current is not thread:  # stale event after a preemption race
             return
-        elapsed = self.kernel.now - cpu.dispatch_time
+        elapsed = self.kernel._now - cpu.dispatch_time
         thread.cpu_time += elapsed
         cpu.busy_time += elapsed
         self.policy.on_run(thread, elapsed)
@@ -451,10 +552,20 @@ class Scheduler:
             self._install(cpu, nxt)
             self._request_resched()
         else:
-            cpu.slice_handle = self.kernel.schedule_after(
-                self.policy.timeslice_for(thread),
-                partial(self._slice_expired, cpu, thread),
-            )
+            # Re-arm lazily (see _install): the fresh quantum is queried
+            # now -- same instant as the historical eager re-arm, so
+            # queue-length-sensitive policies (CFS) see identical state
+            # -- but the event is posted only if the in-flight segment
+            # crosses the new deadline.  The pending completion predates
+            # this instant, so on an exact tie it keeps the smaller
+            # sequence number, as it did against the eager re-arm.
+            slice_ns = self.policy.timeslice_for(thread)
+            deadline = self.kernel._now + slice_ns
+            cpu.slice_deadline = deadline
+            if cpu.completion is not None and cpu.completion_time >= deadline:
+                cpu.slice_handle = self._post_after(
+                    slice_ns, self._slice_expired, (cpu, thread)
+                )
 
     # ------------------------------------------------------------------
     # Tracepoint emission
@@ -473,16 +584,21 @@ class Scheduler:
         hooks = self._switch_hooks
         if not hooks:
             return  # no tracepoint consumers: skip record construction
-        record = SchedSwitch(
-            self.kernel.now,
-            cpu.id,
-            prev.pid if prev else IDLE_PID,
-            prev.name if prev else f"swapper/{cpu.id}",
-            prev.priority if prev else -1,
-            prev_state if prev else "R",
-            nxt.pid if nxt else IDLE_PID,
-            nxt.name if nxt else f"swapper/{cpu.id}",
-            nxt.priority if nxt else -1,
+        # tuple.__new__ skips the NamedTuple keyword wrapper -- one
+        # record per context switch makes the ~2x difference count.
+        record = tuple.__new__(
+            SchedSwitch,
+            (
+                self.kernel._now,
+                cpu.id,
+                prev.pid if prev else IDLE_PID,
+                prev.name if prev else cpu.swapper_comm,
+                prev.priority if prev else -1,
+                prev_state if prev else "R",
+                nxt.pid if nxt else IDLE_PID,
+                nxt.name if nxt else cpu.swapper_comm,
+                nxt.priority if nxt else -1,
+            ),
         )
         for hook in hooks:
             hook(record)
@@ -491,12 +607,15 @@ class Scheduler:
         hooks = self._wakeup_hooks
         if not hooks:
             return
-        record = SchedWakeup(
-            self.kernel.now,
-            thread.cpu,
-            thread.pid,
-            thread.name,
-            thread.priority,
+        record = tuple.__new__(
+            SchedWakeup,
+            (
+                self.kernel._now,
+                thread.cpu,
+                thread.pid,
+                thread.name,
+                thread.priority,
+            ),
         )
         for hook in hooks:
             hook(record)

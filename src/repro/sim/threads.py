@@ -183,16 +183,16 @@ class SimThread:
         """Resume the activity generator, returning the next request.
 
         Returns ``None`` when the activity is exhausted (thread exits).
+        The started-path returns inside the ``try`` so the common case
+        (every resume after the first) is one branch + one ``send``.
         """
         try:
-            if not self._started:
-                self._started = True
-                request = next(self.activity)
-            else:
-                request = self.activity.send(value)
+            if self._started:
+                return self.activity.send(value)
+            self._started = True
+            return next(self.activity)
         except StopIteration:
             return None
-        return request
 
     def queue_wakeup(self, payload: Any = None) -> None:
         """Record a wakeup; consumed by the scheduler on next Block."""

@@ -141,12 +141,17 @@ class BpfProgram:
     target: str  # symbol or tracepoint name
     cost_ns: int
     run_cnt: int = 0
-    run_time_ns: int = 0
     _detach: Optional[Callable[[], None]] = field(default=None, repr=False)
+
+    @property
+    def run_time_ns(self) -> int:
+        """Derived, not accumulated: the modeled per-firing cost is a
+        constant, so the hot path pays one counter increment per firing
+        instead of two."""
+        return self.run_cnt * self.cost_ns
 
     def account(self) -> None:
         self.run_cnt += 1
-        self.run_time_ns += self.cost_ns
 
 
 class Bpf:
@@ -206,16 +211,36 @@ class Bpf:
             cost_ns=cost_ns,
         )
 
-        cost = cost_ns
-
         def trampoline(ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-            # Inlined program.account(): one probe firing per traced
-            # middleware call makes the extra frame measurable.
             program.run_cnt += 1
-            program.run_time_ns += cost
             handler(ctx, args)
 
         program._detach = self.symbols.attach_entry(symbol, trampoline)
+        self.programs.append(program)
+        return program
+
+    def load_uprobe(
+        self,
+        symbol: str,
+        factory: Callable[[BpfProgram], Callable[[ProbeContext, Tuple[Any, ...]], None]],
+        name: Optional[str] = None,
+        cost_ns: int = DEFAULT_UPROBE_COST_NS,
+    ) -> BpfProgram:
+        """Fused-attach variant of :meth:`attach_uprobe` for hot probes.
+
+        ``factory(program)`` returns the handler, which is attached
+        *directly* (no accounting trampoline, hence one call frame less
+        per firing).  The handler itself must bump ``program.run_cnt``
+        once per firing -- that is the whole accounting contract, since
+        ``run_time_ns`` is derived from the count.
+        """
+        program = BpfProgram(
+            name=name or f"uprobe__{symbol}",
+            kind="uprobe",
+            target=symbol,
+            cost_ns=cost_ns,
+        )
+        program._detach = self.symbols.attach_entry(symbol, factory(program))
         self.programs.append(program)
         return program
 
@@ -235,14 +260,31 @@ class Bpf:
             cost_ns=cost_ns,
         )
 
-        cost = cost_ns
-
         def trampoline(ctx: ProbeContext, args: Tuple[Any, ...], retval: Any) -> None:
             program.run_cnt += 1
-            program.run_time_ns += cost
             handler(ctx, args, retval)
 
         program._detach = self.symbols.attach_exit(symbol, trampoline)
+        self.programs.append(program)
+        return program
+
+    def load_uretprobe(
+        self,
+        symbol: str,
+        factory: Callable[
+            [BpfProgram], Callable[[ProbeContext, Tuple[Any, ...], Any], None]
+        ],
+        name: Optional[str] = None,
+        cost_ns: int = DEFAULT_UPROBE_COST_NS,
+    ) -> BpfProgram:
+        """Fused-attach uretprobe (see :meth:`load_uprobe`)."""
+        program = BpfProgram(
+            name=name or f"uretprobe__{symbol}",
+            kind="uretprobe",
+            target=symbol,
+            cost_ns=cost_ns,
+        )
+        program._detach = self.symbols.attach_exit(symbol, factory(program))
         self.programs.append(program)
         return program
 
@@ -268,14 +310,36 @@ class Bpf:
             cost_ns=cost_ns,
         )
 
-        cost = cost_ns
-
         def trampoline(record: Any) -> None:
             program.run_cnt += 1
-            program.run_time_ns += cost
             handler(record)
 
         program._detach = attach(trampoline)
+        self.programs.append(program)
+        return program
+
+    def load_tracepoint(
+        self,
+        tracepoint: str,
+        factory: Callable[[BpfProgram], Callable[[Any], None]],
+        name: Optional[str] = None,
+        cost_ns: int = DEFAULT_TRACEPOINT_COST_NS,
+    ) -> BpfProgram:
+        """Fused-attach tracepoint (see :meth:`load_uprobe`)."""
+        try:
+            attach = self._tracepoints[tracepoint]
+        except KeyError:
+            raise BpfError(
+                f"unknown tracepoint {tracepoint!r} "
+                f"(known: {sorted(self._tracepoints)})"
+            ) from None
+        program = BpfProgram(
+            name=name or f"tracepoint__{tracepoint.replace(':', '__')}",
+            kind="tracepoint",
+            target=tracepoint,
+            cost_ns=cost_ns,
+        )
+        program._detach = attach(factory(program))
         self.programs.append(program)
         return program
 

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
-from .bpf import Bpf, BpfMap, PerfBuffer
+from .bpf import Bpf, BpfMap, BpfProgram, PerfBuffer
 from .events import (
+    _NO_DATA,
     P1_CREATE_NODE,
     P2_TIMER_START,
     P3_TIMER_CALL,
@@ -54,17 +55,19 @@ def _submit(buffer: PerfBuffer, event: TraceEvent) -> None:
     # PerfBuffer.submit(): one firing per traced middleware call makes
     # each saved frame measurable.  Keep in sync with both originals
     # (the other inlined submit lives in tracers.KernelTracer._on_switch).
-    size = EVENT_HEADER_BYTES
-    data = event.data
-    if data:
-        for value in data.values():
-            size += len(value) + 1 if type(value) is str else 8
+    # The capacity check runs before the size computation: a lost event
+    # never contributes to bytes_submitted, so its size is dead work.
     buffer.submitted += 1
     events = buffer._events
     if len(events) >= buffer.capacity:
         buffer.lost += 1
         return
     events.append(event)
+    size = EVENT_HEADER_BYTES
+    data = event.data
+    if data:
+        for value in data.values():
+            size += len(value) + 1 if type(value) is str else 8
     buffer.bytes_submitted += size
 
 
@@ -97,7 +100,30 @@ class InitProbes:
 
 
 class RuntimeProbes:
-    """P2..P16: the runtime probes used by the ROS2-RT tracer."""
+    """P2..P16: the runtime probes used by the ROS2-RT tracer.
+
+    The handlers are *fused closures* built at attach time through the
+    :meth:`~repro.tracing.bpf.Bpf.load_uprobe` family: program
+    accounting, field extraction, event construction and the perf-buffer
+    submit are one call frame per firing (plus the C-level
+    ``tuple.__new__``), where the original pipeline traversed trampoline
+    -> bound handler -> ``_submit`` -> ``TraceEvent.__new__``.  One
+    firing happens per traced middleware call, so the ~4 saved frames
+    dominate runtime-tracing overhead.  Three consequences of fusing:
+
+    * events are built with ``tuple.__new__(TraceEvent, (...))`` --
+      identical tuples to the keyword constructor at half the cost
+      (payload-free probes share the class-level ``_NO_DATA`` mapping,
+      exactly like the constructor default);
+    * encoded sizes are probe-shaped constants (header + per-field
+      sizes) instead of a generic ``event_size_bytes`` dict walk -- the
+      accounting is value-identical because every probe's payload schema
+      is fixed;
+    * the srcTS stash bypasses the :class:`BpfMap` method surface and
+      uses its backing dict: the stash is keyed by PID, far below the
+      map's capacity, and non-LRU, so ``update``/``lookup``/``delete``
+      reduce to plain dict ops.
+    """
 
     def __init__(self, bpf: Bpf, buffer: PerfBuffer):
         self.bpf = bpf
@@ -105,189 +131,253 @@ class RuntimeProbes:
         self.srcts_stash: BpfMap = bpf.get_table(SRCTS_STASH_MAP)
 
     def attach(self) -> None:
-        attach_u = self.bpf.attach_uprobe
-        attach_r = self.bpf.attach_uretprobe
+        bpf = self.bpf
+        buffer = self.buffer
+        stash = self.srcts_stash._data
+        tuple_new = tuple.__new__
+        event_cls = TraceEvent
+        header = EVENT_HEADER_BYTES
+        no_data = _NO_DATA
+        capacity = buffer.capacity  # fixed at construction
+
+        def simple(probe: str):
+            """Factory-maker for the payload-free execute_* edges."""
+
+            def factory(program: BpfProgram):
+                def fire(ctx, args, ret=None):
+                    program.run_cnt += 1
+                    buffer.submitted += 1
+                    events = buffer._events
+                    if len(events) >= capacity:
+                        buffer.lost += 1
+                        return
+                    events.append(
+                        tuple_new(event_cls, (ctx[0], ctx[1], probe, no_data))
+                    )
+                    buffer.bytes_submitted += header
+
+                return fire
+
+            return factory
+
+        def take_entry(program: BpfProgram):
+            """Entry of any rmw_take_*: the srcTS out-parameter is not
+            filled yet; stash its address (here: the object reference),
+            keyed by PID."""
+
+            def fire(ctx, args):
+                program.run_cnt += 1
+                stash[ctx[1]] = args[-1]
+
+            return fire
+
+        def timer_call(program: BpfProgram):
+            def fire(ctx, args):
+                program.run_cnt += 1
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                cb = args[0].cb_id
+                events.append(
+                    tuple_new(
+                        event_cls, (ctx[0], ctx[1], P3_TIMER_CALL, {"cb_id": cb})
+                    )
+                )
+                buffer.bytes_submitted += header + len(cb) + 1
+
+            return fire
+
+        def take_int_exit(program: BpfProgram):
+            def fire(ctx, args, ret):
+                program.run_cnt += 1
+                msg_info = stash.pop(ctx[1], None)
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                sub = args[0]
+                cb = sub.cb_id
+                topic = sub.topic
+                events.append(
+                    tuple_new(
+                        event_cls,
+                        (
+                            ctx[0],
+                            ctx[1],
+                            P6_TAKE,
+                            {
+                                "cb_id": cb,
+                                "topic": topic,
+                                "src_ts": None if msg_info is None else msg_info.src_ts,
+                            },
+                        ),
+                    )
+                )
+                buffer.bytes_submitted += header + len(cb) + len(topic) + 10
+
+            return fire
+
+        def take_request_exit(program: BpfProgram):
+            def fire(ctx, args, ret):
+                program.run_cnt += 1
+                msg_info = stash.pop(ctx[1], None)
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                service = args[0]
+                cb = service.cb_id
+                topic = service.request_topic
+                name = service.name
+                events.append(
+                    tuple_new(
+                        event_cls,
+                        (
+                            ctx[0],
+                            ctx[1],
+                            P10_TAKE_REQUEST,
+                            {
+                                "cb_id": cb,
+                                "topic": topic,
+                                "service": name,
+                                "src_ts": None if msg_info is None else msg_info.src_ts,
+                            },
+                        ),
+                    )
+                )
+                buffer.bytes_submitted += (
+                    header + len(cb) + len(topic) + len(name) + 11
+                )
+
+            return fire
+
+        def take_response_exit(program: BpfProgram):
+            def fire(ctx, args, ret):
+                program.run_cnt += 1
+                msg_info = stash.pop(ctx[1], None)
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                client = args[0]
+                cb = client.cb_id
+                topic = client.reader.topic.name
+                name = client.service_name
+                events.append(
+                    tuple_new(
+                        event_cls,
+                        (
+                            ctx[0],
+                            ctx[1],
+                            P13_TAKE_RESPONSE,
+                            {
+                                "cb_id": cb,
+                                "topic": topic,
+                                "service": name,
+                                "src_ts": None if msg_info is None else msg_info.src_ts,
+                            },
+                        ),
+                    )
+                )
+                buffer.bytes_submitted += (
+                    header + len(cb) + len(topic) + len(name) + 11
+                )
+
+            return fire
+
+        def take_type_erased_exit(program: BpfProgram):
+            def fire(ctx, args, ret):
+                program.run_cnt += 1
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                events.append(
+                    tuple_new(
+                        event_cls,
+                        (
+                            ctx[0],
+                            ctx[1],
+                            P14_TAKE_TYPE_ERASED,
+                            {"will_dispatch": int(bool(ret))},
+                        ),
+                    )
+                )
+                buffer.bytes_submitted += header + 8
+
+            return fire
+
+        def sync_operator(program: BpfProgram):
+            def fire(ctx, args):
+                program.run_cnt += 1
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                cb = args[0].cb_id
+                events.append(
+                    tuple_new(event_cls, (ctx[0], ctx[1], P7_SYNC_OP, {"cb_id": cb}))
+                )
+                buffer.bytes_submitted += header + len(cb) + 1
+
+            return fire
+
+        def dds_write(program: BpfProgram):
+            def fire(ctx, args):
+                program.run_cnt += 1
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                writer = args[0]
+                topic = writer.topic.name
+                kind = writer.kind
+                events.append(
+                    tuple_new(
+                        event_cls,
+                        (
+                            ctx[0],
+                            ctx[1],
+                            P16_DDS_WRITE,
+                            {"topic": topic, "src_ts": args[2], "kind": kind},
+                        ),
+                    )
+                )
+                buffer.bytes_submitted += header + len(topic) + len(kind) + 10
+
+            return fire
+
+        load_u = bpf.load_uprobe
+        load_r = bpf.load_uretprobe
         # Timer callbacks: P2 (start), P3 (ID), P4 (end).
-        attach_u("rclcpp:execute_timer", self._timer_entry, name="P2")
-        attach_u("rcl:rcl_timer_call", self._timer_call, name="P3")
-        attach_r("rclcpp:execute_timer", self._timer_exit, name="P4")
+        load_u("rclcpp:execute_timer", simple(P2_TIMER_START), name="P2")
+        load_u("rcl:rcl_timer_call", timer_call, name="P3")
+        load_r("rclcpp:execute_timer", simple(P4_TIMER_END), name="P4")
         # Subscriber callbacks: P5 (start), P6 (take), P7 (sync), P8 (end).
-        attach_u("rclcpp:execute_subscription", self._sub_entry, name="P5")
-        attach_u("rmw_cyclonedds_cpp:rmw_take_int", self._take_entry, name="P6.entry")
-        attach_r("rmw_cyclonedds_cpp:rmw_take_int", self._take_int_exit, name="P6")
-        attach_u("message_filters:operator()", self._sync_operator, name="P7")
-        attach_r("rclcpp:execute_subscription", self._sub_exit, name="P8")
+        load_u("rclcpp:execute_subscription", simple(P5_SUB_START), name="P5")
+        load_u("rmw_cyclonedds_cpp:rmw_take_int", take_entry, name="P6.entry")
+        load_r("rmw_cyclonedds_cpp:rmw_take_int", take_int_exit, name="P6")
+        load_u("message_filters:operator()", sync_operator, name="P7")
+        load_r("rclcpp:execute_subscription", simple(P8_SUB_END), name="P8")
         # Service callbacks: P9 (start), P10 (take request), P11 (end).
-        attach_u("rclcpp:execute_service", self._service_entry, name="P9")
-        attach_u(
-            "rmw_cyclonedds_cpp:rmw_take_request", self._take_entry, name="P10.entry"
-        )
-        attach_r(
-            "rmw_cyclonedds_cpp:rmw_take_request", self._take_request_exit, name="P10"
-        )
-        attach_r("rclcpp:execute_service", self._service_exit, name="P11")
+        load_u("rclcpp:execute_service", simple(P9_SERVICE_START), name="P9")
+        load_u("rmw_cyclonedds_cpp:rmw_take_request", take_entry, name="P10.entry")
+        load_r("rmw_cyclonedds_cpp:rmw_take_request", take_request_exit, name="P10")
+        load_r("rclcpp:execute_service", simple(P11_SERVICE_END), name="P11")
         # Client callbacks: P12 (start), P13 (take response), P14
         # (dispatch decision), P15 (end).
-        attach_u("rclcpp:execute_client", self._client_entry, name="P12")
-        attach_u(
-            "rmw_cyclonedds_cpp:rmw_take_response", self._take_entry, name="P13.entry"
-        )
-        attach_r(
-            "rmw_cyclonedds_cpp:rmw_take_response", self._take_response_exit, name="P13"
-        )
-        attach_r(
-            "rclcpp:take_type_erased_response", self._take_type_erased_exit, name="P14"
-        )
-        attach_r("rclcpp:execute_client", self._client_exit, name="P15")
+        load_u("rclcpp:execute_client", simple(P12_CLIENT_START), name="P12")
+        load_u("rmw_cyclonedds_cpp:rmw_take_response", take_entry, name="P13.entry")
+        load_r("rmw_cyclonedds_cpp:rmw_take_response", take_response_exit, name="P13")
+        load_r("rclcpp:take_type_erased_response", take_type_erased_exit, name="P14")
+        load_r("rclcpp:execute_client", simple(P15_CLIENT_END), name="P15")
         # DDS writes: P16.
-        attach_u("cyclonedds:dds_write_impl", self._dds_write, name="P16")
-
-    # -- execute_* start/end ---------------------------------------------
-
-    def _timer_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P2_TIMER_START))
-
-    def _timer_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P4_TIMER_END))
-
-    def _sub_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P5_SUB_START))
-
-    def _sub_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P8_SUB_END))
-
-    def _service_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P9_SERVICE_START))
-
-    def _service_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P11_SERVICE_END))
-
-    def _client_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P12_CLIENT_START))
-
-    def _client_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        _submit(self.buffer, TraceEvent(ctx[0], ctx[1], P15_CLIENT_END))
-
-    # -- timer ID ----------------------------------------------------------
-
-    def _timer_call(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        timer = args[0]
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P3_TIMER_CALL,
-                {"cb_id": timer.cb_id},
-            ),
-        )
-
-    # -- the srcTS entry/exit stash ----------------------------------------
-
-    def _take_entry(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        """Entry of any rmw_take_*: the srcTS out-parameter is not filled
-        yet; stash its address (here: the object reference), keyed by PID."""
-        msg_info = args[-1]
-        self.srcts_stash.update(ctx.pid, msg_info)
-
-    def _pop_src_ts(self, ctx: ProbeContext) -> Optional[int]:
-        msg_info = self.srcts_stash.lookup(ctx.pid)
-        self.srcts_stash.delete(ctx.pid)
-        return None if msg_info is None else msg_info.src_ts
-
-    def _take_int_exit(self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any) -> None:
-        sub = args[0]
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P6_TAKE,
-                {
-                    "cb_id": sub.cb_id,
-                    "topic": sub.topic,
-                    "src_ts": self._pop_src_ts(ctx),
-                },
-            ),
-        )
-
-    def _take_request_exit(
-        self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any
-    ) -> None:
-        service = args[0]
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P10_TAKE_REQUEST,
-                {
-                    "cb_id": service.cb_id,
-                    "topic": service.request_topic,
-                    "service": service.name,
-                    "src_ts": self._pop_src_ts(ctx),
-                },
-            ),
-        )
-
-    def _take_response_exit(
-        self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any
-    ) -> None:
-        client = args[0]
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P13_TAKE_RESPONSE,
-                {
-                    "cb_id": client.cb_id,
-                    "topic": client.reader.topic.name,
-                    "service": client.service_name,
-                    "src_ts": self._pop_src_ts(ctx),
-                },
-            ),
-        )
-
-    def _take_type_erased_exit(
-        self, ctx: ProbeContext, args: Tuple[Any, ...], ret: Any
-    ) -> None:
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P14_TAKE_TYPE_ERASED,
-                {"will_dispatch": int(bool(ret))},
-            ),
-        )
-
-    # -- sync + writes ---------------------------------------------------
-
-    def _sync_operator(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        sub = args[0]
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P7_SYNC_OP,
-                {"cb_id": sub.cb_id},
-            ),
-        )
-
-    def _dds_write(self, ctx: ProbeContext, args: Tuple[Any, ...]) -> None:
-        writer, _payload, src_ts = args
-        _submit(
-            self.buffer,
-            TraceEvent(
-                ctx[0],
-                ctx[1],
-                P16_DDS_WRITE,
-                {
-                    "topic": writer.topic.name,
-                    "src_ts": src_ts,
-                    "kind": writer.kind,
-                },
-            ),
-        )
+        load_u("cyclonedds:dds_write_impl", dds_write, name="P16")

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
-from .bpf import Bpf, BpfProgram, PerfBuffer
+from .bpf import DEFAULT_TRACEPOINT_COST_NS, Bpf, BpfProgram, PerfBuffer
 from .events import TraceEvent
 from .overhead import SCHED_EVENT_BYTES
 from .probes import ROS2_PIDS_MAP, InitProbes, RuntimeProbes
@@ -113,13 +113,56 @@ class KernelTracer(_TracerBase):
             "sched_wakeup", buffer_capacity
         )
         self.pid_map = bpf.get_table(ROS2_PIDS_MAP)
+        #: The in-kernel filter reads the map's backing dict directly
+        #: (one ``in`` per pid instead of two ``BpfMap.__contains__``
+        #: frames per switch).  ``_data`` is never rebound, so the
+        #: alias stays live across ``update``/``clear``.
+        self._pids = self.pid_map._data
         #: All tracepoint firings, including filtered-out ones -- the
         #: denominator of the footprint-reduction ablation.
         self.seen = 0
+        #: Accounting target of ``_on_switch`` (the handler bumps
+        #: ``run_cnt`` itself: it attaches through ``load_tracepoint``,
+        #: skipping the per-firing trampoline).  A placeholder program
+        #: until ``start`` attaches the real one, so the handler is
+        #: callable stand-alone (unit tests drive it directly).
+        self._switch_program = BpfProgram(
+            name="TRKN.sched_switch",
+            kind="tracepoint",
+            target="sched:sched_switch",
+            cost_ns=DEFAULT_TRACEPOINT_COST_NS,
+        )
 
     def _attach(self) -> None:
-        program = self.bpf.attach_tracepoint(
-            "sched:sched_switch", self._on_switch, name="TRKN.sched_switch"
+        def factory(program: BpfProgram):
+            # Fused copy of _on_switch (which stays as the reference
+            # implementation for stand-alone/unit use; keep in sync):
+            # captures the program, pid dict and buffer once, so the
+            # per-switch firing does no tracer attribute lookups.
+            self._switch_program = program
+            tracer = self
+            pids = self._pids
+            buffer = self.buffer
+            filtered = self.filtered
+            capacity = buffer.capacity
+
+            def on_switch(record: Any) -> None:
+                program.run_cnt += 1
+                tracer.seen += 1
+                if filtered and record[2] not in pids and record[6] not in pids:
+                    return
+                buffer.submitted += 1
+                events = buffer._events
+                if len(events) >= capacity:
+                    buffer.lost += 1
+                    return
+                events.append(record)
+                buffer.bytes_submitted += SCHED_EVENT_BYTES
+
+            return on_switch
+
+        program = self.bpf.load_tracepoint(
+            "sched:sched_switch", factory, name="TRKN.sched_switch"
         )
         self._programs = [program]
         if self.record_wakeups:
@@ -132,10 +175,12 @@ class KernelTracer(_TracerBase):
             )
 
     def _on_switch(self, record: Any) -> None:
+        self._switch_program.run_cnt += 1
         self.seen += 1
         if self.filtered:
-            if record.prev_pid not in self.pid_map and record.next_pid not in self.pid_map:
-                return
+            pids = self._pids
+            if record[2] not in pids and record[6] not in pids:
+                return  # record[2]/[6]: SchedSwitch prev_pid/next_pid
         # Inlined copy of PerfBuffer.submit (hot: one firing per context
         # switch); keep in sync with it and with probes._submit.
         buffer = self.buffer

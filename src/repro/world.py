@@ -91,6 +91,7 @@ class World:
             **sched_kwargs,
         )
         self.rng = np.random.default_rng(seed)
+        self._ctx_cache: Optional[ProbeContext] = None
         self.symbols = SymbolTable(self._probe_context)
         #: Kernel tracepoints exposed to the BPF layer.
         self.tracepoints: Dict[str, Callable] = {
@@ -113,13 +114,34 @@ class World:
 
     def _probe_context(self) -> ProbeContext:
         # Hot loop (once per probe firing): read the scheduler/kernel
-        # internals directly instead of through their properties.
+        # internals directly instead of through their properties, and
+        # build the context via tuple.__new__ (skips the NamedTuple
+        # keyword wrapper).  The last context is cached: a dispatch
+        # typically fires several probes at one (instant, thread) --
+        # entry, inner take, DDS write -- and contexts are immutable, so
+        # re-serving one whose every field still matches is exact.
         thread = self.scheduler._advancing
+        now = self.kernel._now
+        ctx = self._ctx_cache
         if thread is None:
             # Fired from interrupt/kernel context (e.g. an external
             # publisher): no current task.
-            return ProbeContext(self.kernel._now, 0, None, "")
-        return ProbeContext(self.kernel._now, thread.pid, thread.cpu, thread.name)
+            if ctx is not None and ctx[1] == 0 and ctx[0] == now:
+                return ctx
+            ctx = tuple.__new__(ProbeContext, (now, 0, None, ""))
+        else:
+            if (
+                ctx is not None
+                and ctx[0] == now
+                and ctx[1] == thread.pid
+                and ctx[2] == thread.cpu
+            ):
+                return ctx
+            ctx = tuple.__new__(
+                ProbeContext, (now, thread.pid, thread.cpu, thread.name)
+            )
+        self._ctx_cache = ctx
+        return ctx
 
     # ------------------------------------------------------------------
 

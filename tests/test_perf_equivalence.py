@@ -36,14 +36,21 @@ from repro.core import (
 from repro.core.merge import dag_from_merged_traces, merge_dags
 from repro.experiments import BatchConfig, RunConfig, run_batch, run_once
 from repro.scenarios import build_scenario_spec, scenario_names
-from repro.sim import SEC, SchedSwitch
+from repro.sim import SEC, HeapKernel, SchedSwitch, SimKernel
+from repro.sim.policies import POLICY_NAMES
 from repro.tracing.session import Trace, TracingSession
 from repro.world import World
 
 DURATION_NS = int(1.5 * SEC)
 
 
-def _traced_run(name, run_index=0, world_cls=World, session_cls=TracingSession):
+def _traced_run(
+    name,
+    run_index=0,
+    world_cls=World,
+    session_cls=TracingSession,
+    **world_kwargs,
+):
     spec = build_scenario_spec(name, run_index=run_index, runs=3)
     config = RunConfig(duration_ns=DURATION_NS, num_cpus=spec.num_cpus)
     world = world_cls(
@@ -53,6 +60,7 @@ def _traced_run(name, run_index=0, world_cls=World, session_cls=TracingSession):
         dds_latency_ns=config.dds_latency_ns,
         start_time_ns=config.time_base_for(run_index),
         first_pid=config.pid_base_for(run_index),
+        **world_kwargs,
     )
     spec.build(world)
     session = session_cls(world, kernel_filter=config.kernel_filter)
@@ -123,13 +131,42 @@ class TestMergedTraceEquivalence:
 class TestFullStackSimEquivalence:
     """New kernel/scheduler/tracing stack == frozen stack, bit for bit."""
 
-    @pytest.mark.parametrize("name", ["avp-interference", "service-mesh"])
-    def test_traces_identical(self, name):
-        new_trace = _traced_run(name)
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_traces_identical(self, name, traces_by_scenario):
         legacy_trace = _traced_run(
             name, world_cls=LegacyWorld, session_cls=LegacyTracingSession
         )
-        assert new_trace.to_dict() == legacy_trace.to_dict()
+        assert traces_by_scenario[name].to_dict() == legacy_trace.to_dict()
+
+
+class TestPolicyMatrixEquivalence:
+    """The slab-kernel fast path stays bit-identical across the PR 9
+    policy matrix.
+
+    The frozen legacy stack predates pluggable policies (its default is
+    the priority/RR policy pinned against it above), so for the other
+    three policies the pin is the flagged reference substrate: the same
+    world with ``kernel_cls=HeapKernel`` -- handle objects and
+    ``pending``-recheck run loop instead of the slab's parallel arrays
+    and generation tags.  Every lazy-arming and token-cancel path in the
+    scheduler runs on both kernels here.
+    """
+
+    @pytest.mark.parametrize("name", ["avp-interference", "service-mesh"])
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_slab_kernel_matches_heap_reference(self, name, policy):
+        slab = _traced_run(name, sched_policy=policy, kernel_cls=SimKernel)
+        reference = _traced_run(name, sched_policy=policy, kernel_cls=HeapKernel)
+        assert slab.to_dict() == reference.to_dict()
+
+    def test_default_policy_is_the_legacy_pinned_one(self):
+        """``sched_policy="priority"`` == the default-policy stack that
+        the legacy comparison above pins, closing the matrix: priority
+        is pinned to legacy, and every policy is pinned to the reference
+        kernel."""
+        explicit = _traced_run("avp-interference", sched_policy="priority")
+        default = _traced_run("avp-interference")
+        assert explicit.to_dict() == default.to_dict()
 
 
 class TestBatchDeterminismThroughTraceIndex:

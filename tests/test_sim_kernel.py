@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import MSEC, SEC, SimKernel, USEC
+from repro.sim import HeapKernel, MSEC, SEC, SimKernel, USEC
+from repro.sim.kernel import _COMPACT_MIN_QUEUE
 
 
 class TestScheduling:
@@ -160,3 +161,179 @@ class TestClockProperties:
         assert USEC == 1_000
         assert MSEC == 1_000_000
         assert SEC == 1_000_000_000
+
+
+# ---------------------------------------------------------------------------
+# Slab fast path: tokens, slot recycling, compaction
+# ---------------------------------------------------------------------------
+
+
+class TestPostAfterTokens:
+    """The hot-path scheduling API: int tokens over the slab."""
+
+    def test_post_after_runs_fn_with_args(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.post_after(7, lambda a, b: fired.append((kernel.now, a, b)), (1, 2))
+        kernel.post_after(3, fired.append, ("first",))
+        kernel.run()
+        assert fired == ["first", (7, 1, 2)]
+
+    def test_negative_delay_rejected(self):
+        kernel = SimKernel()
+        with pytest.raises(ValueError):
+            kernel.post_after(-1, lambda: None)
+
+    def test_cancel_returns_true_once(self):
+        kernel = SimKernel()
+        fired = []
+        token = kernel.post_after(5, fired.append, (1,))
+        assert kernel.cancel(token) is True
+        assert kernel.cancel(token) is False
+        kernel.run()
+        assert fired == []
+
+    def test_stale_token_after_firing_is_a_noop(self):
+        kernel = SimKernel()
+        fired = []
+        token = kernel.post_after(1, fired.append, ("a",))
+        kernel.run()
+        assert fired == ["a"]
+        assert kernel.cancel(token) is False
+
+    def test_stale_token_cannot_cancel_a_recycled_slot(self):
+        """The generation tag protects recycled slots: a token whose
+        event already fired must not cancel the *new* occupant of the
+        same slab slot."""
+        kernel = SimKernel()
+        fired = []
+        stale = kernel.post_after(1, fired.append, ("old",))
+        kernel.run()
+        # The slot just freed is recycled by the next post.
+        kernel.post_after(1, fired.append, ("new",))
+        assert kernel.cancel(stale) is False
+        kernel.run()
+        assert fired == ["old", "new"]
+
+    def test_tokens_interleave_with_handle_api(self):
+        """post_after events order identically to schedule_* ones."""
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule_after(5, lambda: fired.append("handle"))
+        kernel.post_after(5, fired.append, ("token",))
+        kernel.schedule_at(2, lambda: fired.append("early"))
+        kernel.run()
+        assert fired == ["early", "handle", "token"]
+
+
+@pytest.mark.parametrize("kernel_cls", [SimKernel, HeapKernel])
+class TestCompaction:
+    """cancelled/compactions counters and the compact_min_queue knob."""
+
+    def test_invalid_threshold_rejected(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(compact_min_queue=-1)
+
+    def test_default_threshold_is_the_documented_constant(self, kernel_cls):
+        assert kernel_cls().compact_min_queue == _COMPACT_MIN_QUEUE == 64
+
+    def test_small_queues_never_compact(self, kernel_cls):
+        kernel = kernel_cls()  # default floor: 64
+        handles = [kernel.schedule_at(i + 1, lambda: None) for i in range(20)]
+        for handle in handles[:15]:
+            handle.cancel()
+        assert kernel.cancelled == 15
+        assert kernel.compactions == 0
+        kernel.run()
+
+    def test_majority_cancelled_triggers_compaction(self, kernel_cls):
+        """Compaction fires once cancelled entries *exceed* half the
+        queue (20 of 40 is not enough; the 21st trips it)."""
+        kernel = kernel_cls(compact_min_queue=0)
+        fired = []
+        handles = [
+            kernel.schedule_at(i + 1, (lambda i=i: fired.append(i)))
+            for i in range(40)
+        ]
+        for handle in handles[1::2]:
+            handle.cancel()
+        assert kernel.cancelled == 20
+        assert kernel.compactions == 0
+        handles[0].cancel()
+        assert kernel.compactions == 1
+        kernel.run()
+        assert fired == list(range(2, 40, 2))
+
+    def test_threshold_does_not_change_results(self, kernel_cls):
+        """Compaction is invisible: identical fire order at both
+        extremes of the knob."""
+
+        def drive(kernel):
+            fired = []
+            handles = {}
+            for i in range(60):
+                handles[i] = kernel.schedule_at(
+                    (i * 13) % 97 + 1, (lambda i=i: fired.append(i)), priority=i % 3
+                )
+            for i in range(0, 60, 3):
+                handles[i].cancel()
+            kernel.run()
+            return fired, kernel.cancelled
+
+        eager, eager_cancels = drive(kernel_cls(compact_min_queue=0))
+        never, never_cancels = drive(kernel_cls(compact_min_queue=1 << 30))
+        assert eager == never
+        assert eager_cancels == never_cancels == 20
+
+
+class TestHeapKernelReferenceContract:
+    """The flagged reference kernel honors the same core contract."""
+
+    def test_ordering_and_ties(self):
+        kernel = HeapKernel()
+        fired = []
+        kernel.schedule_at(10, lambda: fired.append("b"))
+        kernel.schedule_at(10, lambda: fired.append("c"))
+        kernel.schedule_at(5, lambda: fired.append("a"))
+        kernel.schedule_at(10, lambda: fired.append("z"), priority=-1)
+        kernel.run()
+        assert fired == ["a", "z", "b", "c"]
+
+    def test_post_after_token_contract_matches_slab(self):
+        kernel = HeapKernel()
+        fired = []
+        token = kernel.post_after(4, fired.append, ("x",))
+        kernel.post_after(2, fired.append, ("y",))
+        assert kernel.cancel(token) is True
+        assert kernel.cancel(token) is False
+        kernel.run()
+        assert fired == ["y"]
+
+    def test_run_until_matches_slab(self):
+        for kernel in (SimKernel(), HeapKernel()):
+            fired = []
+            kernel.schedule_at(5, lambda: fired.append(5))
+            kernel.schedule_at(15, lambda: fired.append(15))
+            kernel.run(until=10)
+            assert fired == [5]
+            assert kernel.now == 10
+
+
+class TestEventHandleOrderingRemoved:
+    """The heap keys on (time, priority, seq) tuples since PR 2, so
+    handles carry no ordering; pin the removal so ``__lt__`` can't
+    silently return (and rot unexercised) in either implementation."""
+
+    def test_slab_handles_do_not_order(self):
+        kernel = SimKernel()
+        a = kernel.schedule_at(1, lambda: None)
+        b = kernel.schedule_at(2, lambda: None)
+        with pytest.raises(TypeError):
+            a < b  # noqa: B015 -- the raise *is* the assertion
+
+    def test_heap_handles_do_not_order(self):
+        kernel = HeapKernel()
+        a = kernel.schedule_at(1, lambda: None)
+        b = kernel.schedule_at(2, lambda: None)
+        with pytest.raises(TypeError):
+            a < b  # noqa: B015

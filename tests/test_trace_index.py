@@ -230,7 +230,9 @@ class TestKernelCompaction:
         handles = [kernel.schedule_at(i + 1, lambda: None) for i in range(200)]
         for handle in handles[:101]:  # 101st cancel triggers the rebuild
             handle.cancel()
-        assert all(entry[3].pending for entry in kernel._queue)
+        # Slab representation: a heap entry (time, prio, seq, slot) is
+        # live iff the slot still holds its sequence number.
+        assert all(kernel._slot_seq[e[3]] == e[2] for e in kernel._queue)
         assert kernel._cancelled_in_queue == 0
         kernel.run()
         assert kernel._cancelled_in_queue == 0
